@@ -1,0 +1,157 @@
+// Experiment F4 — simulator micro-costs (google-benchmark).
+//
+// Establishes the throughput envelope of the substrate itself: fiber
+// switches, kernel steps over base objects, the paper objects' operations,
+// whole-algorithm runs and explorer execution rates. These numbers bound
+// how large the exhaustive experiments (T1, T5, T6) can be pushed.
+#include <benchmark/benchmark.h>
+
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/algorithms/wrn_set_consensus.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/explorer.hpp"
+#include "subc/runtime/fiber.hpp"
+#include "subc/runtime/runtime.hpp"
+
+namespace {
+
+using namespace subc;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  Fiber fiber([] {
+    for (;;) {
+      Fiber::yield();
+    }
+  });
+  for (auto _ : state) {
+    fiber.resume();
+  }
+  fiber.kill();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_RegisterStep(benchmark::State& state) {
+  // One simulated process hammering a register; measures kernel step cost
+  // (schedule + fiber switch + op body).
+  const std::int64_t batch = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt;
+    Register<> reg(0);
+    rt.add_process([&](Context& ctx) {
+      for (std::int64_t i = 0; i < batch; ++i) {
+        reg.write(ctx, i);
+      }
+    });
+    RoundRobinDriver driver;
+    state.ResumeTiming();
+    rt.run(driver, batch + 10);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_RegisterStep);
+
+void BM_WrnOperation(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::int64_t batch = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt;
+    WrnObject wrn(k);
+    rt.add_process([&](Context& ctx) {
+      for (std::int64_t i = 0; i < batch; ++i) {
+        wrn.wrn(ctx, static_cast<int>(i % k), i + 1);
+      }
+    });
+    RoundRobinDriver driver;
+    state.ResumeTiming();
+    rt.run(driver, batch + 10);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WrnOperation)->Arg(3)->Arg(8)->Arg(32);
+
+void BM_SnapshotScanFromRegisters(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const std::int64_t batch = 50;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt;
+    SnapshotFromRegisters<> snap(size, 0);
+    rt.add_process([&](Context& ctx) {
+      for (std::int64_t i = 0; i < batch; ++i) {
+        benchmark::DoNotOptimize(snap.scan(ctx));
+      }
+    });
+    RoundRobinDriver driver;
+    state.ResumeTiming();
+    rt.run(driver, batch * (2 * size + 4));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SnapshotScanFromRegisters)->Arg(4)->Arg(16);
+
+void BM_Algorithm2FullRun(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Runtime rt;
+    WrnSetConsensus algorithm(k);
+    for (int p = 0; p < k; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        ctx.decide(algorithm.propose(ctx, p, 100 + p));
+      });
+    }
+    RandomDriver driver(seed++);
+    rt.run(driver);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Algorithm2FullRun)->Arg(3)->Arg(8)->Arg(16);
+
+void BM_ExplorerExecutionRate(benchmark::State& state) {
+  // Executions per second of the stateless explorer on a 3-process world.
+  for (auto _ : state) {
+    const auto result = Explorer::explore(
+        [](ScheduleDriver& driver) {
+          Runtime rt;
+          Register<> reg(0);
+          for (int p = 0; p < 3; ++p) {
+            rt.add_process([&](Context& ctx) {
+              reg.read(ctx);
+              reg.write(ctx, 1);
+            });
+          }
+          rt.run(driver);
+        },
+        Explorer::Options{.max_executions = 2000});
+    benchmark::DoNotOptimize(result.executions);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ExplorerExecutionRate);
+
+void BM_RandomSweepRate(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = RandomSweep::run(
+        [](ScheduleDriver& driver) {
+          Runtime rt;
+          WrnSetConsensus algorithm(4);
+          for (int p = 0; p < 4; ++p) {
+            rt.add_process([&, p](Context& ctx) {
+              ctx.decide(algorithm.propose(ctx, p, 10 + p));
+            });
+          }
+          rt.run(driver);
+        },
+        200);
+    benchmark::DoNotOptimize(result.runs);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_RandomSweepRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

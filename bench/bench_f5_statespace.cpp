@@ -1,0 +1,102 @@
+// Experiment F5 — state-space growth and checker scaling.
+//
+// Series 1: exhaustive-explorer execution counts versus processes × steps
+// (the multinomial schedule-tree sizes), measured against the closed form —
+// calibrates what "exhaustive" can mean for T1/T5/T6.
+// Series 2: Wing–Gong checker time versus history length for maximally
+// concurrent 1sWRN histories (everything overlaps everything).
+#include <chrono>
+#include <cstdio>
+
+#include "subc/checking/linearizability.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/explorer.hpp"
+#include "subc/runtime/runtime.hpp"
+
+namespace {
+
+using namespace subc;
+
+long long count_executions(int procs, int steps) {
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        for (int p = 0; p < procs; ++p) {
+          rt.add_process([&](Context& ctx) {
+            for (int s = 0; s < steps; ++s) {
+              reg.read(ctx);
+            }
+          });
+        }
+        rt.run(driver);
+      },
+      Explorer::Options{.max_executions = 5'000'000});
+  return result.complete ? result.executions : -result.executions;
+}
+
+double time_checker(int k) {
+  // Build a maximally-overlapping completed history: all invocations open,
+  // then all responses, values consistent with some linearization.
+  History history;
+  std::vector<std::size_t> handles;
+  for (int i = 0; i < k; ++i) {
+    handles.push_back(
+        history.invoke(i, {static_cast<Value>(i), static_cast<Value>(100 + i)}));
+  }
+  // Responses as if linearized in index order: op i returns ⊥ except the
+  // last, which sees slot 0.
+  for (int i = 0; i < k; ++i) {
+    const Value response = (i == k - 1) ? 100 : kBottom;
+    history.respond(handles[static_cast<std::size_t>(i)], {response});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = check_linearizable(OneShotWrnSpec{k}, history.entries());
+  const auto stop = std::chrono::steady_clock::now();
+  if (!result.linearizable) {
+    return -1;
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F5: explorer state-space growth and checker scaling\n\n");
+  std::printf("series 1: exhaustive executions vs (processes, steps/proc)\n");
+  std::printf("%6s %6s %14s\n", "procs", "steps", "executions");
+  struct Cell {
+    int procs;
+    int steps;
+  };
+  const Cell cells[] = {{2, 2}, {2, 4}, {2, 6}, {3, 2}, {3, 3},
+                        {3, 4}, {4, 2}, {4, 3}, {5, 2}};
+  for (const auto& [procs, steps] : cells) {
+    const long long executions = count_executions(procs, steps);
+    std::printf("%6d %6d %14lld%s\n", procs, steps,
+                executions < 0 ? -executions : executions,
+                executions < 0 ? " (truncated)" : "");
+  }
+
+  std::printf("\nseries 2: Wing–Gong checker on maximally concurrent "
+              "1sWRN_k histories\n");
+  std::printf("%6s %14s\n", "k", "time (ms)");
+  bool ok = true;
+  for (const int k : {4, 8, 12, 16, 20}) {
+    const double ms = time_checker(k);
+    if (ms < 0) {
+      ok = false;
+      std::printf("%6d %14s\n", k, "NOT LINEARIZABLE?!");
+    } else {
+      std::printf("%6d %14.3f\n", k, ms);
+    }
+  }
+  std::printf(
+      "\nreading: schedule counts follow the multinomial "
+      "(Σsteps)!/Π(steps!);\nthe checker's memoized DFS stays polynomial-ish "
+      "on WRN histories because\nstate keys collapse equivalent "
+      "linearization prefixes.\n");
+  std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,163 @@
+// Experiment F6 — register-substrate scaling: the costs of the classical
+// building blocks this library grounds everything in.
+//
+// Series over n:
+//  * immediate snapshot (participating set): level descents and steps per
+//    participate() under contention;
+//  * safe agreement: steps per propose plus resolve retries under random
+//    scheduling;
+//  * adopt-commit: commit rate under conflicting vs aligned proposals;
+//  * register-built atomic snapshot: collects per scan under w writers.
+#include <algorithm>
+#include <cstdio>
+
+#include "subc/algorithms/adopt_commit.hpp"
+#include "subc/algorithms/immediate_snapshot.hpp"
+#include "subc/algorithms/safe_agreement.hpp"
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/runtime/explorer.hpp"
+
+namespace {
+
+using namespace subc;
+
+void series_immediate_snapshot() {
+  std::printf("immediate snapshot — steps per participate():\n");
+  std::printf("%4s  %12s  %12s\n", "n", "mean", "worst");
+  for (const int n : {2, 4, 8, 12}) {
+    long total = 0;
+    long worst = 0;
+    long samples = 0;
+    const auto result = RandomSweep::run(
+        [&](ScheduleDriver& driver) {
+          Runtime rt;
+          ImmediateSnapshot is(n);
+          for (int p = 0; p < n; ++p) {
+            rt.add_process(
+                [&, p](Context& ctx) { is.participate(ctx, p, p + 1); });
+          }
+          rt.run(driver);
+          for (int p = 0; p < n; ++p) {
+            const long steps = static_cast<long>(rt.steps_of(p));
+            total += steps;
+            worst = std::max(worst, steps);
+            ++samples;
+          }
+        },
+        200);
+    std::printf("%4d  %12.1f  %12ld%s\n", n,
+                static_cast<double>(total) / static_cast<double>(samples),
+                worst, result.ok() ? "" : "  !! violation");
+  }
+}
+
+void series_safe_agreement() {
+  std::printf("\nsafe agreement — steps per propose+await:\n");
+  std::printf("%4s  %12s  %12s\n", "n", "mean", "worst");
+  for (const int n : {2, 4, 8, 12}) {
+    long total = 0;
+    long worst = 0;
+    long samples = 0;
+    const auto result = RandomSweep::run(
+        [&](ScheduleDriver& driver) {
+          Runtime rt;
+          SafeAgreement sa(n);
+          for (int p = 0; p < n; ++p) {
+            rt.add_process([&, p](Context& ctx) {
+              sa.propose(ctx, p, 10 + p);
+              sa.await(ctx);
+            });
+          }
+          rt.run(driver);
+          for (int p = 0; p < n; ++p) {
+            const long steps = static_cast<long>(rt.steps_of(p));
+            total += steps;
+            worst = std::max(worst, steps);
+            ++samples;
+          }
+        },
+        200);
+    std::printf("%4d  %12.1f  %12ld%s\n", n,
+                static_cast<double>(total) / static_cast<double>(samples),
+                worst, result.ok() ? "" : "  !! violation");
+  }
+}
+
+void series_adopt_commit() {
+  std::printf("\nadopt-commit — commit rate (fraction of processes that "
+              "committed):\n");
+  std::printf("%4s  %14s  %14s\n", "n", "aligned", "conflicting");
+  for (const int n : {2, 4, 8}) {
+    const auto rate = [n](bool aligned) {
+      long commits = 0;
+      long outcomes = 0;
+      RandomSweep::run(
+          [&](ScheduleDriver& driver) {
+            Runtime rt;
+            AdoptCommit ac(n);
+            for (int p = 0; p < n; ++p) {
+              rt.add_process([&, p, aligned](Context& ctx) {
+                const Value v = aligned ? 7 : 7 + p;
+                const auto o = ac.propose(ctx, p, v);
+                ++outcomes;
+                commits += o.grade == Grade::kCommit ? 1 : 0;
+              });
+            }
+            rt.run(driver);
+          },
+          300);
+      return static_cast<double>(commits) / static_cast<double>(outcomes);
+    };
+    std::printf("%4d  %14.3f  %14.3f\n", n, rate(true), rate(false));
+  }
+  std::printf("(aligned proposals must commit everywhere: expect 1.000)\n");
+}
+
+void series_snapshot() {
+  std::printf("\nregister-built snapshot — steps per scan with w busy "
+              "writers:\n");
+  std::printf("%4s  %12s  %12s\n", "w", "mean", "worst");
+  for (const int w : {1, 2, 4, 8}) {
+    long total = 0;
+    long worst = 0;
+    long samples = 0;
+    RandomSweep::run(
+        [&](ScheduleDriver& driver) {
+          Runtime rt;
+          SnapshotFromRegisters<> snap(w + 1, 0);
+          for (int i = 0; i < w; ++i) {
+            rt.add_process([&, i](Context& ctx) {
+              for (int u = 1; u <= 3; ++u) {
+                snap.update(ctx, i, u);
+              }
+            });
+          }
+          rt.add_process([&](Context& ctx) {
+            const std::int64_t before = ctx.runtime().steps_of(w);
+            snap.scan(ctx);
+            const long cost =
+                static_cast<long>(ctx.runtime().steps_of(w) - before);
+            total += cost;
+            worst = std::max(worst, cost);
+            ++samples;
+          });
+          rt.run(driver);
+        },
+        300);
+    std::printf("%4d  %12.1f  %12ld\n", w,
+                static_cast<double>(total) / static_cast<double>(samples),
+                worst);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F6: register-substrate scaling\n\n");
+  series_immediate_snapshot();
+  series_safe_agreement();
+  series_adopt_commit();
+  series_snapshot();
+  std::printf("\nF6 PASS\n");
+  return 0;
+}

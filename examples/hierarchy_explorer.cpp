@@ -1,0 +1,100 @@
+// hierarchy_explorer: an interactive tour of the two hierarchies.
+//
+//   $ ./hierarchy_explorer                 # the full tour
+//   $ ./hierarchy_explorer wrn             # only the 1sWRN_k level-1 chain
+//   $ ./hierarchy_explorer onk <n>         # only the O_{n,k} chain at level n
+//   $ ./hierarchy_explorer query n k m j   # is (n,k)-SC implementable from
+//                                          # (m,j)-SC? with the partition
+//
+// Everything printed is computed from the Theorem 41 calculus
+// (subc/core/hierarchy.hpp); the benches T3/T4 validate the same numbers in
+// the simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "subc/core/hierarchy.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace {
+
+using namespace subc;
+
+void show_wrn_chain() {
+  std::printf("================================================\n");
+  std::printf("Level 1: the 1sWRN_k chain (DISC 2018 sequel)\n");
+  std::printf("================================================\n\n");
+  std::printf("1sWRN_k ≡ (k, k−1)-set consensus (Theorem 2); consensus "
+              "number:\n");
+  for (int k = 2; k <= 8; ++k) {
+    std::printf("  k=%d: consensus number %d%s\n", k,
+                sc_consensus_number(k, k - 1),
+                k == 2 ? "  (WRN_2 = SWAP)" : "");
+  }
+  std::printf("\n%s\n", format_wrn_matrix(3, 10).c_str());
+  std::printf("strictly between registers and 2-consensus: infinitely many\n"
+              "classes, one per k >= 3.\n\n");
+}
+
+void show_onk_chain(int n) {
+  std::printf("================================================\n");
+  std::printf("Level %d: the O_{%d,k} chain (PODC 2016)\n", n, n);
+  std::printf("================================================\n\n");
+  std::printf("components of O_{%d,k}: GAC(%d,i) ≡ (m_i, j_i)-set "
+              "consensus\n", n, n);
+  for (int i = 0; i <= 5; ++i) {
+    std::printf("  i=%d: (m,j) = (%2d,%2d), consensus number %d\n", i,
+                onk_component_capacity(n, i), onk_component_agreement(i),
+                i == 0 ? n : sc_consensus_number(onk_component_capacity(n, i),
+                                                 onk_component_agreement(i)));
+  }
+  std::printf("\nseparations (O_{n,k} cannot implement O_{n,k+1} at "
+              "N_k = nk+n+k):\n");
+  std::printf("  %3s %5s %26s %26s\n", "k", "N_k", "best agreement O_{n,k}",
+              "best agreement O_{n,k+1}");
+  for (int k = 1; k <= 6; ++k) {
+    const OnkSeparation sep = onk_separation(n, k);
+    std::printf("  %3d %5d %26d %26d   %s\n", k, sep.system_size,
+                sep.agreement_with_k, sep.agreement_with_k1,
+                sep.separated() ? "separated ✓" : "NOT SEPARATED ?!");
+  }
+  std::printf("\nall have consensus number %d — consensus number alone "
+              "cannot rank them.\n\n", n);
+}
+
+void show_query(int n, int k, int m, int j) {
+  std::printf("(n,k)-set consensus from (m,j)-set consensus + registers?\n");
+  std::printf("  target: (%d,%d), source: (%d,%d)\n", n, k, m, j);
+  const int bound = sc_partition_agreement(n, m, j);
+  std::printf("  partition bound: best achievable agreement = %d\n", bound);
+  std::printf("  => %s\n", sc_implementable(n, k, m, j)
+                               ? "IMPLEMENTABLE"
+                               : "NOT implementable (Theorem 41 lower bound)");
+  if (sc_implementable(n, k, m, j) && k < n) {
+    std::printf("  construction: %d full group(s) of %d + remainder %d\n",
+                n / m, m, n % m);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "wrn") == 0) {
+    show_wrn_chain();
+    return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "onk") == 0) {
+    show_onk_chain(argc >= 3 ? std::atoi(argv[2]) : 2);
+    return 0;
+  }
+  if (argc >= 6 && std::strcmp(argv[1], "query") == 0) {
+    show_query(std::atoi(argv[2]), std::atoi(argv[3]), std::atoi(argv[4]),
+               std::atoi(argv[5]));
+    return 0;
+  }
+  show_wrn_chain();
+  show_onk_chain(2);
+  show_onk_chain(3);
+  std::printf("try also: hierarchy_explorer query 12 8 3 2\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run the test suite, run every
+# experiment binary. Exits non-zero on the first failure. This is what CI
+# would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for bench in build/bench/bench_*; do
+  echo "== ${bench}"
+  "${bench}"
+done
+echo "ALL CHECKS PASSED"

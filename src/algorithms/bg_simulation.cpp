@@ -1,0 +1,137 @@
+#include "subc/algorithms/bg_simulation.hpp"
+
+#include <algorithm>
+
+namespace subc {
+
+BgSimulation::BgSimulation(int simulators, int n, int k)
+    : m_(simulators), n_(n), k_(k), sim_memory_(std::max(n, 1), kBottom) {
+  if (simulators < 1 || n < 1 || k < 1 || k > n) {
+    throw SimError("BgSimulation requires simulators >= 1, 1 <= k <= n");
+  }
+  // Round bound: agreed views are monotone across rounds (each round's
+  // winning scan happens after its proposer resolved the previous round),
+  // so a simulated process needs at most ~n content-growing rounds plus
+  // slack for rounds an adversary keeps content-stable by stalling other
+  // simulators between their scan and propose steps. The generous bound
+  // below has headroom for the adversarial schedules the tests drive; a
+  // genuinely blocked simulation (too many crashes) is reported through
+  // the iteration budget instead.
+  max_rounds_ = 4 * (n + simulators) + 8;
+  input_agreement_.reserve(static_cast<std::size_t>(n));
+  view_agreement_.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    input_agreement_.emplace_back(simulators);
+    std::vector<SafeAgreementOf<View>> rounds;
+    rounds.reserve(static_cast<std::size_t>(max_rounds_));
+    for (int r = 0; r < max_rounds_; ++r) {
+      rounds.emplace_back(simulators);
+    }
+    view_agreement_.push_back(std::move(rounds));
+  }
+  locals_.resize(static_cast<std::size_t>(simulators));
+}
+
+const std::vector<BgSimulation::SimulatedProcess>& BgSimulation::observed(
+    int s) const {
+  if (s < 0 || s >= m_) {
+    throw SimError("BgSimulation::observed: bad simulator index");
+  }
+  return locals_[static_cast<std::size_t>(s)].procs;
+}
+
+Value BgSimulation::advance(Context& ctx, int s, int j, Local& local) {
+  SimulatedProcess& proc = local.procs[static_cast<std::size_t>(j)];
+  const auto ju = static_cast<std::size_t>(j);
+
+  // Step 0: agree on j's input, then perform j's round-0 write into the
+  // (real, shared) simulated memory. Every simulator writes the same agreed
+  // value, so the multi-writer updates are idempotent.
+  if (!local.applied_input[ju]) {
+    auto& agreement = input_agreement_[ju];
+    if (!local.proposed_input[ju]) {
+      local.proposed_input[ju] = true;
+      // Any live simulator may sponsor any simulated process with its own
+      // input — this is what makes a silent simulator block nobody.
+      agreement.propose(ctx, s, local.input);
+    }
+    const auto agreed = agreement.resolve(ctx);
+    if (!agreed.has_value()) {
+      return kBottom;  // mid-window elsewhere: skip j for now (BG rule)
+    }
+    proc.input = *agreed;
+    sim_memory_.update(ctx, j, *agreed);  // j's write, executed by s
+    local.applied_input[ju] = true;
+    return kBottom;  // made progress; snapshot next visit
+  }
+
+  // Quorum-min rounds: agree on the snapshot view j receives.
+  const int r = static_cast<int>(proc.views.size());
+  if (r >= max_rounds_) {
+    throw SimError("BG simulation exceeded its round bound");
+  }
+  auto& agreement = view_agreement_[ju][static_cast<std::size_t>(r)];
+  if (local.proposed_view_rounds[ju] <= r) {
+    local.proposed_view_rounds[ju] = r + 1;
+    // Propose a REAL atomic scan of the simulated memory: all proposals,
+    // across all (j, r), are then totally ordered by containment.
+    agreement.propose(ctx, s, sim_memory_.scan(ctx));
+  }
+  auto agreed = agreement.resolve(ctx);
+  if (!agreed.has_value()) {
+    return kBottom;  // blocked for now: skip j (BG rule)
+  }
+  proc.views.push_back(*agreed);
+  // T3's decision rule: with a quorum visible, decide the minimum input.
+  int visible = 0;
+  Value minimum = kBottom;
+  for (const Value v : *agreed) {
+    if (v != kBottom) {
+      ++visible;
+      minimum = minimum == kBottom ? v : std::min(minimum, v);
+    }
+  }
+  if (visible >= quorum()) {
+    proc.decision = minimum;
+    return minimum;
+  }
+  return kBottom;
+}
+
+Value BgSimulation::run_simulator(Context& ctx, int s, Value input,
+                                  int max_iterations) {
+  if (s < 0 || s >= m_) {
+    throw SimError("BgSimulation: bad simulator index");
+  }
+  if (input == kBottom) {
+    throw SimError("BgSimulation: input must not be ⊥");
+  }
+  Local& local = locals_[static_cast<std::size_t>(s)];
+  if (local.initialized) {
+    throw SimError("BgSimulation: run_simulator is one-shot per slot");
+  }
+  local.initialized = true;
+  local.input = input;
+  local.procs.resize(static_cast<std::size_t>(n_));
+  local.proposed_input.assign(static_cast<std::size_t>(n_), false);
+  local.applied_input.assign(static_cast<std::size_t>(n_), false);
+  local.proposed_view_rounds.assign(static_cast<std::size_t>(n_), 0);
+
+  // Round-robin over simulated processes, skipping the blocked ones; adopt
+  // the first simulated decision.
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const int j = iteration % n_;
+    const SimulatedProcess& proc = local.procs[static_cast<std::size_t>(j)];
+    if (proc.decision != kBottom) {
+      return proc.decision;  // already simulated to completion
+    }
+    const Value decided = advance(ctx, s, j, local);
+    if (decided != kBottom) {
+      return decided;
+    }
+  }
+  throw SimError("BG simulator exhausted its iteration budget "
+                 "(too many simulators crashed mid-agreement?)");
+}
+
+}  // namespace subc

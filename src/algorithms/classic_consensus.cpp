@@ -1,0 +1,73 @@
+#include "subc/algorithms/classic_consensus.hpp"
+
+namespace subc {
+
+namespace {
+void check_role(int role) {
+  if (role != 0 && role != 1) {
+    throw SimError("2-consensus role must be 0 or 1");
+  }
+}
+}  // namespace
+
+Value consensus2_from_swap(Context& ctx, TwoConsensusShared& shared,
+                           SwapRegister& swap, int role, Value v) {
+  check_role(role);
+  shared.announce[role].write(ctx, v);
+  const Value previous = swap.swap(ctx, role);
+  if (previous == kBottom) {
+    return v;  // first to swap: winner
+  }
+  return shared.announce[static_cast<int>(previous)].read(ctx);
+}
+
+Value consensus2_from_tas(Context& ctx, TwoConsensusShared& shared,
+                          TestAndSet& tas, int role, Value v) {
+  check_role(role);
+  shared.announce[role].write(ctx, v);
+  if (!tas.test_and_set(ctx)) {
+    return v;  // winner
+  }
+  return shared.announce[1 - role].read(ctx);
+}
+
+Value consensus2_from_fetch_add(Context& ctx, TwoConsensusShared& shared,
+                                FetchAdd& fa, int role, Value v) {
+  check_role(role);
+  shared.announce[role].write(ctx, v);
+  if (fa.fetch_add(ctx, 1) == 0) {
+    return v;  // winner
+  }
+  return shared.announce[1 - role].read(ctx);
+}
+
+Value consensus2_from_queue(Context& ctx, TwoConsensusShared& shared,
+                            FifoQueue& queue, int role, Value v) {
+  check_role(role);
+  shared.announce[role].write(ctx, v);
+  if (queue.dequeue(ctx) != kBottom) {
+    return v;  // got the pre-loaded winner token
+  }
+  return shared.announce[1 - role].read(ctx);
+}
+
+Value consensus_from_object(Context& ctx, ConsensusObject& object, Value v) {
+  return object.propose(ctx, v);
+}
+
+Value consensus_from_onk(Context& ctx, OnkObject& object, Value v) {
+  return object.propose(ctx, /*component=*/0, v);
+}
+
+Value consensus2_attempt_from_wrn(Context& ctx, WrnObject& wrn, int role,
+                                  Value v) {
+  check_role(role);
+  const Value t = wrn.wrn(ctx, role, v);
+  return t != kBottom ? t : v;
+}
+
+Value consensus_attempt_from_gac(Context& ctx, GacObject& gac, Value v) {
+  return gac.propose(ctx, v);
+}
+
+}  // namespace subc

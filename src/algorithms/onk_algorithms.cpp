@@ -1,0 +1,36 @@
+#include "subc/algorithms/onk_algorithms.hpp"
+
+namespace subc {
+
+OnkSetConsensus::OnkSetConsensus(int n, int k, int procs)
+    : n_(n), k_(k), procs_(procs),
+      partition_(onk_best_partition(n, k, procs)) {
+  assignment_.resize(static_cast<std::size_t>(procs));
+  objects_.reserve(partition_.size());
+  int pid = 0;
+  for (std::size_t g = 0; g < partition_.size(); ++g) {
+    const auto [component, size] = partition_[g];
+    objects_.push_back(std::make_unique<OnkObject>(n, k));
+    for (int s = 0; s < size; ++s) {
+      assignment_[static_cast<std::size_t>(pid++)] = {static_cast<int>(g),
+                                                      component};
+    }
+  }
+  SUBC_ASSERT(pid == procs);
+}
+
+int OnkSetConsensus::agreement() const {
+  return onk_best_agreement(n_, k_, procs_);
+}
+
+Value OnkSetConsensus::propose(Context& ctx, int id, Value v) {
+  if (id < 0 || id >= procs_) {
+    throw SimError("OnkSetConsensus: id out of range");
+  }
+  const auto [object_index, component] =
+      assignment_[static_cast<std::size_t>(id)];
+  return objects_[static_cast<std::size_t>(object_index)]->propose(
+      ctx, component, v);
+}
+
+}  // namespace subc

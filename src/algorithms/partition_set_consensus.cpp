@@ -1,0 +1,28 @@
+#include "subc/algorithms/partition_set_consensus.hpp"
+
+namespace subc {
+
+PartitionSetConsensus::PartitionSetConsensus(int n, int m, int j)
+    : n_(n), m_(m), j_(j) {
+  if (n < 1) {
+    throw SimError("PartitionSetConsensus requires n >= 1");
+  }
+  const int groups = (n + m - 1) / m;
+  groups_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    groups_.push_back(std::make_unique<SetConsensusObject>(m, j));
+  }
+}
+
+int PartitionSetConsensus::agreement() const {
+  return sc_partition_agreement(n_, m_, j_);
+}
+
+Value PartitionSetConsensus::propose(Context& ctx, int id, Value v) {
+  if (id < 0 || id >= n_) {
+    throw SimError("PartitionSetConsensus: id out of range");
+  }
+  return groups_[static_cast<std::size_t>(id / m_)]->propose(ctx, v);
+}
+
+}  // namespace subc

@@ -1,0 +1,28 @@
+#include "subc/algorithms/relaxed_wrn.hpp"
+
+namespace subc {
+
+RelaxedWrn::RelaxedWrn(int k)
+    : inner_(k), counters_(static_cast<std::size_t>(k)) {
+  if (k < 2) {
+    throw SimError("RelaxedWrn requires k >= 2");
+  }
+}
+
+Value RelaxedWrn::rlx_wrn(Context& ctx, int index, Value v) {
+  if (index < 0 || index >= k()) {
+    throw SimError("RlxWRN index out of range");
+  }
+  if (v == kBottom) {
+    throw SimError("RlxWRN(i, ⊥) is illegal");
+  }
+  Counter& counter = counters_[static_cast<std::size_t>(index)];
+  counter.increment(ctx);
+  const Value c = counter.read(ctx);
+  if (c == 1) {
+    return inner_.wrn(ctx, index, v);
+  }
+  return kBottom;
+}
+
+}  // namespace subc

@@ -1,0 +1,79 @@
+#include "subc/algorithms/renaming.hpp"
+
+#include <algorithm>
+
+namespace subc {
+
+SnapshotRenaming::SnapshotRenaming(int slots, bool use_register_snapshot) {
+  if (slots <= 0) {
+    throw SimError("SnapshotRenaming requires a positive slot count");
+  }
+  const Cell initial{};
+  if (use_register_snapshot) {
+    registers_ = std::make_unique<SnapshotFromRegisters<Cell>>(slots, initial);
+  } else {
+    atomic_ = std::make_unique<AtomicSnapshot<Cell>>(slots, initial);
+  }
+}
+
+std::vector<SnapshotRenaming::Cell> SnapshotRenaming::scan(Context& ctx) {
+  return atomic_ ? atomic_->scan(ctx) : registers_->scan(ctx);
+}
+
+void SnapshotRenaming::announce(Context& ctx, int slot, const Cell& cell) {
+  if (atomic_) {
+    atomic_->update(ctx, slot, cell);
+  } else {
+    registers_->update(ctx, slot, cell);
+  }
+}
+
+int SnapshotRenaming::rename(Context& ctx, int slot, Value id) {
+  if (id == kBottom) {
+    throw SimError("rename requires a proper id");
+  }
+  int proposal = 0;
+  for (;;) {
+    announce(ctx, slot, Cell{id, proposal});
+    const std::vector<Cell> view = scan(ctx);
+
+    bool conflict = false;
+    std::vector<int> taken;      // others' proposals
+    std::vector<Value> ids;      // participating ids (including ours)
+    for (std::size_t s = 0; s < view.size(); ++s) {
+      const Cell& c = view[s];
+      if (c.id == kBottom) {
+        continue;
+      }
+      ids.push_back(c.id);
+      if (static_cast<int>(s) != slot && c.proposal >= 0) {
+        taken.push_back(c.proposal);
+        if (c.proposal == proposal) {
+          conflict = true;
+        }
+      }
+    }
+    if (!conflict) {
+      return proposal;
+    }
+    // Rank of our id among participants (0-based).
+    std::sort(ids.begin(), ids.end());
+    const int rank = static_cast<int>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+    // Propose the (rank+1)-th smallest name not proposed by others.
+    std::sort(taken.begin(), taken.end());
+    int candidate = 0;
+    int free_seen = 0;
+    for (;; ++candidate) {
+      if (!std::binary_search(taken.begin(), taken.end(), candidate)) {
+        if (free_seen == rank) {
+          break;
+        }
+        ++free_seen;
+      }
+    }
+    proposal = candidate;
+  }
+}
+
+}  // namespace subc

@@ -1,0 +1,4 @@
+#include "subc/algorithms/set_election.hpp"
+
+// Header-only constructions; this translation unit pins their vtable-free
+// symbols and verifies the header is self-contained.

@@ -1,0 +1,112 @@
+#include "subc/algorithms/wrn_anonymous.hpp"
+
+#include <algorithm>
+
+namespace subc {
+
+namespace {
+
+/// All maps {0..2k−2} → {0..k−1}: k^(2k−1) of them.
+std::vector<std::vector<int>> full_family(int k) {
+  const int domain = 2 * k - 1;
+  std::size_t total = 1;
+  for (int d = 0; d < domain; ++d) {
+    total *= static_cast<std::size_t>(k);
+    if (total > 2'000'000) {
+      throw SimError("full function family too large; use kCovering");
+    }
+  }
+  std::vector<std::vector<int>> maps;
+  maps.reserve(total);
+  std::vector<int> f(static_cast<std::size_t>(domain), 0);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t rest = code;
+    for (int d = 0; d < domain; ++d) {
+      f[static_cast<std::size_t>(d)] = static_cast<int>(rest % k);
+      rest /= static_cast<std::size_t>(k);
+    }
+    maps.push_back(f);
+  }
+  return maps;
+}
+
+/// One onto-map per k-subset R of {0..2k−2}: the members of R map, in
+/// increasing order, to 0..k−1; everything else maps to 0.
+std::vector<std::vector<int>> covering_family(int k) {
+  const int domain = 2 * k - 1;
+  std::vector<std::vector<int>> maps;
+  std::vector<int> subset(static_cast<std::size_t>(k));
+  // Enumerate k-combinations of {0..domain-1} in lexicographic order.
+  for (int i = 0; i < k; ++i) {
+    subset[static_cast<std::size_t>(i)] = i;
+  }
+  for (;;) {
+    std::vector<int> f(static_cast<std::size_t>(domain), 0);
+    for (int r = 0; r < k; ++r) {
+      f[static_cast<std::size_t>(subset[static_cast<std::size_t>(r)])] = r;
+    }
+    maps.push_back(std::move(f));
+    // Next combination.
+    int i = k - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] == domain - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      break;
+    }
+    ++subset[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return maps;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> make_function_family(int k,
+                                                   FunctionFamily kind) {
+  if (k < 3) {
+    throw SimError("function family defined for k >= 3");
+  }
+  return kind == FunctionFamily::kFull ? full_family(k) : covering_family(k);
+}
+
+AnonymousSetConsensus::AnonymousSetConsensus(int k, int slots,
+                                             FunctionFamily family,
+                                             bool relaxed)
+    : k_(k), renaming_(slots), maps_(make_function_family(k, family)) {
+  if (relaxed) {
+    relaxed_objects_.reserve(maps_.size());
+    for (std::size_t l = 0; l < maps_.size(); ++l) {
+      relaxed_objects_.push_back(std::make_unique<RelaxedWrn>(k));
+    }
+  } else {
+    plain_objects_.reserve(maps_.size());
+    for (std::size_t l = 0; l < maps_.size(); ++l) {
+      plain_objects_.push_back(std::make_unique<WrnObject>(k));
+    }
+  }
+}
+
+Value AnonymousSetConsensus::propose(Context& ctx, int slot, Value id,
+                                     Value v) {
+  const int j = renaming_.rename(ctx, slot, id);
+  if (j < 0 || j > 2 * k_ - 2) {
+    throw SpecViolation("renaming produced out-of-range name " +
+                        std::to_string(j) + " (more than k participants?)");
+  }
+  for (std::size_t l = 0; l < maps_.size(); ++l) {
+    const int i = maps_[l][static_cast<std::size_t>(j)];
+    const Value t = relaxed_objects_.empty()
+                        ? plain_objects_[l]->wrn(ctx, i, v)
+                        : relaxed_objects_[l]->rlx_wrn(ctx, i, v);
+    if (t != kBottom) {
+      return t;
+    }
+  }
+  return v;
+}
+
+}  // namespace subc

@@ -1,0 +1,106 @@
+#include "subc/algorithms/wrn_from_sse.hpp"
+
+namespace subc {
+
+namespace {
+constexpr Value kOpened = 0;
+constexpr Value kClosed = 1;
+}  // namespace
+
+WrnFromSse::WrnFromSse(int k, Options options)
+    : k_(k), options_(options), sse_(k, k - 1), doorway_(kOpened) {
+  if (k < 3) {
+    throw SimError("Algorithm 5 requires k >= 3");
+  }
+  if (options.use_register_snapshots) {
+    r_regs_ = std::make_unique<SnapshotFromRegisters<Value>>(k, kBottom);
+    o_regs_ = std::make_unique<SnapshotFromRegisters<View>>(k, View{});
+  } else {
+    r_atomic_ = std::make_unique<AtomicSnapshot<Value>>(k, kBottom);
+    o_atomic_ = std::make_unique<AtomicSnapshot<View>>(k, View{});
+  }
+}
+
+WrnFromSse::View WrnFromSse::snapshot_r(Context& ctx) {
+  return r_atomic_ ? r_atomic_->scan(ctx) : r_regs_->scan(ctx);
+}
+
+void WrnFromSse::publish_view(Context& ctx, int index, View view) {
+  if (o_atomic_) {
+    o_atomic_->update(ctx, index, std::move(view));
+  } else {
+    o_regs_->update(ctx, index, std::move(view));
+  }
+}
+
+std::vector<WrnFromSse::View> WrnFromSse::snapshot_o(Context& ctx) {
+  return o_atomic_ ? o_atomic_->scan(ctx) : o_regs_->scan(ctx);
+}
+
+Value WrnFromSse::one_shot_wrn(Context& ctx, int index, Value v,
+                               History* history) {
+  if (index < 0 || index >= k_) {
+    throw SimError("1sWRN index out of range");
+  }
+  if (v == kBottom) {
+    throw SimError("1sWRN(i, ⊥) is illegal");
+  }
+  std::size_t handle = 0;
+  if (history != nullptr) {
+    handle = history->invoke(ctx.pid(), {static_cast<Value>(index), v});
+  }
+  const Value result = run_operation(ctx, index, v);
+  if (history != nullptr) {
+    history->respond(handle, {result});
+  }
+  return result;
+}
+
+Value WrnFromSse::run_operation(Context& ctx, int index, Value v) {
+  // Line 6: R[i] ← v (announce at index i).
+  if (r_atomic_) {
+    r_atomic_->update(ctx, index, v);
+  } else {
+    r_regs_->update(ctx, index, v);
+  }
+
+  // Lines 7–12: the doorway and the strong set election. Without the
+  // doorway (§5 ablation) every invocation runs the election directly.
+  if (!options_.use_doorway || doorway_.read(ctx) == kOpened) {
+    if (options_.use_doorway) {
+      doorway_.write(ctx, kClosed);
+    }
+    if (sse_.invoke(ctx, static_cast<Value>(index)) ==
+        static_cast<Value>(index)) {
+      return kBottom;  // election winner: first linearized operation
+    }
+  }
+
+  // Line 13: SR ← Snapshot(R).
+  const View sr = snapshot_r(ctx);
+  const auto succ = static_cast<std::size_t>((index + 1) % k_);
+  if (options_.use_view_check) {
+    // Line 14: O[i] ← SR.
+    publish_view(ctx, index, sr);
+    // Line 15: SO ← Snapshot(O).
+    const std::vector<View> so = snapshot_o(ctx);
+
+    // Lines 16–20: if some w_j saw our value but not our successor's, we
+    // started before our successor finished — return ⊥.
+    for (int j = 0; j < k_; ++j) {
+      const View& seen = so[static_cast<std::size_t>(j)];
+      if (seen.empty()) {
+        continue;  // O[j] = ⊥: w_j published no view yet
+      }
+      if (seen[static_cast<std::size_t>(index)] == v &&
+          seen[succ] == kBottom) {
+        return kBottom;
+      }
+    }
+  }
+
+  // Line 21: return SR[(i+1) mod k].
+  return sr[succ];
+}
+
+}  // namespace subc

@@ -1,0 +1,51 @@
+#include "subc/algorithms/wrn_set_consensus.hpp"
+
+#include <algorithm>
+
+namespace subc {
+
+WrnSetConsensus::WrnSetConsensus(int k, bool one_shot) : k_(k) {
+  if (k < 3) {
+    throw SimError("Algorithm 2 requires k >= 3 (WRN_2 is SWAP)");
+  }
+  if (one_shot) {
+    one_shot_ = std::make_unique<OneShotWrnObject>(k);
+  } else {
+    multi_ = std::make_unique<WrnObject>(k);
+  }
+}
+
+Value WrnSetConsensus::propose(Context& ctx, int id, Value v) {
+  if (id < 0 || id >= k_) {
+    throw SimError("Algorithm 2: id out of range");
+  }
+  const Value t = one_shot_ ? one_shot_->wrn(ctx, id, v)
+                            : multi_->wrn(ctx, id, v);
+  return t != kBottom ? t : v;
+}
+
+WrnRatioSetConsensus::WrnRatioSetConsensus(int n, int k) : n_(n), k_(k) {
+  if (k < 3 || n < 1) {
+    throw SimError("Algorithm 6 requires k >= 3 and n >= 1");
+  }
+  const int groups = (n + k - 1) / k;
+  objects_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    objects_.push_back(std::make_unique<OneShotWrnObject>(k));
+  }
+}
+
+int WrnRatioSetConsensus::agreement() const noexcept {
+  return (k_ - 1) * (n_ / k_) + std::min(k_ - 1, n_ % k_);
+}
+
+Value WrnRatioSetConsensus::propose(Context& ctx, int id, Value v) {
+  if (id < 0 || id >= n_) {
+    throw SimError("Algorithm 6: id out of range");
+  }
+  OneShotWrnObject& object = *objects_[static_cast<std::size_t>(id / k_)];
+  const Value t = object.wrn(ctx, id % k_, v);
+  return t != kBottom ? t : v;
+}
+
+}  // namespace subc

@@ -1,0 +1,32 @@
+#include "subc/checking/linearizability.hpp"
+
+#include <sstream>
+
+namespace subc {
+
+std::string format_linearization(const History& history,
+                                 const std::vector<std::size_t>& order) {
+  std::ostringstream os;
+  const auto& entries = history.entries();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const HistoryEntry& e = entries.at(order[pos]);
+    os << pos << ": p" << e.pid << " op(";
+    for (std::size_t i = 0; i < e.op.size(); ++i) {
+      os << (i ? "," : "") << to_string(e.op[i]);
+    }
+    os << ")";
+    if (!e.pending()) {
+      os << " -> (";
+      for (std::size_t i = 0; i < e.response.size(); ++i) {
+        os << (i ? "," : "") << to_string(e.response[i]);
+      }
+      os << ")";
+    } else {
+      os << " [linearized pending op]";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace subc

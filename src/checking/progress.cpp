@@ -1,0 +1,68 @@
+#include "subc/checking/progress.hpp"
+
+#include <sstream>
+
+#include "subc/runtime/scheduler.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+std::string format_set(const std::vector<int>& pids) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    os << (i ? "," : "") << pids[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+WaitFreedomReport check_wait_freedom(const WorldFactory& factory,
+                                     int num_processes, int rounds,
+                                     std::uint64_t seed,
+                                     std::int64_t max_steps) {
+  WaitFreedomReport report;
+  if (num_processes <= 0 || num_processes > 20) {
+    throw SimError("check_wait_freedom supports 1..20 processes");
+  }
+  const std::uint32_t subsets = 1u << num_processes;
+  for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+    std::vector<int> participants;
+    for (int pid = 0; pid < num_processes; ++pid) {
+      if (mask & (1u << pid)) {
+        participants.push_back(pid);
+      }
+    }
+    ++report.participation_sets_checked;
+    for (int round = 0; round < rounds; ++round) {
+      auto rt = factory(participants);
+      for (int pid = 0; pid < num_processes; ++pid) {
+        if (!(mask & (1u << pid))) {
+          rt->crash(pid);
+        }
+      }
+      RandomDriver driver(seed + static_cast<std::uint64_t>(mask) * 1000003u +
+                          static_cast<std::uint64_t>(round));
+      Runtime::RunResult result;
+      try {
+        result = rt->run(driver, max_steps);
+      } catch (const std::exception& e) {
+        report.violation = "participants " + format_set(participants) +
+                           ": run failed: " + e.what();
+        return report;
+      }
+      for (const int pid : participants) {
+        if (result.states[static_cast<std::size_t>(pid)] != ProcState::kDone) {
+          report.violation =
+              "participants " + format_set(participants) + ": process " +
+              std::to_string(pid) + " did not finish (state=" +
+              to_string(result.states[static_cast<std::size_t>(pid)]) + ")";
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace subc

@@ -1,0 +1,95 @@
+// Adopt-commit from registers — the classic graded-agreement building block
+// (Gafni 1998): a wait-free object weaker than consensus yet strong enough
+// to make repeated agreement attempts safe. Included as substrate because
+// it is the standard companion of safe agreement in BG-style constructions
+// and rounds out the sub-consensus toolbox this library catalogues.
+//
+// propose(v) returns (grade, value) with:
+//   * validity     — value was proposed;
+//   * coherence    — if any process returns (commit, v), every return is
+//                    (adopt, v) or (commit, v);
+//   * convergence  — if all proposals equal v, every return is (commit, v).
+//
+// Protocol (two-phase with an atomic snapshot per phase): announce in phase
+// A; scan; if all announced values agree, announce that value in phase B
+// with a "clean" flag, else with a conflict flag; scan phase B; commit iff
+// every phase-B entry is clean with the same value.
+#pragma once
+
+#include <vector>
+
+#include "subc/objects/snapshot.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Result grade of an adopt-commit round.
+enum class Grade : std::uint8_t { kAdopt, kCommit };
+
+/// One-shot adopt-commit object for up to `slots` proposers.
+class AdoptCommit {
+ public:
+  explicit AdoptCommit(int slots)
+      : phase_a_(slots, kBottom), phase_b_(slots, BEntry{}) {
+    if (slots < 1) {
+      throw SimError("AdoptCommit requires at least one slot");
+    }
+  }
+
+  struct Outcome {
+    Grade grade = Grade::kAdopt;
+    Value value = kBottom;
+
+    friend bool operator==(const Outcome&, const Outcome&) = default;
+  };
+
+  /// Proposes `v` from `slot`; wait-free (two updates + two scans).
+  Outcome propose(Context& ctx, int slot, Value v) {
+    if (v == kBottom) {
+      throw SimError("AdoptCommit: propose(⊥) is illegal");
+    }
+    phase_a_.update(ctx, slot, v);
+    const auto seen_a = phase_a_.scan(ctx);
+    bool unanimous = true;
+    for (const Value u : seen_a) {
+      unanimous = unanimous && (u == kBottom || u == v);
+    }
+    phase_b_.update(ctx, slot, BEntry{v, unanimous});
+    const auto seen_b = phase_b_.scan(ctx);
+
+    // Two clean entries can never carry different values: if P wrote clean
+    // w1 and Q clean w2 ≠ w1, whichever scanned phase A second saw both
+    // values and could not have been unanimous. So: adopt the (unique)
+    // clean value if any exists — coherence hinges on this — else keep our
+    // own; commit exactly when phase B is all-clean.
+    Value clean_value = kBottom;
+    bool any_dirty = false;
+    for (const BEntry& e : seen_b) {
+      if (e.value == kBottom) {
+        continue;
+      }
+      if (e.clean) {
+        clean_value = e.value;
+      } else {
+        any_dirty = true;
+      }
+    }
+    if (clean_value != kBottom && !any_dirty) {
+      return Outcome{Grade::kCommit, clean_value};
+    }
+    return Outcome{Grade::kAdopt,
+                   clean_value != kBottom ? clean_value : v};
+  }
+
+ private:
+  struct BEntry {
+    Value value = kBottom;
+    bool clean = false;
+  };
+
+  AtomicSnapshot<Value> phase_a_;
+  AtomicSnapshot<BEntry> phase_b_;
+};
+
+}  // namespace subc

@@ -1,0 +1,102 @@
+// The Borowsky–Gafni simulation (STOC '93) — the machinery behind the
+// papers' reference [9] (strong set election from set election) and behind
+// the Theorem 41 lower bound ([8, 10, 16]).
+//
+// m *simulators* jointly execute an n-process full-information protocol so
+// that every simulator observes the SAME simulated execution. Every
+// simulated nondeterministic step (the input a simulated process starts
+// with; the snapshot view each of its rounds receives) is funneled through
+// a safe-agreement object: any simulator may propose its local candidate,
+// and the agreed outcome is adopted by everyone. Safe agreement is
+// wait-free except when a proposer crashes inside its unsafe window — so a
+// crashed simulator blocks at most ONE simulated process (the one whose
+// agreement it was mid-proposing), which is the heart of BG: f crashed
+// simulators stall at most f simulated processes.
+//
+// The simulated protocol here is the classic quorum-min set-consensus
+// protocol T3, which solves (n, k)-set consensus (k−1)-resiliently:
+//   write your input; repeatedly snapshot until ≥ n−k+1 inputs are
+//   visible; decide the minimum input seen.
+// (Agreement: snapshot views are totally ordered and of size ≥ n−k+1, so
+// the decided minima take at most k distinct values.)
+//
+// The headline theorem, executable (tests/bg_simulation_test.cpp):
+// m simulators with at most k−1 crash failures wait-free solve k-set
+// consensus among themselves by simulating T3 — and the simulated
+// executions observed by all simulators are identical.
+#pragma once
+
+#include <vector>
+
+#include "subc/algorithms/safe_agreement.hpp"
+#include "subc/objects/snapshot.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// One BG simulation instance: `simulators` processes jointly run the
+/// n-process quorum-min protocol with quorum n−k+1.
+class BgSimulation {
+ public:
+  /// `simulators` — number of simulating processes (slots);
+  /// `n` — simulated processes; `k` — target set-consensus agreement.
+  BgSimulation(int simulators, int n, int k);
+
+  /// Runs simulator `s` (∈ [0, simulators)) with its private `input`;
+  /// returns the adopted decision. Wait-free as long as at most k−1
+  /// simulators crash mid-agreement; throws SimError when the iteration
+  /// budget is exhausted (more crashes than the simulation tolerates).
+  Value run_simulator(Context& ctx, int s, Value input,
+                      int max_iterations = 100'000);
+
+  [[nodiscard]] int simulators() const noexcept { return m_; }
+  [[nodiscard]] int simulated_processes() const noexcept { return n_; }
+  [[nodiscard]] int agreement() const noexcept { return k_; }
+  [[nodiscard]] int quorum() const noexcept { return n_ - k_ + 1; }
+
+  /// Post-run introspection (never call from process code): the agreed
+  /// simulated execution as observed by simulator `s` — input and view
+  /// history per simulated process. Used by tests to check that all
+  /// simulators observed identical executions.
+  struct SimulatedProcess {
+    Value input = kBottom;               ///< agreed input (⊥ = never agreed)
+    std::vector<std::vector<Value>> views;  ///< agreed snapshot per round
+    Value decision = kBottom;            ///< ⊥ = never completed
+  };
+  [[nodiscard]] const std::vector<SimulatedProcess>& observed(int s) const;
+
+ private:
+  using View = std::vector<Value>;
+
+  struct Local {
+    Value input = kBottom;  ///< this simulator's own input
+    /// Per simulated process: progress and proposals made.
+    std::vector<SimulatedProcess> procs;
+    std::vector<bool> proposed_input;
+    std::vector<bool> applied_input;  ///< wrote agreed input to sim memory
+    std::vector<int> proposed_view_rounds;  ///< rounds already proposed to
+    bool initialized = false;
+  };
+
+  /// Tries to advance simulated process `j` by one agreement; returns the
+  /// decision if `j` completed, ⊥ otherwise.
+  Value advance(Context& ctx, int s, int j, Local& local);
+
+  int m_;
+  int n_;
+  int k_;
+  int max_rounds_;
+
+  std::vector<SafeAgreementOf<Value>> input_agreement_;   // one per j
+  std::vector<std::vector<SafeAgreementOf<View>>> view_agreement_;  // [j][r]
+  /// The simulated shared memory: one cell per simulated process, holding
+  /// its (agreed) input write. Real atomic scans of this array are what
+  /// simulators propose as snapshot views — so all agreed views, across all
+  /// simulated processes and rounds, are totally ordered by containment,
+  /// which is exactly what T3's agreement argument needs.
+  AtomicSnapshot<Value> sim_memory_;
+  std::vector<Local> locals_;  // per-simulator private state
+};
+
+}  // namespace subc

@@ -1,0 +1,71 @@
+// Classic consensus constructions — the positive side of consensus-number
+// facts used throughout the papers:
+//   * 2-process consensus from swap / test&set / fetch&add / queue
+//     (Herlihy's constructions; these objects sit at level 2);
+//   * n-process consensus from an n-consensus object (trivial, level n);
+//   * n-process consensus from O_{n,k}'s component 0 (GAC(n,0));
+//   * the "write mine, read next" algorithm on WRN_k: it solves 2-process
+//     consensus for k = 2 (WRN_2 = SWAP) and *fails* for k ≥ 3 — the
+//     executable boundary of Theorem 1 / Lemma 38.
+//
+// Each helper is a per-process routine over shared objects owned by the
+// caller; announcement registers carry the proposals.
+#pragma once
+
+#include "subc/objects/consensus_object.hpp"
+#include "subc/objects/fetch_add.hpp"
+#include "subc/objects/onk.hpp"
+#include "subc/objects/queue.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/swap.hpp"
+#include "subc/objects/test_and_set.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Shared state for one 2-process consensus instance (announcement cells
+/// indexed by the 2-process role id 0/1).
+struct TwoConsensusShared {
+  RegisterArray<Value> announce{2, kBottom};
+};
+
+/// 2-consensus from swap: announce, swap own role id into the register;
+/// whoever finds ⊥ wins.
+Value consensus2_from_swap(Context& ctx, TwoConsensusShared& shared,
+                           SwapRegister& swap, int role, Value v);
+
+/// 2-consensus from test&set: announce, then T&S; the winner decides its
+/// own value.
+Value consensus2_from_tas(Context& ctx, TwoConsensusShared& shared,
+                          TestAndSet& tas, int role, Value v);
+
+/// 2-consensus from fetch&add: announce, then fetch_add(1); 0 wins.
+Value consensus2_from_fetch_add(Context& ctx, TwoConsensusShared& shared,
+                                FetchAdd& fa, int role, Value v);
+
+/// 2-consensus from a queue pre-loaded with a single winner token
+/// (construct the queue as FifoQueue{0}).
+Value consensus2_from_queue(Context& ctx, TwoConsensusShared& shared,
+                            FifoQueue& queue, int role, Value v);
+
+/// n-consensus from the n-consensus base object.
+Value consensus_from_object(Context& ctx, ConsensusObject& object, Value v);
+
+/// n-consensus from O_{n,k}: propose on component 0 (= GAC(n,0)).
+Value consensus_from_onk(Context& ctx, OnkObject& object, Value v);
+
+/// The "write mine, read next" 2-process protocol on WRN_k: role b invokes
+/// WRN(b, v) and decides the returned value (its own when ⊥). Solves
+/// consensus iff k = 2; for k ≥ 3 the explorer exhibits disagreement
+/// (tests/consensus_number_test.cpp, bench_t5).
+Value consensus2_attempt_from_wrn(Context& ctx, WrnObject& wrn, int role,
+                                  Value v);
+
+/// The analogous (n+1)-process attempt on GAC(n, i): everyone proposes and
+/// decides the returned value. Solves consensus for ≤ n processes; fails
+/// for n+1.
+Value consensus_attempt_from_gac(Context& ctx, GacObject& gac, Value v);
+
+}  // namespace subc

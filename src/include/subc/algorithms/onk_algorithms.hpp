@@ -1,0 +1,84 @@
+// Algorithms over the reconstructed O_{n,k} objects (PODC 2016, DESIGN.md
+// §4): the optimal-partition set-consensus construction whose agreement
+// matches `onk_best_agreement`, realizing the positive side of the 2016
+// hierarchy — O_{n,k+1} achieves agreement k+1 at N_k = nk+n+k processes
+// (one fresh component GAC(n,k) instance) while O_{n,k}'s optimum is k+2.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "subc/core/hierarchy.hpp"
+#include "subc/objects/onk.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// The positive half of the 2016 hierarchy statement, as an executable
+/// adapter: O_{n,k} implemented from an O_{n,k'} instance for any k' ≥ k
+/// (component subset — the stronger object trivially provides the weaker
+/// interface). The negative half (k' < k fails at N_{k'} processes) is the
+/// separation checked by bench_t4.
+class OnkFromStronger {
+ public:
+  /// Wraps `stronger` (an O_{n,k'} with k' >= weaker_k) as an O_{n,weaker_k}.
+  OnkFromStronger(OnkObject& stronger, int weaker_k)
+      : stronger_(stronger), k_(weaker_k) {
+    if (weaker_k < 1 || weaker_k > stronger.k()) {
+      throw SimError("OnkFromStronger requires 1 <= weaker k <= stronger k");
+    }
+  }
+
+  /// O_{n,weaker_k}'s propose: forwarded unchanged (components 0..k−1 of
+  /// the stronger object are exactly the weaker object's components).
+  Value propose(Context& ctx, int component, Value v) {
+    if (component < 0 || component >= k_) {
+      throw SimError("OnkFromStronger: component out of range");
+    }
+    return stronger_.propose(ctx, component, v);
+  }
+
+  [[nodiscard]] int n() const noexcept { return stronger_.n(); }
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+ private:
+  OnkObject& stronger_;
+  int k_;
+};
+
+/// (procs, x)-set consensus for processes {0..procs−1} from O_{n,k}
+/// instances, where x = onk_best_agreement(n, k, procs). Each group of the
+/// DP-optimal partition gets a fresh O_{n,k} instance and proposes on the
+/// group's component.
+class OnkSetConsensus {
+ public:
+  OnkSetConsensus(int n, int k, int procs);
+
+  /// Process `id` proposes `v`; returns its decision.
+  Value propose(Context& ctx, int id, Value v);
+
+  /// The agreement bound this construction guarantees.
+  [[nodiscard]] int agreement() const;
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int procs() const noexcept { return procs_; }
+
+  /// The partition used: (component, group size) per group.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& partition()
+      const noexcept {
+    return partition_;
+  }
+
+ private:
+  int n_;
+  int k_;
+  int procs_;
+  std::vector<std::pair<int, int>> partition_;
+  /// assignment_[pid] = {object index, component}.
+  std::vector<std::pair<int, int>> assignment_;
+  std::vector<std::unique_ptr<OnkObject>> objects_;
+};
+
+}  // namespace subc

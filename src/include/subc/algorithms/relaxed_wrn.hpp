@@ -1,0 +1,38 @@
+// Algorithm 4: a relaxed WRN_k from one 1sWRN_k object and counters.
+//
+// The one-shot object is protected by a counter per index (the "flag
+// principle"): a caller increments its index's counter, reads it back, and
+// invokes the inner 1sWRN only when it read exactly 1 — otherwise it cannot
+// rule out a concurrent user of the same index and conservatively returns ⊥.
+// Claims 19–21: the inner object is always used legally, and when exactly k
+// processes arrive with k distinct indices every one of them reaches the
+// inner 1sWRN (so a round with an onto index assignment behaves like a real
+// WRN_k — the property Algorithm 3 needs).
+#pragma once
+
+#include <vector>
+
+#include "subc/objects/counter.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Algorithm 4's RlxWRN object.
+class RelaxedWrn {
+ public:
+  explicit RelaxedWrn(int k);
+
+  /// RlxWRN(i, v): returns the inner 1sWRN's answer when provably sole user
+  /// of index `i`, and ⊥ otherwise.
+  Value rlx_wrn(Context& ctx, int index, Value v);
+
+  [[nodiscard]] int k() const noexcept { return inner_.k(); }
+
+ private:
+  OneShotWrnObject inner_;
+  std::vector<Counter> counters_;
+};
+
+}  // namespace subc

@@ -1,0 +1,51 @@
+// Wait-free (2k−1)-renaming from registers (snapshot-based).
+//
+// Algorithm 3 assumes "wait-free algorithms ... that use registers only to
+// rename k processes from {0..M−1} to k unique names in the range
+// {0..2k−2}" (Afek–Merritt / Attiya et al.). We implement the classic
+// snapshot-based renaming: each process repeatedly announces (id, proposed
+// name); on a proposal collision it re-proposes the r-th smallest free name,
+// where r is the rank of its id among the announced ids. With at most k
+// participants every process terminates with a unique name in {0..2k−2}.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/objects/snapshot.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Shared state for one renaming instance. `slots` is the number of
+/// single-writer announcement cells (one per potential participant — pids in
+/// the simulated world); at most `k` of them may actually participate for
+/// the {0..2k−2} range guarantee.
+class SnapshotRenaming {
+ public:
+  /// `use_register_snapshot` selects the register-built snapshot (true, the
+  /// from-scratch substrate) or the atomic base object (false, faster).
+  SnapshotRenaming(int slots, bool use_register_snapshot = false);
+
+  /// Acquires a name. `slot` is this process's announcement cell (its pid);
+  /// `id` its (arbitrary, distinct) original name. Returns a name >= 0;
+  /// with at most k participants the name is < 2k−1.
+  int rename(Context& ctx, int slot, Value id);
+
+ private:
+  struct Cell {
+    Value id = kBottom;
+    int proposal = -1;  ///< -1 = none
+  };
+
+  std::vector<Cell> scan(Context& ctx);
+  void announce(Context& ctx, int slot, const Cell& cell);
+
+  // Exactly one of the two backings is used, chosen at construction.
+  std::unique_ptr<AtomicSnapshot<Cell>> atomic_;
+  std::unique_ptr<SnapshotFromRegisters<Cell>> registers_;
+};
+
+}  // namespace subc

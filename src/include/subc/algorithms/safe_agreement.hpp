@@ -1,0 +1,122 @@
+// Safe agreement from registers — the engine of the Borowsky–Gafni
+// simulation, which underlies both the strong-set-election construction the
+// papers cite ([9]) and the Theorem 41 lower bound machinery.
+//
+// Safe agreement is consensus weakened just enough to be wait-free
+// implementable from registers:
+//   * propose(v) always terminates (two snapshot-object steps);
+//   * resolve() either returns the agreed value or "not yet safe";
+//   * agreement & validity always hold among resolved values;
+//   * once every propose that entered the *unsafe window* (between its two
+//     steps) has left it, resolve() is guaranteed to succeed — so only a
+//     crash inside the window can block resolution forever.
+//
+// Protocol (Attiya–Welch, ch. 5 / Borowsky–Gafni 1993): proposer writes
+// (v, level 1), snapshots; if someone is at level 2 it retreats to level 0,
+// else advances to level 2. A resolver snapshots; if nobody is at level 1
+// (no one mid-window) and someone is at level 2, it returns the level-2
+// value with the smallest cell index — deterministic, so all resolvers
+// agree. Once a resolve has succeeded the level-2 set is frozen: any later
+// proposer's scan sees a level-2 entry and retreats.
+//
+// `SafeAgreementOf<T>` carries arbitrary payloads (the BG simulation agrees
+// on snapshot *views*); `SafeAgreement` is the Value-typed face with the
+// papers' ⊥ convention.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "subc/objects/snapshot.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Safe agreement over payload type `T` for up to `slots` proposers (one
+/// propose per slot).
+template <class T>
+class SafeAgreementOf {
+ public:
+  explicit SafeAgreementOf(int slots) : cells_(slots, Cell{}) {
+    if (slots < 1) {
+      throw SimError("SafeAgreement requires at least one slot");
+    }
+  }
+
+  /// Proposes `v` from `slot`. Always terminates (wait-free).
+  void propose(Context& ctx, int slot, T v) {
+    cells_.update(ctx, slot, Cell{v, 1});  // enter the unsafe window
+    const auto view = cells_.scan(ctx);
+    bool someone_safe = false;
+    for (const Cell& c : view) {
+      someone_safe = someone_safe || c.level == 2;
+    }
+    // Retreat if agreement already locked, else lock our own value.
+    cells_.update(ctx, slot, Cell{std::move(v), someone_safe ? 0 : 2});
+  }
+
+  /// Attempts to resolve; nullopt means "not safe yet, retry later".
+  std::optional<T> resolve(Context& ctx) {
+    const auto view = cells_.scan(ctx);
+    std::optional<T> winner;
+    for (const Cell& c : view) {
+      if (c.level == 1) {
+        return std::nullopt;  // someone is mid-window
+      }
+      if (c.level == 2 && !winner.has_value()) {
+        winner = c.value;  // smallest index at level 2
+      }
+    }
+    return winner;
+  }
+
+  /// Spins on resolve() until it succeeds. Terminates provided no proposer
+  /// crashed inside its unsafe window (the BG simulation's blocking
+  /// condition). `max_attempts` guards tests against genuine blocks.
+  T await(Context& ctx, int max_attempts = 1'000'000) {
+    for (int i = 0; i < max_attempts; ++i) {
+      auto v = resolve(ctx);
+      if (v.has_value()) {
+        return *std::move(v);
+      }
+    }
+    throw SimError("SafeAgreement::await exceeded its attempt budget "
+                   "(a proposer crashed in its unsafe window?)");
+  }
+
+ private:
+  struct Cell {
+    T value{};
+    int level = 0;  // 0 = out, 1 = unsafe window, 2 = locked
+  };
+
+  AtomicSnapshot<Cell> cells_;
+};
+
+/// Value-typed safe agreement with the papers' ⊥ convention: resolve()
+/// returns ⊥ while unsafe; propose(⊥) is illegal.
+class SafeAgreement {
+ public:
+  explicit SafeAgreement(int slots) : inner_(slots) {}
+
+  void propose(Context& ctx, int slot, Value v) {
+    if (v == kBottom) {
+      throw SimError("SafeAgreement: propose(⊥) is illegal");
+    }
+    inner_.propose(ctx, slot, v);
+  }
+
+  Value resolve(Context& ctx) {
+    return inner_.resolve(ctx).value_or(kBottom);
+  }
+
+  Value await(Context& ctx, int max_attempts = 1'000'000) {
+    return inner_.await(ctx, max_attempts);
+  }
+
+ private:
+  SafeAgreementOf<Value> inner_;
+};
+
+}  // namespace subc

@@ -1,0 +1,84 @@
+// Set election constructions (§2: k-set consensus ≡ k-set election).
+//
+//  * `SetElectionFromSc` — k-set election from a (n,k)-set-consensus object:
+//    every participant proposes its own pid.
+//  * `ElectionFromWrn` — (k,k−1)-set election from 1sWRN_k: Algorithm 2 with
+//    ids as proposals. Together with Algorithm 5 (which consumes strong set
+//    election) this closes the equivalence loop of Theorem 2 inside the
+//    simulator: 1sWRN_k → (k,k−1)-set election → [strong set election] →
+//    1sWRN_k.
+#pragma once
+
+#include "subc/algorithms/wrn_set_consensus.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/set_consensus_object.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// k-set election for n processes from a nondeterministic (n,k)-set-
+/// consensus object.
+class SetElectionFromSc {
+ public:
+  SetElectionFromSc(int n, int k) : object_(n, k) {}
+
+  /// Process `pid` runs the election; returns the elected pid.
+  Value elect(Context& ctx) {
+    return object_.propose(ctx, static_cast<Value>(ctx.pid()));
+  }
+
+ private:
+  SetConsensusObject object_;
+};
+
+/// (k,k−1)-set election for k processes with ids {0..k−1} from 1sWRN_k
+/// (Algorithm 2 electing ids).
+class ElectionFromWrn {
+ public:
+  explicit ElectionFromWrn(int k) : inner_(k) {}
+
+  /// Process with role `id` ∈ {0..k−1} elects; returns the elected id.
+  Value elect(Context& ctx, int id) {
+    return inner_.propose(ctx, id, static_cast<Value>(id));
+  }
+
+ private:
+  WrnSetConsensus inner_;
+};
+
+/// The converse direction of the [3] equivalence: k-set *consensus* from a
+/// k-set *election* primitive plus registers. Each process announces its
+/// value under its pid, elects, and adopts the announced value of the
+/// elected pid — which is guaranteed visible because election validity only
+/// ever elects a process that invoked the election (after announcing).
+///
+/// `Election` is any callable Value(Context&, int pid) with k-set-election
+/// semantics; the class is generic so the conversion composes with every
+/// election in the library (the atomic object, ElectionFromWrn, ...).
+template <class Election>
+class SetConsensusFromElection {
+ public:
+  SetConsensusFromElection(int n, Election election)
+      : announce_(n, kBottom), election_(std::move(election)) {}
+
+  /// Process `pid` proposes `v`; returns a decision with the election's
+  /// agreement bound and set-consensus validity.
+  Value propose(Context& ctx, int pid, Value v) {
+    announce_[pid].write(ctx, v);
+    const Value leader = election_(ctx, pid);
+    const Value decision = announce_[static_cast<int>(leader)].read(ctx);
+    if (decision == kBottom) {
+      throw SpecViolation(
+          "election returned a pid that never announced — election validity "
+          "broken");
+    }
+    return decision;
+  }
+
+ private:
+  RegisterArray<Value> announce_;
+  Election election_;
+};
+
+}  // namespace subc

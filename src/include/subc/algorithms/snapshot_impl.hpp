@@ -1,0 +1,113 @@
+// Wait-free atomic snapshot from single-writer registers
+// (Afek–Attiya–Dolev–Gafni–Merritt–Shavit, JACM 1993; unbounded-sequence-
+// number variant).
+//
+// Snapshot adds no synchronization power over registers — which is why the
+// papers freely use Snapshot(R) as a primitive (Algorithm 5). This
+// implementation substantiates that: `SnapshotFromRegisters` is
+// interchangeable with the atomic base object `AtomicSnapshot`
+// (tests/snapshot_test.cpp checks both against the same validators).
+//
+// Protocol: each cell is a register holding (value, seq, embedded view).
+//   scan: repeatedly double-collect; if two collects agree on all seqs the
+//         second collect is an atomic view ("direct" scan). Otherwise any
+//         writer seen moving twice has completed a full update() inside our
+//         scan — its embedded view is a legal snapshot ("borrowed" scan).
+//   update(i, v): view = scan(); write (v, seq+1, view) to cell i.
+// Every scan terminates within n+1 double-collects (at most n writers can
+// move once before one moves twice).
+#pragma once
+
+#include <vector>
+
+#include "subc/objects/register.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Wait-free linearizable snapshot built only from registers. Cell `i` must
+/// be updated by a single process (single-writer), as in the model.
+template <class T = Value>
+class SnapshotFromRegisters {
+ public:
+  SnapshotFromRegisters(int size, T initial) : initial_(initial) {
+    if (size <= 0) {
+      throw SimError("SnapshotFromRegisters size must be positive");
+    }
+    cells_.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      cells_.emplace_back(Cell{initial, 0, {}});
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(cells_.size());
+  }
+
+  /// Wait-free linearizable scan.
+  std::vector<T> scan(Context& ctx) {
+    std::vector<bool> moved(cells_.size(), false);
+    std::vector<Cell> previous = collect(ctx);
+    for (;;) {
+      std::vector<Cell> current = collect(ctx);
+      bool clean = true;
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (current[i].seq != previous[i].seq) {
+          clean = false;
+          if (moved[i]) {
+            // Cell i's writer completed an entire update() during our scan;
+            // its embedded view is a snapshot linearized inside our
+            // interval.
+            return current[i].view;
+          }
+          moved[i] = true;
+        }
+      }
+      if (clean) {
+        std::vector<T> values;
+        values.reserve(cells_.size());
+        for (const Cell& c : current) {
+          values.push_back(c.value);
+        }
+        return values;
+      }
+      previous = std::move(current);
+    }
+  }
+
+  /// Wait-free update of cell `i` (single writer per cell).
+  void update(Context& ctx, int i, T v) {
+    if (i < 0 || i >= size()) {
+      throw SimError("SnapshotFromRegisters index out of range");
+    }
+    std::vector<T> view = scan(ctx);
+    // Cell i is single-writer: its writer always knows its own sequence
+    // number, so this peek models process-local memory, not a shared read.
+    const std::int64_t seq =
+        cells_[static_cast<std::size_t>(i)].peek().seq + 1;
+    cells_[static_cast<std::size_t>(i)].write(
+        ctx, Cell{std::move(v), seq, std::move(view)});
+  }
+
+ private:
+  struct Cell {
+    T value;
+    std::int64_t seq = 0;
+    std::vector<T> view;  ///< snapshot embedded by the writer
+  };
+
+  std::vector<Cell> collect(Context& ctx) {
+    std::vector<Cell> out;
+    out.reserve(cells_.size());
+    for (auto& cell : cells_) {
+      out.push_back(cell.read(ctx));
+    }
+    return out;
+  }
+
+  T initial_;
+  std::vector<Register<Cell>> cells_;
+};
+
+}  // namespace subc

@@ -1,0 +1,204 @@
+// Herlihy's universal construction: n-consensus objects are universal for
+// n processes.
+//
+// The papers' framing rests on this fact ("Herlihy also showed that
+// n-consensus objects are universal for n processes, meaning that, for n
+// processes, any other object can be implemented wait-free using
+// n-consensus objects"). This module makes it executable: a linearizable,
+// wait-free implementation of ANY sequential object for n processes from
+// n-consensus base objects and registers.
+//
+// Construction (log + round-robin helping):
+//  * the implemented object is a log of operations; entry t is agreed
+//    through the t-th n-consensus object (first proposal wins, each process
+//    proposes each slot at most once — within the object's n-propose
+//    budget);
+//  * to apply an operation, a process announces it in its announcement
+//    register, then walks the log: at slot t it proposes the announcement
+//    of process (t mod n) if that one is valid and not yet logged
+//    (round-robin helping — the wait-freedom device), else its own;
+//  * every proposer of slot t has already decided slots 0..t−1, so its
+//    "not yet logged" check is exact and the log never contains duplicates;
+//  * responses come from replaying the decided prefix against the
+//    sequential specification.
+//
+// Model hygiene: all cross-process information flows through the consensus
+// slots and registers. Each process keeps only a private cache of the slots
+// it has itself decided (learned through its own propose step).
+//
+// The sequential specification is the same Spec concept the linearizability
+// checker uses (State / initial / apply / key), so one spec drives the
+// implementation, the checker and the tests.
+#pragma once
+
+#include <vector>
+
+#include "subc/objects/consensus_object.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// A universal object for `n` processes over sequential spec `Spec`.
+/// `capacity` bounds the log length (the papers' bounded-use convention);
+/// exceeding it throws SimError.
+template <class Spec>
+class UniversalObject {
+ public:
+  UniversalObject(Spec spec, int n, int capacity)
+      : spec_(std::move(spec)), n_(n), capacity_(capacity) {
+    if (n < 1 || capacity < 1) {
+      throw SimError("UniversalObject requires n >= 1, capacity >= 1");
+    }
+    announce_.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      announce_.emplace_back(Announcement{});
+    }
+    slots_.reserve(static_cast<std::size_t>(capacity));
+    publish_.reserve(static_cast<std::size_t>(capacity));
+    for (int t = 0; t < capacity; ++t) {
+      slots_.emplace_back(n);
+      publish_.emplace_back(n, Entry{});
+    }
+    local_.resize(static_cast<std::size_t>(n));
+  }
+
+  /// Applies `op` for the calling process; returns the spec response.
+  /// Wait-free: completes within O(n) slots after announcing.
+  std::vector<Value> apply(Context& ctx, const std::vector<Value>& op) {
+    const int me = ctx.pid();
+    if (me < 0 || me >= n_) {
+      throw SimError("UniversalObject: pid outside configured range");
+    }
+    Local& local = local_[static_cast<std::size_t>(me)];
+    const Value seq = ++local.announce_seq;
+    announce_[static_cast<std::size_t>(me)].write(
+        ctx, Announcement{op, seq, true});
+
+    for (int t = static_cast<int>(local.log.size()); t < capacity_; ++t) {
+      const Entry decided = decide_slot(ctx, t, local);
+      if (decided.pid == me && decided.seq == seq) {
+        return replay_response(local, t);
+      }
+    }
+    throw SimError("UniversalObject capacity exhausted");
+  }
+
+  /// Post-run inspection only (never call from process code): the decided
+  /// log according to the process that advanced furthest.
+  [[nodiscard]] std::vector<std::pair<int, std::vector<Value>>> log() const {
+    const Local* best = nullptr;
+    for (const Local& local : local_) {
+      if (best == nullptr || local.log.size() > best->log.size()) {
+        best = &local;
+      }
+    }
+    std::vector<std::pair<int, std::vector<Value>>> out;
+    if (best != nullptr) {
+      for (const Entry& e : best->log) {
+        out.emplace_back(e.pid, e.op);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Announcement {
+    std::vector<Value> op;
+    Value seq = 0;
+    bool valid = false;
+  };
+
+  struct Entry {
+    int pid = -1;
+    Value seq = 0;
+    std::vector<Value> op;
+  };
+
+  struct Local {
+    std::vector<Entry> log;  ///< slots this process has decided, in order
+    Value announce_seq = 0;
+  };
+
+  bool in_log(const Local& local, int pid, Value seq) const {
+    for (const Entry& e : local.log) {
+      if (e.pid == pid && e.seq == seq) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Entry decide_slot(Context& ctx, int t, Local& local) {
+    const int me = ctx.pid();
+    // Candidate selection: help the round-robin target first, then self.
+    Entry candidate;
+    bool have = false;
+    for (const int pid : {t % n_, me}) {
+      const Announcement a =
+          announce_[static_cast<std::size_t>(pid)].read(ctx);
+      if (a.valid && !in_log(local, pid, a.seq)) {
+        candidate = Entry{pid, a.seq, a.op};
+        have = true;
+        break;
+      }
+    }
+    if (!have) {
+      // Both already logged (can happen only for the helped target — our
+      // own op cannot be logged or we would have returned): re-propose our
+      // own current announcement; it loses to the real winner or, if it
+      // wins, replay's duplicate filter is the safety net.
+      const Announcement mine =
+          announce_[static_cast<std::size_t>(me)].read(ctx);
+      candidate = Entry{me, mine.seq, mine.op};
+    }
+    // Publish the candidate in our slot-t cell (a write-once SWMR register),
+    // then propose our pid as the token; the winner's cell is read back.
+    publish_[static_cast<std::size_t>(t)][me].write(ctx, candidate);
+    const Value winner_pid =
+        slots_[static_cast<std::size_t>(t)].propose(ctx,
+                                                    static_cast<Value>(me));
+    const Entry winner =
+        publish_[static_cast<std::size_t>(t)][static_cast<int>(winner_pid)]
+            .read(ctx);
+    local.log.push_back(winner);
+    return winner;
+  }
+
+  std::vector<Value> replay_response(const Local& local, int upto) const {
+    auto state = spec_.initial();
+    std::vector<Value> response;
+    std::vector<std::pair<int, Value>> seen;
+    for (int t = 0; t <= upto; ++t) {
+      const Entry& e = local.log[static_cast<std::size_t>(t)];
+      const std::pair<int, Value> id{e.pid, e.seq};
+      bool duplicate = false;
+      for (const auto& s : seen) {
+        duplicate = duplicate || s == id;
+      }
+      if (duplicate) {
+        continue;
+      }
+      seen.push_back(id);
+      std::vector<Value> r;
+      if (!spec_.apply(state, e.op, r)) {
+        throw SpecViolation("universal log contains an illegal operation");
+      }
+      if (t == upto) {
+        response = r;
+      }
+    }
+    return response;
+  }
+
+  Spec spec_;
+  int n_;
+  int capacity_;
+  std::vector<Register<Announcement>> announce_;   // SWMR, one per process
+  std::vector<ConsensusObject> slots_;             // one per log position
+  std::vector<RegisterArray<Entry>> publish_;      // [slot][pid] write-once
+  std::vector<Local> local_;                       // process-private state
+};
+
+}  // namespace subc

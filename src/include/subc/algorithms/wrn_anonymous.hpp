@@ -1,0 +1,72 @@
+// Algorithm 3: (k−1)-set consensus for k participants drawn from a large
+// name space, using WRN_k objects.
+//
+// The construction: (1) rename the ≤ k participants into {0..2k−2} using
+// registers only (subc/algorithms/renaming.hpp); (2) sweep a fixed sequence
+// of WRN_k instances W[ℓ], one per member f_ℓ of a function family
+// F ⊆ {0..2k−2} → {0..k−1}, invoking W[ℓ].WRN(f_ℓ(j), v); decide the first
+// non-⊥ answer, or the own proposal after a full sweep of ⊥'s.
+//
+// Correctness (Claims 11–18) only requires that for every possible set R of
+// k renamed names F contains a map sending R onto {0..k−1} (the ℓ* of
+// Claim 16). The paper uses the family of all maps; we default to a
+// *covering family* with exactly one onto-map per k-subset of {0..2k−2}
+// (C(2k−1, k) members — 10 for k=3 instead of 243), and offer the full
+// family for small k. Both satisfy Claim 16's premise; DESIGN.md records
+// the substitution.
+//
+// Because two renamed participants may collide under f_ℓ, the object at
+// round ℓ is Algorithm 4's RlxWRN (the paper's final form). A non-relaxed
+// variant backed by full WRN_k objects is available for comparison.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "subc/algorithms/relaxed_wrn.hpp"
+#include "subc/algorithms/renaming.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Which function family F backs the sweep.
+enum class FunctionFamily {
+  kCovering,  ///< one onto-map per k-subset of {0..2k−2}; C(2k−1,k) rounds
+  kFull,      ///< all maps {0..2k−2} → {0..k−1}; k^(2k−1) rounds (tiny k!)
+};
+
+/// Builds the chosen family for parameter k: maps_[ℓ][j] = f_ℓ(j).
+std::vector<std::vector<int>> make_function_family(int k, FunctionFamily kind);
+
+/// Algorithm 3. One instance serves one run with at most k participants out
+/// of `slots` potential processes (slots = world size; the slot doubles as
+/// the renaming announcement cell).
+class AnonymousSetConsensus {
+ public:
+  AnonymousSetConsensus(int k, int slots,
+                        FunctionFamily family = FunctionFamily::kCovering,
+                        bool relaxed = true);
+
+  /// Participant at `slot` with original name `id` proposes `v`.
+  Value propose(Context& ctx, int slot, Value id, Value v);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  /// Number of sweep rounds |F|.
+  [[nodiscard]] int rounds() const noexcept {
+    return static_cast<int>(maps_.size());
+  }
+  [[nodiscard]] const std::vector<std::vector<int>>& family() const noexcept {
+    return maps_;
+  }
+
+ private:
+  int k_;
+  SnapshotRenaming renaming_;
+  std::vector<std::vector<int>> maps_;
+  std::vector<std::unique_ptr<RelaxedWrn>> relaxed_objects_;
+  std::vector<std::unique_ptr<WrnObject>> plain_objects_;
+};
+
+}  // namespace subc

@@ -1,0 +1,91 @@
+// Algorithm 5: a linearizable implementation of 1sWRN_k from (k,k−1)-strong
+// set election, registers and snapshots — the Section 5 construction behind
+// Theorem 2's "(k,k−1)-set consensus implements 1sWRN_k" direction.
+//
+// Structure (pseudocode lines in comments in the .cpp):
+//   * announce the value in R[i];
+//   * pass through a doorway register; entrants run the strong set election
+//     and the winners (SSE.Invoke(i) = i) return ⊥ — this pins down a first
+//     linearized operation;
+//   * everyone else double-snapshots: SR = Snapshot(R) (the values seen),
+//     publish SR in O[i], SO = Snapshot(O) (the views others saw). If some
+//     view in SO contains our value but not our successor's, our operation
+//     must linearize before the successor's write — return ⊥; otherwise
+//     return SR[(i+1) mod k].
+//
+// Lemmas 22–37 prove linearizability; we machine-check it by recording every
+// operation in a History and running the Wing–Gong checker against
+// OneShotWrnSpec (tests/wrn_from_sse_test.cpp, bench_f2).
+//
+// The strong set election is provided by the atomic
+// `StrongSetElectionObject` (see DESIGN.md's substitution table: the paper
+// builds it from (k,k−1)-set consensus via [9]; Algorithm 5 relies only on
+// its interface). Snapshots can be the atomic base object or the
+// register-built implementation.
+#pragma once
+
+#include <memory>
+
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/objects/election_object.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/snapshot.hpp"
+#include "subc/runtime/history.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Algorithm 5's derived 1sWRN_k object. Preconditions as for 1sWRN: each
+/// index invoked at most once, values ≠ ⊥.
+class WrnFromSse {
+ public:
+  /// Construction knobs. The two `use_*` ablations reproduce §5's
+  /// counterexample discussion: disabling the doorway lets a later
+  /// invocation win the election after its successor already finished
+  /// (both return ⊥ — not linearizable); disabling the published-view check
+  /// (lines 14–20) re-enables the w1/w2/w3 ordering hazard. Both broken
+  /// variants are *demonstrated* non-linearizable by explorer-found
+  /// histories in tests/wrn_from_sse_test.cpp and bench_f2.
+  struct Options {
+    bool use_doorway = true;        ///< lines 7–12 of Algorithm 5
+    bool use_view_check = true;     ///< lines 14–20 of Algorithm 5
+    bool use_register_snapshots = false;  ///< ground snapshots in registers
+  };
+
+  WrnFromSse(int k, Options options);
+
+  /// `use_register_snapshots` backs Snapshot(R)/Snapshot(O) with the
+  /// register-built wait-free snapshot instead of the atomic base object.
+  explicit WrnFromSse(int k, bool use_register_snapshots = false)
+      : WrnFromSse(k, Options{true, true, use_register_snapshots}) {}
+
+  /// The implemented 1sWRN(i, v). When `history` is given, the operation's
+  /// invocation/response are recorded for linearizability checking.
+  Value one_shot_wrn(Context& ctx, int index, Value v,
+                     History* history = nullptr);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+ private:
+  using View = std::vector<Value>;
+
+  View snapshot_r(Context& ctx);
+  void publish_view(Context& ctx, int index, View view);
+  std::vector<View> snapshot_o(Context& ctx);
+
+  Value run_operation(Context& ctx, int index, Value v);
+
+  int k_;
+  Options options_;
+  StrongSetElectionObject sse_;
+  Register<Value> doorway_;
+
+  // Exactly one backing pair is active, chosen at construction.
+  std::unique_ptr<AtomicSnapshot<Value>> r_atomic_;
+  std::unique_ptr<AtomicSnapshot<View>> o_atomic_;
+  std::unique_ptr<SnapshotFromRegisters<Value>> r_regs_;
+  std::unique_ptr<SnapshotFromRegisters<View>> o_regs_;
+};
+
+}  // namespace subc

@@ -1,0 +1,66 @@
+// Algorithms 2 and 6: set consensus from WRN_k / 1sWRN_k objects.
+//
+// Algorithm 2 — (k−1)-set consensus for k processes with ids {0..k−1} from a
+// single WRN_k object: process P_i performs t = WRN(i, v_i) and decides t if
+// t ≠ ⊥, its own v_i otherwise. (Claims 3–9: wait-free, validity,
+// (k−1)-agreement.) Since each index is used once, the one-shot object
+// suffices — and Corollary 10 follows: WRN_k is strictly stronger than
+// registers.
+//
+// Algorithm 6 — m-set consensus for n processes with ids {0..n−1} from
+// ⌈n/k⌉ WRN_k objects: process i invokes object ⌊i/k⌋ with index i mod k.
+// Lemma 39 / Corollary 40: the construction achieves the set-consensus
+// ratio (k−1)/k ≤ m/n.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Algorithm 2. One instance serves one run of the task for k processes.
+class WrnSetConsensus {
+ public:
+  /// `one_shot` selects the 1sWRN_k backing (default, as the paper notes is
+  /// sufficient) or the full WRN_k object.
+  explicit WrnSetConsensus(int k, bool one_shot = true);
+
+  /// Process `id` ∈ {0..k−1} proposes `v`; returns its decision.
+  Value propose(Context& ctx, int id, Value v);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  /// Agreement bound: k−1 when all k participate with distinct proposals.
+  [[nodiscard]] int agreement() const noexcept { return k_ - 1; }
+
+ private:
+  int k_;
+  std::unique_ptr<OneShotWrnObject> one_shot_;
+  std::unique_ptr<WrnObject> multi_;
+};
+
+/// Algorithm 6. One instance serves n processes.
+class WrnRatioSetConsensus {
+ public:
+  WrnRatioSetConsensus(int n, int k);
+
+  /// Process `id` ∈ {0..n−1} proposes `v`; returns its decision.
+  Value propose(Context& ctx, int id, Value v);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// The agreement m this construction guarantees:
+  /// (k−1)·⌊n/k⌋ + min(k−1, n mod k).
+  [[nodiscard]] int agreement() const noexcept;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::unique_ptr<OneShotWrnObject>> objects_;
+};
+
+}  // namespace subc

@@ -1,0 +1,152 @@
+// Wing–Gong linearizability checking with memoization.
+//
+// Base objects in the simulator are atomic by construction; this checker
+// validates *implemented* objects (notably the 1sWRN_k built by Algorithm 5)
+// against a sequential specification. The history comes from
+// subc/runtime/history.hpp; timestamps reflect real-time order.
+//
+// Spec concept (see OneShotWrnSpec for a model):
+//   struct Spec {
+//     struct State;                       // copyable
+//     State initial() const;
+//     bool apply(State&, const std::vector<Value>& op,
+//                std::vector<Value>& response) const;  // false = illegal
+//     std::string key(const State&) const;            // memoization key
+//   };
+//
+// Semantics follow the papers' §2 definition of linearizability: a legal
+// sequential ordering of all *completed* operations plus a (possibly empty)
+// subset of the uncompleted ones, respecting real-time order, with every
+// response consistent with the spec. Pending operations may be linearized
+// (their effect visible, any legal response) or dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "subc/runtime/history.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+struct LinearizationResult {
+  bool linearizable = false;
+  /// Indices into the history, in linearization order (completed ops plus
+  /// any linearized pending ops). Valid when `linearizable`.
+  std::vector<std::size_t> order;
+  /// Diagnostic on failure.
+  std::string message;
+};
+
+namespace detail {
+
+/// Real-time precedence: a must linearize before b.
+inline bool precedes(const HistoryEntry& a, const HistoryEntry& b) {
+  return !a.pending() && a.responded_at < b.invoked_at;
+}
+
+}  // namespace detail
+
+/// Checks `history` against `spec`. Exponential in the number of overlapping
+/// operations; intended for the short histories the simulator produces
+/// (tens of operations). Supports up to 64 operations.
+template <class Spec>
+LinearizationResult check_linearizable(const Spec& spec,
+                                       const std::vector<HistoryEntry>& h) {
+  LinearizationResult result;
+  const std::size_t n = h.size();
+  if (n > 64) {
+    result.message = "history too long (max 64 operations)";
+    return result;
+  }
+  const std::uint64_t all = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  std::uint64_t completed_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!h[i].pending()) {
+      completed_mask |= (1ULL << i);
+    }
+  }
+
+  // DFS over (linearized-set, spec state); memoize failed states.
+  std::unordered_set<std::string> failed;
+  std::vector<std::size_t> order;
+
+  // Recursive lambda via explicit stack-free recursion.
+  struct Frame {
+    const Spec& spec;
+    const std::vector<HistoryEntry>& h;
+    std::uint64_t all;
+    std::uint64_t completed_mask;
+    std::unordered_set<std::string>& failed;
+    std::vector<std::size_t>& order;
+
+    bool dfs(std::uint64_t done, const typename Spec::State& state) {
+      if ((done & completed_mask) == completed_mask) {
+        return true;  // all completed ops linearized; rest may be dropped
+      }
+      const std::string memo_key =
+          std::to_string(done) + "#" + spec.key(state);
+      if (failed.contains(memo_key)) {
+        return false;
+      }
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        const std::uint64_t bit = 1ULL << i;
+        if (done & bit) {
+          continue;
+        }
+        // i must not be preceded (in real time) by any other pending-to-
+        // linearize op.
+        bool minimal = true;
+        for (std::size_t j = 0; j < h.size(); ++j) {
+          if (j != i && !(done & (1ULL << j)) &&
+              detail::precedes(h[j], h[i])) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) {
+          continue;
+        }
+        typename Spec::State next = state;
+        std::vector<Value> response;
+        if (!spec.apply(next, h[i].op, response)) {
+          continue;  // op illegal here; try other linearization points
+        }
+        if (!h[i].pending() && response != h[i].response) {
+          continue;  // completed op must return exactly what it returned
+        }
+        order.push_back(i);
+        if (dfs(done | bit, next)) {
+          return true;
+        }
+        order.pop_back();
+      }
+      failed.insert(memo_key);
+      return false;
+    }
+  };
+
+  Frame frame{spec, h, all, completed_mask, failed, order};
+  if (frame.dfs(0, spec.initial())) {
+    result.linearizable = true;
+    result.order = order;
+  } else {
+    result.message = "no legal linearization exists";
+  }
+  return result;
+}
+
+/// Convenience: checks and throws `SpecViolation` (with the history dump)
+/// when not linearizable.
+template <class Spec>
+void require_linearizable(const Spec& spec, const History& history) {
+  const LinearizationResult r = check_linearizable(spec, history.entries());
+  if (!r.linearizable) {
+    throw SpecViolation("history not linearizable: " + r.message + "\n" +
+                        history.dump());
+  }
+}
+
+}  // namespace subc

@@ -1,0 +1,44 @@
+// Progress-property validators: wait-freedom and non-blocking behaviour.
+//
+// A task is solvable wait-free iff it is solvable non-blocking (§2 of the
+// paper), so for task solutions we check wait-freedom directly: under every
+// participation pattern, every scheduled process finishes. Starvation is
+// modelled by crashing the complement of a participation set before the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+
+namespace subc {
+
+/// Builds a fresh world for a progress check. Receives the participation
+/// set (pids that will be scheduled); returns a configured runtime. The
+/// callee must NOT crash anybody itself — the harness does.
+using WorldFactory =
+    std::function<std::unique_ptr<Runtime>(const std::vector<int>&)>;
+
+struct WaitFreedomReport {
+  std::int64_t participation_sets_checked = 0;
+  std::optional<std::string> violation;
+
+  [[nodiscard]] bool ok() const noexcept { return !violation.has_value(); }
+};
+
+/// Sweeps every non-empty participation subset of {0..num_processes-1}
+/// (capped; use for small process counts). For each subset S: builds a
+/// world, crashes the complement, runs `rounds` random schedules over S, and
+/// requires that every process in S terminates (`done`, not hung/blocked).
+WaitFreedomReport check_wait_freedom(const WorldFactory& factory,
+                                     int num_processes, int rounds = 20,
+                                     std::uint64_t seed = 1,
+                                     std::int64_t max_steps = 1'000'000);
+
+/// Formats a participation set for diagnostics, e.g. "{0,2,3}".
+std::string format_set(const std::vector<int>& pids);
+
+}  // namespace subc

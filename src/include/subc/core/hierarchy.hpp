@@ -1,0 +1,134 @@
+// The set-consensus implementability calculus.
+//
+// Theorem 41 (quoted in the sequel from Borowsky/Chaudhuri–Reiners and
+// completed by the PODC 2016 paper): wait-free implementability of
+// (n,k)-set consensus from (m,j)-set-consensus objects and registers is
+// characterized by the *partition bound*
+//
+//     k  ≥  j·⌊n/m⌋ + min(j, n mod m)
+//
+// — partition the n processes into ⌊n/m⌋ groups of m plus a remainder; each
+// group runs its own object and contributes at most j (or group size)
+// distinct outputs; the papers' lower bound says no algorithm beats the best
+// partition. This module provides the predicate, the optimal-partition
+// dynamic program that *constructively* matches it (cross-checked in tests
+// by brute force), the resulting hierarchy facts (Corollary 42 for
+// 1sWRN_k ≡ (k,k−1)-set consensus), and the power calculus of the
+// reconstructed O_{n,k} conjunction objects (DESIGN.md §4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace subc {
+
+// ---------------------------------------------------------------------------
+// (m,j)-set-consensus calculus (Theorem 41)
+// ---------------------------------------------------------------------------
+
+/// Minimal agreement k achievable for n processes by optimally partitioning
+/// them over (m,j)-set-consensus objects: j·⌊n/m⌋ + min(j, n mod m).
+int sc_partition_agreement(int n, int m, int j);
+
+/// Same quantity computed by dynamic programming over *all* partitions
+/// (any mix of group sizes) — used to verify the closed form.
+int sc_partition_agreement_dp(int n, int m, int j);
+
+/// Theorem 41 predicate: (n,k)-set consensus is wait-free implementable from
+/// (m,j)-set-consensus objects and registers in a system of n processes.
+bool sc_implementable(int n, int k, int m, int j);
+
+/// Consensus number of the (m,j)-set-consensus object: ⌊m/j⌋.
+int sc_consensus_number(int m, int j);
+
+// ---------------------------------------------------------------------------
+// 1sWRN hierarchy (Theorem 2 + Corollary 42)
+// ---------------------------------------------------------------------------
+
+/// Can 1sWRN_{k_target} be implemented from 1sWRN_{k_source} objects and
+/// registers (in a system of k_target processes)? Uses the paper's
+/// equivalence 1sWRN_k ≡ (k, k−1)-set consensus (Theorem 2).
+bool wrn_implementable_from(int k_target, int k_source);
+
+/// Corollary 42 in one call: for k < k', 1sWRN_{k'} is implementable from
+/// 1sWRN_k but not vice versa. Throws SpecViolation if the calculus
+/// disagrees (it never should).
+void check_wrn_hierarchy_pair(int k, int k_prime);
+
+// ---------------------------------------------------------------------------
+// O_{n,k} conjunction calculus (PODC 2016 reconstruction, DESIGN.md §4)
+// ---------------------------------------------------------------------------
+
+/// Capacity m_i = n(i+1)+i of component GAC(n,i).
+int onk_component_capacity(int n, int i);
+
+/// Agreement j_i = i+1 of component GAC(n,i).
+int onk_component_agreement(int i);
+
+/// Minimal number of distinct outputs achievable for `procs` processes using
+/// the components of O_{n,k} (GAC(n,0) .. GAC(n,k−1)), by the optimal
+/// partition (dynamic program).
+int onk_best_agreement(int n, int k, int procs);
+
+/// Brute-force cross-check of onk_best_agreement via explicit enumeration of
+/// multisets of groups (exponential; small instances only).
+int onk_best_agreement_bruteforce(int n, int k, int procs);
+
+/// The partition of `procs` processes achieving onk_best_agreement:
+/// a list of (component index, group size) assignments covering all procs.
+std::vector<std::pair<int, int>> onk_best_partition(int n, int k, int procs);
+
+/// The 2016 separation at N_k = nk+n+k processes: O_{n,k+1} achieves
+/// agreement k+1 there, O_{n,k} only k+2.
+struct OnkSeparation {
+  int n = 0;
+  int k = 0;
+  int system_size = 0;       ///< N_k = nk + n + k
+  int agreement_with_k = 0;  ///< best agreement of O_{n,k} at N_k
+  int agreement_with_k1 = 0; ///< best agreement of O_{n,k+1} at N_k
+
+  [[nodiscard]] bool separated() const noexcept {
+    return agreement_with_k1 < agreement_with_k;
+  }
+};
+
+/// Computes the separation data for (n, k).
+OnkSeparation onk_separation(int n, int k);
+
+/// Formats an implementability matrix row-wise for the benches:
+/// entry [a][b] is whether 1sWRN_{k_min+a} implements 1sWRN_{k_min+b}.
+std::string format_wrn_matrix(int k_min, int k_max);
+
+// ---------------------------------------------------------------------------
+// The unified power profile (experiment F7)
+// ---------------------------------------------------------------------------
+
+/// An object class whose synchronization power the calculus can evaluate:
+/// for each system size N, the best agreement x such that the class solves
+/// (N, x)-set consensus wait-free (with registers). Lower is stronger;
+/// x = N means "no better than registers", x = 1 means consensus for all N.
+struct ObjectClassProfile {
+  std::string name;
+  /// best_agreement[N-1] for N = 1..size.
+  std::vector<int> best_agreement;
+};
+
+/// Registers only: x = N (decide your own value; nothing better).
+ObjectClassProfile profile_registers(int max_procs);
+
+/// 1sWRN_k ≡ (k, k−1)-set consensus (Theorem 2): the partition calculus.
+ObjectClassProfile profile_wrn(int k, int max_procs);
+
+/// n-consensus objects: x = ⌈N/n⌉.
+ObjectClassProfile profile_consensus(int n, int max_procs);
+
+/// O_{n,k} (the 2016 conjunction object): the component DP.
+ObjectClassProfile profile_onk(int n, int k, int max_procs);
+
+/// Compare-and-swap (consensus number ∞): x = 1 everywhere.
+ObjectClassProfile profile_cas(int max_procs);
+
+/// A generic (m, j)-set-consensus object class.
+ObjectClassProfile profile_set_consensus(int m, int j, int max_procs);
+
+}  // namespace subc

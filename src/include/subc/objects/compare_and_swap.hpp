@@ -1,0 +1,44 @@
+// Compare-and-swap: the canonical object of infinite consensus number — the
+// top of Herlihy's hierarchy, included as the contrast class against the
+// sub-consensus objects this library is about.
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Register with an atomic compare-and-swap.
+class CompareAndSwap {
+ public:
+  explicit CompareAndSwap(Value initial = kBottom) : value_(initial) {}
+
+  /// Atomically: if value == expected, set to desired; returns the value
+  /// observed (== expected exactly when the swap took effect).
+  Value compare_and_swap(Context& ctx, Value expected, Value desired) {
+    ctx.sched_point();
+    const Value observed = value_;
+    if (observed == expected) {
+      value_ = desired;
+    }
+    return observed;
+  }
+
+  /// Atomic read.
+  Value read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+ private:
+  Value value_;
+};
+
+/// n-process consensus from a single CAS for any n (consensus number ∞):
+/// everyone CASes its value over ⊥; the observed value decides.
+inline Value consensus_from_cas(Context& ctx, CompareAndSwap& cas, Value v) {
+  const Value observed = cas.compare_and_swap(ctx, kBottom, v);
+  return observed == kBottom ? v : observed;
+}
+
+}  // namespace subc

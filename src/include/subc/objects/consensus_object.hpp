@@ -1,0 +1,47 @@
+// The n-consensus base object: deterministic, first proposal wins, and —
+// following the oblivious-model convention the papers use for set-consensus
+// objects — any propose beyond the n-th hangs the system undetectably.
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Deterministic n-consensus object. The first `propose` fixes the decision;
+/// the first n proposes return it; later proposes hang.
+class ConsensusObject {
+ public:
+  explicit ConsensusObject(int n) : n_(n) {
+    if (n <= 0) {
+      throw SimError("ConsensusObject requires n >= 1");
+    }
+  }
+
+  /// Proposes `v`; returns the object's decision (the first proposal).
+  Value propose(Context& ctx, Value v) {
+    if (v == kBottom) {
+      throw SimError("propose(⊥) is illegal");
+    }
+    ctx.sched_point();
+    if (proposals_ == n_) {
+      ctx.hang();
+    }
+    ++proposals_;
+    if (decision_ == kBottom) {
+      decision_ = v;
+    }
+    return decision_;
+  }
+
+  [[nodiscard]] int capacity() const noexcept { return n_; }
+
+ private:
+  int n_;
+  int proposals_ = 0;
+  Value decision_ = kBottom;
+};
+
+}  // namespace subc

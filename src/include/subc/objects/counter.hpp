@@ -1,0 +1,36 @@
+// An increment/read counter register, as used by Algorithm 4 (relaxed WRN):
+// "a simple atomic register that can be incremented and read (each operation
+// is a single step)".
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Counter with two atomic operations: `increment` (add one, no return) and
+/// `read`.
+class Counter {
+ public:
+  explicit Counter(Value initial = 0) : value_(initial) {}
+
+  /// Atomically adds one.
+  void increment(Context& ctx) {
+    ctx.sched_point();
+    ++value_;
+  }
+
+  /// Atomic read.
+  Value read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+  /// Post-run peek (never call from process code).
+  [[nodiscard]] Value peek() const noexcept { return value_; }
+
+ private:
+  Value value_;
+};
+
+}  // namespace subc

@@ -1,0 +1,70 @@
+// Strong set election as an atomic object.
+//
+// Algorithm 5 assumes a "(k, k-1)-strong set election implementation SSE",
+// which the paper obtains from (k, k-1)-set consensus via Borowsky–Gafni
+// [9]. Per the substitution table in DESIGN.md we provide the same
+// *interface* as an atomic object: a (n, k)-strong set election object
+// guarantees
+//   * validity     — every output is the id of some invoker,
+//   * k-agreement  — at most k distinct outputs,
+//   * self-election — if some invocation with id i returns j, then the
+//                     invocation with id j returned j.
+// The object is adversarially nondeterministic: an invocation may self-elect
+// while fewer than k ids have self-elected, or adopt any already
+// self-elected id; the adversary picks via Context::choose, so exhaustive
+// exploration covers every legal election outcome.
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Nondeterministic (n,k)-strong-set-election object. Ids are arbitrary
+/// values; each distinct id should invoke at most once (Algorithm 5
+/// guarantees this via its doorway). Invocations beyond the n-th hang.
+class StrongSetElectionObject {
+ public:
+  StrongSetElectionObject(int n, int k) : n_(n), k_(k) {
+    if (k < 1 || n < k) {
+      throw SimError("StrongSetElectionObject requires 1 <= k <= n");
+    }
+  }
+
+  /// Invokes the election with this process's `id`; returns the elected id.
+  Value invoke(Context& ctx, Value id) {
+    if (id == kBottom) {
+      throw SimError("invoke(⊥) is illegal");
+    }
+    ctx.sched_point();
+    if (invocations_ == n_) {
+      ctx.hang();
+    }
+    ++invocations_;
+    // Options: adopt any current winner; additionally self-elect while the
+    // winner budget (k) is not exhausted.
+    const bool may_self = static_cast<int>(winners_.size()) < k_;
+    const std::uint32_t arity =
+        static_cast<std::uint32_t>(winners_.size()) + (may_self ? 1u : 0u);
+    SUBC_ASSERT(arity >= 1);  // first invocation can always self-elect
+    const std::uint32_t pick = ctx.choose(arity);
+    if (may_self && pick == winners_.size()) {
+      winners_.push_back(id);
+      return id;
+    }
+    return winners_[pick];
+  }
+
+  [[nodiscard]] int capacity() const noexcept { return n_; }
+  [[nodiscard]] int agreement() const noexcept { return k_; }
+
+ private:
+  int n_;
+  int k_;
+  int invocations_ = 0;
+  std::vector<Value> winners_;
+};
+
+}  // namespace subc

@@ -1,0 +1,32 @@
+// Fetch-and-add register (consensus number 2).
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Register with an atomic fetch-and-add operation.
+class FetchAdd {
+ public:
+  explicit FetchAdd(Value initial = 0) : value_(initial) {}
+
+  /// Atomically adds `delta` and returns the previous value.
+  Value fetch_add(Context& ctx, Value delta) {
+    ctx.sched_point();
+    const Value previous = value_;
+    value_ += delta;
+    return previous;
+  }
+
+  /// Atomic read.
+  Value read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+ private:
+  Value value_;
+};
+
+}  // namespace subc

@@ -1,0 +1,83 @@
+// The reconstructed O_{n,k} family from the PODC 2016 paper
+// ("Deterministic Objects: Life Beyond Consensus") — see DESIGN.md §4.
+//
+// Building block: the deterministic cyclic-group-arrival object GAC(n, i),
+// a de-randomized (m_i, j_i)-set-consensus solver with
+//     m_i = n·(i+1) + i = (n+1)(i+1) − 1,     j_i = i + 1.
+// Proposals are served strictly in arrival order:
+//   * arrival t ≤ n(i+1): belongs to block ⌊(t−1)/n⌋ and returns the
+//     proposal of the first arrival of its block (so any n processes sharing
+//     a fresh object occupy block 0 and reach consensus);
+//   * arrival t in (n(i+1), m_i]: wraps around and returns the proposal of
+//     arrival 1 (the same device as WRN's cyclic "read next" — it shaves the
+//     last distinct value so that ⌊m_i/j_i⌋ = n, keeping consensus number n);
+//   * arrival t > m_i hangs undetectably (the oblivious-model convention).
+// Among the first m_i arrivals at most j_i distinct values are returned:
+// one per block 0..i, nothing new from the wrap-around.
+//
+// GAC(n, 0) degenerates to the deterministic n-consensus object; GAC(1, i)
+// is the one-shot-WRN analogue at consensus level 1.
+//
+// O_{n,k} is the deterministic object offering components GAC(n, 0) (plain
+// n-consensus) through GAC(n, k−1): `propose(ctx, component, v)`. O_{n,k+1}
+// trivially implements O_{n,k} (component subset); the converse fails at
+// N_k = nk + n + k processes — the arithmetic of the 2016 statement
+// (machine-checked in core/hierarchy and bench_t4_onk_separation).
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Deterministic cyclic-group-arrival object GAC(n, i).
+class GacObject {
+ public:
+  GacObject(int n, int i);
+
+  /// Proposes `v`; returns the arrival-order-determined winner proposal.
+  Value propose(Context& ctx, Value v);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int level() const noexcept { return i_; }
+
+  /// m_i: invocation capacity before the object hangs.
+  [[nodiscard]] int capacity() const noexcept { return capacity_static(n_, i_); }
+  /// j_i: maximum number of distinct outputs.
+  [[nodiscard]] int agreement() const noexcept { return i_ + 1; }
+
+  static int capacity_static(int n, int i) noexcept {
+    return n * (i + 1) + i;
+  }
+
+ private:
+  int n_;
+  int i_;
+  std::vector<Value> arrivals_;
+};
+
+/// The conjunction object O_{n,k}: components GAC(n, 0) .. GAC(n, k−1).
+/// Fresh component state per object instance; algorithms use as many
+/// O_{n,k} instances as they need (oblivious model).
+class OnkObject {
+ public:
+  OnkObject(int n, int k);
+
+  /// Proposes `v` on component `component` ∈ [0, k).
+  Value propose(Context& ctx, int component, Value v);
+
+  /// Access to a component for direct use.
+  GacObject& component(int i);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+ private:
+  int n_;
+  int k_;
+  std::vector<GacObject> components_;
+};
+
+}  // namespace subc

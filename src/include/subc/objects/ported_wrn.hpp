@@ -1,0 +1,72 @@
+// The soft-wired reading of 1sWRN_k (§3's remark).
+//
+// The paper notes that the one-use-per-index requirement "is reminiscent of
+// the soft-wired model, in which there cannot be concurrency on a port",
+// and that 1sWRN_k could have been specified there instead of adding ad-hoc
+// usage assumptions to the oblivious object. This wrapper realizes that
+// reading: each index is a *port* bound to at most one process; binding is
+// explicit (`bind`), rebinding or using an unbound/foreign port is an API
+// error (a thrown SimError — a *detectable* misuse, unlike the oblivious
+// object's undetectable hang). Tests check the two objects agree on all
+// legal usage and differ exactly in how misuse manifests.
+#pragma once
+
+#include <vector>
+
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Soft-wired 1sWRN_k: ports must be bound before use; one port per
+/// process, one invocation per port.
+class PortedWrn {
+ public:
+  explicit PortedWrn(int k)
+      : inner_(k), owner_(static_cast<std::size_t>(k), kUnbound) {}
+
+  /// Binds `port` to the calling process. Process-local bookkeeping plus
+  /// one shared step (the binding registry write).
+  void bind(Context& ctx, int port) {
+    check_port(port);
+    ctx.sched_point();
+    auto& owner = owner_[static_cast<std::size_t>(port)];
+    if (owner != kUnbound) {
+      throw SimError("port " + std::to_string(port) + " already bound");
+    }
+    owner = ctx.pid();
+  }
+
+  /// The WRN operation through a bound port.
+  Value wrn(Context& ctx, int port, Value v) {
+    check_port(port);
+    // Ownership check is process-local (the binding was established
+    // happens-before by this process or the misuse is an API error anyway).
+    const int owner = owner_[static_cast<std::size_t>(port)];
+    if (owner == kUnbound) {
+      throw SimError("port " + std::to_string(port) + " not bound");
+    }
+    if (owner != ctx.pid()) {
+      throw SimError("port " + std::to_string(port) +
+                     " bound to another process");
+    }
+    return inner_.wrn(ctx, port, v);  // inner enforces one-shot semantics
+  }
+
+  [[nodiscard]] int k() const noexcept { return inner_.k(); }
+
+ private:
+  static constexpr int kUnbound = -1;
+
+  void check_port(int port) const {
+    if (port < 0 || port >= inner_.k()) {
+      throw SimError("port out of range");
+    }
+  }
+
+  OneShotWrnObject inner_;
+  std::vector<int> owner_;
+};
+
+}  // namespace subc

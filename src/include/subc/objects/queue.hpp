@@ -1,0 +1,41 @@
+// FIFO queue object (consensus number 2). Supports pre-loaded initial
+// contents for the classic 2-process consensus construction (the queue is
+// initialized with a single "winner" token).
+#pragma once
+
+#include <deque>
+#include <initializer_list>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Linearizable FIFO queue; `dequeue` on empty returns ⊥.
+class FifoQueue {
+ public:
+  FifoQueue() = default;
+  FifoQueue(std::initializer_list<Value> initial) : items_(initial) {}
+
+  /// Atomically appends `v`.
+  void enqueue(Context& ctx, Value v) {
+    ctx.sched_point();
+    items_.push_back(v);
+  }
+
+  /// Atomically removes and returns the head, or ⊥ when empty.
+  Value dequeue(Context& ctx) {
+    ctx.sched_point();
+    if (items_.empty()) {
+      return kBottom;
+    }
+    const Value head = items_.front();
+    items_.pop_front();
+    return head;
+  }
+
+ private:
+  std::deque<Value> items_;
+};
+
+}  // namespace subc

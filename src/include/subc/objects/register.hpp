@@ -1,0 +1,67 @@
+// Atomic read/write registers (multi-writer multi-reader) and register
+// arrays. The weakest objects in the hierarchy — consensus number 1 — and
+// the base currency of every construction in the papers.
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// A multi-writer multi-reader atomic register holding a `T`.
+/// `T` defaults to `Value`; composite payloads (e.g. the snapshot arrays
+/// Algorithm 5 announces in its `O[]` array) instantiate other `T`s.
+template <class T = Value>
+class Register {
+ public:
+  explicit Register(T initial = T{}) : value_(std::move(initial)) {}
+
+  /// Atomic read.
+  T read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+  /// Atomic write.
+  void write(Context& ctx, T v) {
+    ctx.sched_point();
+    value_ = std::move(v);
+  }
+
+  /// Non-step peek for validators/test assertions *after* a run. Never call
+  /// from process code: it would bypass the step model.
+  [[nodiscard]] const T& peek() const noexcept { return value_; }
+
+ private:
+  T value_;
+};
+
+/// A fixed-size array of independent atomic registers.
+template <class T = Value>
+class RegisterArray {
+ public:
+  RegisterArray(int size, T initial)
+      : regs_(static_cast<std::size_t>(size), Register<T>(initial)) {
+    if (size <= 0) {
+      throw SimError("RegisterArray size must be positive");
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(regs_.size());
+  }
+
+  Register<T>& operator[](int i) {
+    if (i < 0 || i >= size()) {
+      throw SimError("RegisterArray index out of range");
+    }
+    return regs_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<Register<T>> regs_;
+};
+
+}  // namespace subc

@@ -1,0 +1,69 @@
+// The nondeterministic (n,k)-set-consensus object, exactly as defined in the
+// papers' model section: its value is a set of at most k proposals plus a
+// propose count (to a maximum of n). The first propose adds its input to the
+// set; any later propose may nondeterministically add its input while the
+// set is smaller than k; each of the first n proposes nondeterministically
+// returns an element of the set; all subsequent proposes hang the system
+// undetectably. Nondeterminism is resolved adversarially through
+// `Context::choose`, so the exhaustive explorer enumerates every behaviour.
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Nondeterministic (n,k)-set-consensus object.
+class SetConsensusObject {
+ public:
+  SetConsensusObject(int n, int k) : n_(n), k_(k) {
+    if (k < 1 || n <= k) {
+      throw SimError("SetConsensusObject requires 1 <= k < n");
+    }
+  }
+
+  /// Proposes `v`; returns an adversarially chosen element of the value set.
+  Value propose(Context& ctx, Value v) {
+    if (v == kBottom) {
+      throw SimError("propose(⊥) is illegal");
+    }
+    ctx.sched_point();
+    if (proposals_ == n_) {
+      ctx.hang();
+    }
+    ++proposals_;
+    if (set_.empty()) {
+      set_.push_back(v);
+    } else if (static_cast<int>(set_.size()) < k_ && !contains(v)) {
+      // Adversary decides whether this proposal joins the value set.
+      if (ctx.choose(2) == 1) {
+        set_.push_back(v);
+      }
+    }
+    // Adversary picks which element of the set this propose returns.
+    const auto idx = ctx.choose(static_cast<std::uint32_t>(set_.size()));
+    return set_[idx];
+  }
+
+  [[nodiscard]] int capacity() const noexcept { return n_; }
+  [[nodiscard]] int agreement() const noexcept { return k_; }
+
+ private:
+  [[nodiscard]] bool contains(Value v) const {
+    for (const Value x : set_) {
+      if (x == v) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int n_;
+  int k_;
+  int proposals_ = 0;
+  std::vector<Value> set_;
+};
+
+}  // namespace subc

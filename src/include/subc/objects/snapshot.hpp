@@ -1,0 +1,57 @@
+// Atomic snapshot object: an array of single-writer cells with an atomic
+// scan of all of them. Snapshot is implementable wait-free from registers
+// (Afek–Attiya–Dolev–Gafni–Merritt–Shavit) and therefore adds no
+// synchronization power; Algorithm 5 uses it as a primitive. We provide it
+// both as an atomic base object (this header) and as a genuine wait-free
+// register implementation (subc/algorithms/snapshot_impl.hpp), and test that
+// the two are interchangeable.
+#pragma once
+
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Atomic single-writer snapshot: `update(i, v)` writes cell i (by
+/// convention only process/port i writes cell i), `scan()` atomically reads
+/// every cell.
+template <class T = Value>
+class AtomicSnapshot {
+ public:
+  AtomicSnapshot(int size, T initial)
+      : cells_(static_cast<std::size_t>(size), initial) {
+    if (size <= 0) {
+      throw SimError("AtomicSnapshot size must be positive");
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(cells_.size());
+  }
+
+  /// Atomically writes cell `i`.
+  void update(Context& ctx, int i, T v) {
+    check_index(i);
+    ctx.sched_point();
+    cells_[static_cast<std::size_t>(i)] = std::move(v);
+  }
+
+  /// Atomically reads all cells.
+  std::vector<T> scan(Context& ctx) {
+    ctx.sched_point();
+    return cells_;
+  }
+
+ private:
+  void check_index(int i) const {
+    if (i < 0 || i >= size()) {
+      throw SimError("AtomicSnapshot index out of range");
+    }
+  }
+
+  std::vector<T> cells_;
+};
+
+}  // namespace subc

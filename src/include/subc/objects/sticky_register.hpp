@@ -1,0 +1,45 @@
+// Sticky register (write-once register): the first write sticks, later
+// writes are ignored; reads return the stuck value or ⊥. Like compare&swap
+// it has infinite consensus number (Plotkin's sticky bit generalized) —
+// another top-of-hierarchy control class for the power map.
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Write-once register: `stick` returns the value that stuck.
+class StickyRegister {
+ public:
+  StickyRegister() = default;
+
+  /// Atomically writes `v` if nothing stuck yet; returns the stuck value.
+  Value stick(Context& ctx, Value v) {
+    if (v == kBottom) {
+      throw SimError("stick(⊥) is illegal");
+    }
+    ctx.sched_point();
+    if (value_ == kBottom) {
+      value_ = v;
+    }
+    return value_;
+  }
+
+  /// Atomic read (⊥ while nothing stuck).
+  Value read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+ private:
+  Value value_ = kBottom;
+};
+
+/// n-consensus from one sticky register, for any n.
+inline Value consensus_from_sticky(Context& ctx, StickyRegister& sticky,
+                                   Value v) {
+  return sticky.stick(ctx, v);
+}
+
+}  // namespace subc

@@ -1,0 +1,34 @@
+// Atomic swap register. The paper notes (§3) that WRN_2 *is* a SWAP object,
+// whose consensus number is 2 [Herlihy]; we provide the classic object both
+// for that boundary test and for general substrate completeness.
+#pragma once
+
+#include <utility>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Register with an atomic swap (write-and-return-previous) operation.
+class SwapRegister {
+ public:
+  explicit SwapRegister(Value initial = kBottom) : value_(initial) {}
+
+  /// Atomically writes `v` and returns the previous value.
+  Value swap(Context& ctx, Value v) {
+    ctx.sched_point();
+    return std::exchange(value_, v);
+  }
+
+  /// Atomic read.
+  Value read(Context& ctx) {
+    ctx.sched_point();
+    return value_;
+  }
+
+ private:
+  Value value_;
+};
+
+}  // namespace subc

@@ -1,0 +1,31 @@
+// Test-and-set: the canonical consensus-number-2 object.
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// One-shot test-and-set bit. `test_and_set` returns the previous value
+/// (false exactly once, for the winner).
+class TestAndSet {
+ public:
+  /// Atomically sets the bit and returns its previous value.
+  bool test_and_set(Context& ctx) {
+    ctx.sched_point();
+    const bool previous = set_;
+    set_ = true;
+    return previous;
+  }
+
+  /// Atomic read without setting.
+  bool read(Context& ctx) {
+    ctx.sched_point();
+    return set_;
+  }
+
+ private:
+  bool set_ = false;
+};
+
+}  // namespace subc

@@ -1,0 +1,104 @@
+// Write-and-Read-Next objects — the paper's central contribution (§3).
+//
+// WRN_k has a single operation WRN(i, v), i ∈ {0..k-1}, v ≠ ⊥: atomically
+// write v into slot i and return the current content of slot (i+1) mod k
+// (⊥ if never written). Algorithm 1 of the paper is its sequential spec.
+//
+// 1sWRN_k (OneShotWrn) is identical except every index may be used at most
+// once; a second invocation with the same index hangs the system
+// undetectably.
+//
+// For k = 2, WRN_2 is a SWAP object (consensus number 2). For k ≥ 3 the
+// paper proves consensus number 1 but strictly more power than registers —
+// the witness objects for the sub-consensus hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// The deterministic WRN_k object (Algorithm 1).
+class WrnObject {
+ public:
+  explicit WrnObject(int k);
+
+  /// Atomically: slot[i] = v; return slot[(i+1) mod k].
+  Value wrn(Context& ctx, int index, Value v);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// Post-run peek at a slot (never call from process code).
+  [[nodiscard]] Value peek(int index) const;
+
+ private:
+  int k_;
+  std::vector<Value> slots_;
+};
+
+/// The one-shot variant 1sWRN_k: reusing an index hangs undetectably.
+class OneShotWrnObject {
+ public:
+  explicit OneShotWrnObject(int k);
+
+  /// As WrnObject::wrn, but each index is usable at most once.
+  Value wrn(Context& ctx, int index, Value v);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+ private:
+  int k_;
+  std::vector<Value> slots_;
+  std::vector<bool> used_;
+};
+
+/// Sequential specification of 1sWRN_k for the linearizability checker
+/// (subc/checking/linearizability.hpp). Operations are encoded as
+/// {index, value}; responses as {returned value}. Applying a repeated index
+/// is illegal (the checker treats it as "this linearization is impossible").
+struct OneShotWrnSpec {
+  int k;
+
+  struct State {
+    std::vector<Value> slots;
+    std::vector<bool> used;
+  };
+
+  [[nodiscard]] State initial() const {
+    return State{std::vector<Value>(static_cast<std::size_t>(k), kBottom),
+                 std::vector<bool>(static_cast<std::size_t>(k), false)};
+  }
+
+  /// Applies op = {index, v}. Returns false when the op is illegal in this
+  /// state; otherwise fills `response` and mutates `state`.
+  bool apply(State& state, const std::vector<Value>& op,
+             std::vector<Value>& response) const {
+    SUBC_ASSERT(op.size() == 2);
+    const auto i = static_cast<std::size_t>(op[0]);
+    SUBC_ASSERT(op[0] >= 0 && op[0] < k);
+    if (state.used[i]) {
+      return false;
+    }
+    state.used[i] = true;
+    state.slots[i] = op[1];
+    response = {state.slots[(i + 1) % static_cast<std::size_t>(k)]};
+    return true;
+  }
+
+  /// Memoization key for the checker.
+  [[nodiscard]] std::string key(const State& state) const {
+    std::string s;
+    for (int i = 0; i < k; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      s += state.used[idx] ? 'U' : '.';
+      s += to_string(state.slots[idx]);
+      s += '|';
+    }
+    return s;
+  }
+};
+
+}  // namespace subc

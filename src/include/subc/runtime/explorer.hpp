@@ -1,0 +1,74 @@
+// Stateless exhaustive exploration of schedules and object nondeterminism.
+//
+// The papers' claims are ∀-statements over executions. For small instances
+// we check them on *every* execution: the explorer re-runs a user-supplied
+// world factory under a `ReplayDriver`, depth-first enumerating the full
+// tree of adversary decisions (scheduling ⊎ object nondeterminism). A
+// violation (any exception escaping the body) stops the search and is
+// reported together with the decision string that produced it, so failures
+// replay deterministically.
+//
+// For larger instances `RandomSweep` runs many seeded-random executions —
+// the standard randomized analogue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "subc/runtime/scheduler.hpp"
+
+namespace subc {
+
+/// Runs one complete execution of a freshly built world under `driver`.
+/// Build everything inside (runtime, objects, processes), run it, then
+/// validate — throw `SpecViolation` (or any exception) to flag a violation.
+using ExecutionBody = std::function<void(ScheduleDriver& driver)>;
+
+class Explorer {
+ public:
+  struct Options {
+    /// Stop (incomplete) after this many executions.
+    std::int64_t max_executions = 2'000'000;
+  };
+
+  struct Result {
+    std::int64_t executions = 0;
+    /// True when the decision tree was exhausted within the budget.
+    bool complete = false;
+    /// Set when an execution failed; `trace` replays it.
+    std::optional<std::string> violation;
+    std::vector<ReplayDriver::Decision> violating_trace;
+
+    /// Convenience: true iff no violation was found.
+    [[nodiscard]] bool ok() const noexcept { return !violation.has_value(); }
+  };
+
+  /// Exhaustively enumerates adversary decision strings (DFS).
+  static Result explore(const ExecutionBody& body, Options opts);
+  static Result explore(const ExecutionBody& body) {
+    return explore(body, Options{});
+  }
+
+  /// Re-runs a single execution following `trace` (from a prior violation).
+  static void replay(const ExecutionBody& body,
+                     std::vector<ReplayDriver::Decision> trace);
+};
+
+/// Randomized sweep: `runs` executions with seeds `first_seed .. first_seed
+/// + runs - 1`. Returns the first failing seed, or nullopt when all passed.
+struct RandomSweep {
+  struct Result {
+    std::int64_t runs = 0;
+    std::optional<std::uint64_t> failing_seed;
+    std::optional<std::string> violation;
+
+    [[nodiscard]] bool ok() const noexcept { return !failing_seed.has_value(); }
+  };
+
+  static Result run(const ExecutionBody& body, std::int64_t runs,
+                    std::uint64_t first_seed = 1);
+};
+
+}  // namespace subc

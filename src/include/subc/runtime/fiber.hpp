@@ -1,0 +1,67 @@
+// Cooperative fibers: the execution vehicle for simulated processes.
+//
+// Each simulated process runs on its own fiber (a ucontext with a private
+// stack). Exactly one fiber runs at a time; the simulation kernel resumes a
+// fiber to let it take one atomic step and the fiber yields back before its
+// next shared-memory operation (DESIGN.md §3). Abandoned fibers (crashed or
+// hung processes, or explorer backtracking) are kill-unwound so that RAII
+// state on their stacks is reclaimed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace subc {
+
+/// Thrown through a suspended fiber's stack by `Fiber::kill()` to unwind it.
+/// Deliberately not derived from `std::exception`: process code that catches
+/// `std::exception` (or anything else by type) will not swallow it, and the
+/// fiber trampoline catches it explicitly.
+struct FiberKilled {};
+
+/// A one-shot cooperative fiber.
+///
+/// Lifecycle: construct with an entry function; `resume()` runs the fiber
+/// until it calls `Fiber::yield()` or its entry returns; `finished()` reports
+/// completion. Destroying (or `kill()`ing) a suspended fiber resumes it one
+/// last time with a pending `FiberKilled`, unwinding its stack.
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&&) = delete;
+  Fiber& operator=(Fiber&&) = delete;
+
+  /// Runs the fiber until its next yield or until it finishes. Must be
+  /// called from outside the fiber. Rethrows any exception that escaped the
+  /// fiber's entry function.
+  void resume();
+
+  /// True once the entry function has returned (or the fiber was unwound).
+  [[nodiscard]] bool finished() const noexcept;
+
+  /// Unwinds a suspended fiber by resuming it with a pending `FiberKilled`.
+  /// No-op on a finished or never-started fiber. Exceptions thrown by
+  /// destructors during unwinding are dropped (kill is a last resort).
+  void kill() noexcept;
+
+  /// Suspends the currently running fiber, returning control to its resumer.
+  /// Must be called from inside a fiber. Throws `FiberKilled` when the fiber
+  /// is being unwound.
+  static void yield();
+
+ private:
+  struct Impl;
+  static void trampoline(unsigned hi, unsigned lo);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace subc

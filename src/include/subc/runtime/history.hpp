@@ -1,0 +1,57 @@
+// Operation histories of *implemented* (derived) objects.
+//
+// Base objects are atomic by construction, so only implemented objects (e.g.
+// the 1sWRN_k built by Algorithm 5 from strong set election, registers and
+// snapshots) need linearizability checking. Algorithm wrappers record each
+// high-level operation's invocation and response here; the checker
+// (subc/checking/linearizability.hpp) then searches for a legal sequential
+// ordering. Timestamps come from the recording order, which equals real-time
+// order because the simulation is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// One completed (or pending) high-level operation. `op` and `response` are
+/// small value tuples; their meaning is fixed by the sequential spec the
+/// history is checked against.
+struct HistoryEntry {
+  int pid = -1;
+  std::vector<Value> op;        ///< operation name/arguments, spec-defined
+  std::vector<Value> response;  ///< empty while pending
+  std::int64_t invoked_at = -1;
+  std::int64_t responded_at = -1;  ///< -1 while pending
+
+  [[nodiscard]] bool pending() const noexcept { return responded_at < 0; }
+};
+
+/// Append-only record of high-level operations.
+class History {
+ public:
+  /// Opens an operation; returns its handle.
+  std::size_t invoke(int pid, std::vector<Value> op);
+
+  /// Closes operation `handle` with its response.
+  void respond(std::size_t handle, std::vector<Value> response);
+
+  [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Number of completed operations.
+  [[nodiscard]] std::size_t completed() const noexcept;
+
+  /// Human-readable dump (one line per entry) for failure diagnostics.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<HistoryEntry> entries_;
+  std::int64_t clock_ = 0;
+};
+
+}  // namespace subc

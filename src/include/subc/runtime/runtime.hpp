@@ -1,0 +1,148 @@
+// The asynchronous shared-memory simulation kernel.
+//
+// A `Runtime` owns a set of simulated processes (fibers) and drives them one
+// atomic step at a time under the control of a `ScheduleDriver`. Shared
+// objects (src/objects/) mark the boundary of each atomic operation by
+// calling `Context::sched_point()` immediately before the operation body;
+// since exactly one fiber runs at a time, the body executes atomically and
+// the interleaving granularity is exactly one shared-memory step, as in the
+// papers' model (DESIGN.md §3).
+//
+// Progress/termination semantics:
+//  * `done`    — the process function returned.
+//  * `crashed` — the adversary stopped scheduling the process (models a
+//                non-participating or failed process).
+//  * `hung`    — the process invoked an operation that "hangs the system in
+//                a manner that cannot be detected" (set-consensus objects
+//                past their n-th propose, illegal 1sWRN reuse).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subc/runtime/scheduler.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+class Runtime;
+class Fiber;
+
+/// Per-process handle passed to process functions; the only way process code
+/// interacts with the kernel.
+class Context {
+ public:
+  /// This process's identifier (0-based, dense).
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+
+  /// Marks the boundary of the next atomic operation: suspends the process
+  /// until the scheduler grants it a step. Called by shared objects, not by
+  /// algorithm code.
+  void sched_point();
+
+  /// Resolves object nondeterminism adversarially: returns a driver-chosen
+  /// value in [0, arity). Must be called inside an atomic step.
+  std::uint32_t choose(std::uint32_t arity);
+
+  /// Records this process's task output. At most one decision per process.
+  void decide(Value v);
+
+  /// Hangs the process undetectably: it takes no further steps and is not
+  /// reported as done. Never returns (unwinds when the world is torn down).
+  [[noreturn]] void hang();
+
+  /// The owning runtime (for algorithm helpers that need global info).
+  [[nodiscard]] Runtime& runtime() const noexcept { return *runtime_; }
+
+ private:
+  friend class Runtime;
+  Context(Runtime* rt, int pid) : runtime_(rt), pid_(pid) {}
+
+  Runtime* runtime_;
+  int pid_;
+};
+
+/// Lifecycle state of a simulated process.
+enum class ProcState : std::uint8_t { kRunning, kDone, kHung, kCrashed };
+
+/// Returns a short name ("running", "done", ...).
+std::string to_string(ProcState s);
+
+/// A process body. Runs on its own fiber; communicates only through shared
+/// objects constructed against the same runtime.
+using ProcessFn = std::function<void(Context&)>;
+
+/// One simulated world: processes plus the schedule that drives them.
+/// Single-use — construct, add processes, `run` once.
+class Runtime {
+ public:
+  Runtime();
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a process; returns its pid. Must precede `run`.
+  int add_process(ProcessFn fn);
+
+  [[nodiscard]] int num_processes() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+
+  /// Result of driving a world to quiescence.
+  struct RunResult {
+    /// Per-process decision (kBottom where the process decided nothing).
+    std::vector<Value> decisions;
+    /// Per-process final state.
+    std::vector<ProcState> states;
+    /// Total scheduler grants issued.
+    std::int64_t total_steps = 0;
+    /// True when every non-crashed process finished (none hung, none still
+    /// runnable at the step bound).
+    bool quiescent = false;
+  };
+
+  /// Drives the world until no process is runnable or `max_steps` grants
+  /// have been issued. Throws `SimError` if the step bound is exceeded with
+  /// processes still runnable — for wait-free algorithms that indicates a
+  /// bug (or a genuinely blocking construction).
+  RunResult run(ScheduleDriver& driver, std::int64_t max_steps = 1'000'000);
+
+  /// Crashes a process: it is never scheduled again. May be called before or
+  /// during `run` (e.g. from a validator probing fault tolerance).
+  void crash(int pid);
+
+  /// Steps taken so far by `pid` (scheduler grants).
+  [[nodiscard]] std::int64_t steps_of(int pid) const;
+
+  /// Monotone per-run logical clock: total scheduler grants so far.
+  [[nodiscard]] std::int64_t now() const noexcept { return total_steps_; }
+
+  /// Decisions recorded so far (kBottom = none).
+  [[nodiscard]] const std::vector<Value>& decisions() const noexcept {
+    return decisions_;
+  }
+
+  /// Final state of `pid` (valid during and after `run`).
+  [[nodiscard]] ProcState state_of(int pid) const;
+
+ private:
+  friend class Context;
+
+  struct Proc;
+
+  void check_pid(int pid) const;
+  std::vector<int> runnable() const;
+  ScheduleDriver* driver_ = nullptr;
+
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<Value> decisions_;
+  std::int64_t total_steps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace subc

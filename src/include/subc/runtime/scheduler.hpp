@@ -1,0 +1,112 @@
+// Schedule drivers: the adversary.
+//
+// A driver makes two kinds of decisions during a simulated execution:
+//  * scheduling — which enabled process takes the next atomic step, and
+//  * object nondeterminism — the choice a nondeterministic base object makes
+//    inside a step (e.g. which element of its value set an (n,k)-set-
+//    consensus object returns).
+// Both are adversarial in the papers' model, so one driver object supplies
+// both. The exhaustive explorer (explorer.hpp) enumerates every decision
+// string; the drivers here provide round-robin, seeded-random and scripted
+// strategies for larger instances.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Supplies adversarial decisions. `pick` selects an index into the enabled
+/// set (never empty); `choose` resolves object nondeterminism with an
+/// arbitrary arity.
+class ScheduleDriver {
+ public:
+  virtual ~ScheduleDriver() = default;
+
+  /// Returns an index into `enabled` (the pids currently able to step,
+  /// in increasing pid order).
+  virtual std::size_t pick(std::span<const int> enabled) = 0;
+
+  /// Returns a value in [0, arity). `arity >= 1`.
+  virtual std::uint32_t choose(std::uint32_t arity) = 0;
+};
+
+/// Cycles through processes in pid order; object choices always take
+/// option 0. Deterministic; useful for smoke tests and benchmarks.
+class RoundRobinDriver final : public ScheduleDriver {
+ public:
+  std::size_t pick(std::span<const int> enabled) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+
+ private:
+  int last_pid_ = -1;
+};
+
+/// Uniformly random scheduling and object choices from a seeded PRNG.
+/// Identical seeds replay identical executions (given a deterministic
+/// world), so failures are reproducible from the seed alone.
+class RandomDriver final : public ScheduleDriver {
+ public:
+  explicit RandomDriver(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t pick(std::span<const int> enabled) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Follows a scripted pid sequence; when the scripted pid is not enabled (or
+/// the script is exhausted) falls back to the lowest enabled pid. Object
+/// choices take option 0. Used to drive the hand-constructed executions in
+/// the papers' proofs (e.g. the w1/w2/w3 scenario before Algorithm 5).
+class ScriptedDriver final : public ScheduleDriver {
+ public:
+  explicit ScriptedDriver(std::vector<int> pids) : pids_(std::move(pids)) {}
+
+  std::size_t pick(std::span<const int> enabled) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+
+ private:
+  std::vector<int> pids_;
+  std::size_t pos_ = 0;
+};
+
+/// Replays a recorded decision prefix and extends it with first options;
+/// records the arity of every decision point. This is the explorer's
+/// workhorse (stateless model checking): see explorer.hpp.
+class ReplayDriver final : public ScheduleDriver {
+ public:
+  struct Decision {
+    std::uint32_t chosen = 0;
+    std::uint32_t arity = 1;
+  };
+
+  ReplayDriver() = default;
+  explicit ReplayDriver(std::vector<Decision> prefix)
+      : trace_(std::move(prefix)), prefix_len_(trace_.size()) {}
+
+  std::size_t pick(std::span<const int> enabled) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+
+  /// Full decision string of the execution driven so far.
+  [[nodiscard]] const std::vector<Decision>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  std::uint32_t next(std::uint32_t arity);
+
+  std::vector<Decision> trace_;
+  std::size_t prefix_len_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Renders a decision string for diagnostics ("2/3 0/2 1/4 ...").
+std::string format_trace(std::span<const ReplayDriver::Decision> trace);
+
+}  // namespace subc

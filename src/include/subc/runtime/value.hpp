@@ -1,0 +1,63 @@
+// Core value and error types shared across the subconsensus library.
+//
+// The simulated shared-memory model (DESIGN.md §3) moves small scalar values
+// between processes and objects. We fix `Value` to a signed 64-bit integer
+// with a reserved bottom element; algorithms that need composite payloads
+// (e.g. the snapshot arrays announced in Algorithm 5) use templated registers
+// instead of widening `Value`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace subc {
+
+/// The value type carried by simulated shared objects and task decisions.
+using Value = std::int64_t;
+
+/// The distinguished "no value" element (the papers' ⊥).
+inline constexpr Value kBottom = std::numeric_limits<std::int64_t>::min();
+
+/// Returns a printable form of `v` ("⊥" for bottom).
+inline std::string to_string(Value v) {
+  return v == kBottom ? std::string("⊥") : std::to_string(v);
+}
+
+/// Error thrown when library API preconditions are violated by the caller
+/// (bad parameters, driving a finished runtime, and so on).
+class SimError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown when a simulated execution violates a sequential
+/// specification or a task property. Carries the offending context so tests
+/// can surface the violating schedule.
+class SpecViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ":" << line;
+  throw SimError(os.str());
+}
+}  // namespace detail
+
+/// Internal invariant check. Throws `SimError` (never aborts) so that the
+/// exhaustive explorer can attribute a failure to the schedule that caused
+/// it.
+#define SUBC_ASSERT(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::subc::detail::assert_fail(#expr, __FILE__, __LINE__);    \
+    }                                                            \
+  } while (false)
+
+}  // namespace subc

@@ -1,0 +1,59 @@
+// Umbrella header: the entire subconsensus library.
+//
+// Prefer the fine-grained headers in production code; this header exists
+// for exploratory use (examples, quick experiments, REPL-style hacking).
+//
+// Layer map (bottom to top):
+//   runtime/    — simulation kernel: fibers, scheduling, exploration
+//   objects/    — atomic base objects, incl. the papers' WRN_k / 1sWRN_k
+//                 and the reconstructed O_{n,k} components
+//   algorithms/ — wait-free constructions over the base objects
+//   core/       — task validators and the set-consensus calculus
+//   checking/   — linearizability and progress checking
+#pragma once
+
+#include "subc/runtime/explorer.hpp"
+#include "subc/runtime/fiber.hpp"
+#include "subc/runtime/history.hpp"
+#include "subc/runtime/runtime.hpp"
+#include "subc/runtime/scheduler.hpp"
+#include "subc/runtime/value.hpp"
+
+#include "subc/objects/compare_and_swap.hpp"
+#include "subc/objects/sticky_register.hpp"
+#include "subc/objects/consensus_object.hpp"
+#include "subc/objects/counter.hpp"
+#include "subc/objects/election_object.hpp"
+#include "subc/objects/fetch_add.hpp"
+#include "subc/objects/onk.hpp"
+#include "subc/objects/queue.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/set_consensus_object.hpp"
+#include "subc/objects/snapshot.hpp"
+#include "subc/objects/swap.hpp"
+#include "subc/objects/test_and_set.hpp"
+#include "subc/objects/wrn.hpp"
+
+#include "subc/algorithms/adopt_commit.hpp"
+#include "subc/algorithms/bg_simulation.hpp"
+#include "subc/algorithms/classic_consensus.hpp"
+#include "subc/algorithms/immediate_snapshot.hpp"
+#include "subc/algorithms/mwmr_register.hpp"
+#include "subc/algorithms/onk_algorithms.hpp"
+#include "subc/algorithms/partition_set_consensus.hpp"
+#include "subc/algorithms/relaxed_wrn.hpp"
+#include "subc/algorithms/renaming.hpp"
+#include "subc/algorithms/safe_agreement.hpp"
+#include "subc/algorithms/set_election.hpp"
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/algorithms/universal.hpp"
+#include "subc/algorithms/wrn_anonymous.hpp"
+#include "subc/algorithms/wrn_from_sse.hpp"
+#include "subc/algorithms/wrn_set_consensus.hpp"
+
+#include "subc/core/consensus_number.hpp"
+#include "subc/core/hierarchy.hpp"
+#include "subc/core/tasks.hpp"
+
+#include "subc/checking/linearizability.hpp"
+#include "subc/checking/progress.hpp"

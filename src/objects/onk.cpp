@@ -1,0 +1,50 @@
+#include "subc/objects/onk.hpp"
+
+namespace subc {
+
+GacObject::GacObject(int n, int i) : n_(n), i_(i) {
+  if (n < 1 || i < 0) {
+    throw SimError("GAC(n, i) requires n >= 1, i >= 0");
+  }
+  arrivals_.reserve(static_cast<std::size_t>(capacity()));
+}
+
+Value GacObject::propose(Context& ctx, Value v) {
+  if (v == kBottom) {
+    throw SimError("propose(⊥) is illegal");
+  }
+  ctx.sched_point();
+  const int t = static_cast<int>(arrivals_.size()) + 1;  // 1-based arrival
+  if (t > capacity()) {
+    ctx.hang();
+  }
+  arrivals_.push_back(v);
+  if (t <= n_ * (i_ + 1)) {
+    const int block = (t - 1) / n_;
+    return arrivals_[static_cast<std::size_t>(block * n_)];
+  }
+  return arrivals_[0];  // wrap-around arrivals adopt block 0's value
+}
+
+OnkObject::OnkObject(int n, int k) : n_(n), k_(k) {
+  if (n < 1 || k < 1) {
+    throw SimError("O_{n,k} requires n >= 1, k >= 1");
+  }
+  components_.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    components_.emplace_back(n, i);
+  }
+}
+
+Value OnkObject::propose(Context& ctx, int component, Value v) {
+  return this->component(component).propose(ctx, v);
+}
+
+GacObject& OnkObject::component(int i) {
+  if (i < 0 || i >= k_) {
+    throw SimError("O_{n,k} component out of range");
+  }
+  return components_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace subc

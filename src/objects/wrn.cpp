@@ -1,0 +1,60 @@
+#include "subc/objects/wrn.hpp"
+
+namespace subc {
+
+namespace {
+void check_params(int k, int index, Value v) {
+  if (index < 0 || index >= k) {
+    throw SimError("WRN index out of range: " + std::to_string(index));
+  }
+  if (v == kBottom) {
+    throw SimError("WRN(i, ⊥) is illegal");
+  }
+}
+}  // namespace
+
+WrnObject::WrnObject(int k)
+    : k_(k), slots_(static_cast<std::size_t>(k), kBottom) {
+  if (k < 2) {
+    throw SimError("WRN_k requires k >= 2");
+  }
+}
+
+Value WrnObject::wrn(Context& ctx, int index, Value v) {
+  check_params(k_, index, v);
+  ctx.sched_point();
+  slots_[static_cast<std::size_t>(index)] = v;
+  return slots_[static_cast<std::size_t>((index + 1) % k_)];
+}
+
+Value WrnObject::peek(int index) const {
+  if (index < 0 || index >= k_) {
+    throw SimError("WRN peek index out of range");
+  }
+  return slots_[static_cast<std::size_t>(index)];
+}
+
+OneShotWrnObject::OneShotWrnObject(int k)
+    : k_(k),
+      slots_(static_cast<std::size_t>(k), kBottom),
+      used_(static_cast<std::size_t>(k), false) {
+  if (k < 2) {
+    throw SimError("1sWRN_k requires k >= 2");
+  }
+}
+
+Value OneShotWrnObject::wrn(Context& ctx, int index, Value v) {
+  check_params(k_, index, v);
+  ctx.sched_point();
+  const auto i = static_cast<std::size_t>(index);
+  if (used_[i]) {
+    // "Any attempt to invoke 1sWRN with the same index twice is illegal,
+    // and hangs the system in a manner that cannot be detected."
+    ctx.hang();
+  }
+  used_[i] = true;
+  slots_[i] = v;
+  return slots_[static_cast<std::size_t>((index + 1) % k_)];
+}
+
+}  // namespace subc

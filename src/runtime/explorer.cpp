@@ -1,0 +1,72 @@
+#include "subc/runtime/explorer.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
+  Result result;
+  std::vector<ReplayDriver::Decision> prefix;
+
+  while (result.executions < opts.max_executions) {
+    ReplayDriver driver(prefix);
+    ++result.executions;
+    try {
+      body(driver);
+    } catch (const std::exception& e) {
+      result.violation = e.what();
+      result.violating_trace = driver.trace();
+      return result;
+    }
+
+    // Backtrack: bump the deepest decision that still has unexplored
+    // options; drop everything after it.
+    std::vector<ReplayDriver::Decision> trace = driver.trace();
+    std::size_t i = trace.size();
+    while (i > 0) {
+      ReplayDriver::Decision& d = trace[i - 1];
+      if (d.chosen + 1 < d.arity) {
+        ++d.chosen;
+        break;
+      }
+      --i;
+    }
+    if (i == 0) {
+      result.complete = true;
+      return result;
+    }
+    trace.resize(i);
+    prefix = std::move(trace);
+  }
+  return result;  // budget exhausted, incomplete
+}
+
+void Explorer::replay(const ExecutionBody& body,
+                      std::vector<ReplayDriver::Decision> trace) {
+  ReplayDriver driver(std::move(trace));
+  body(driver);
+}
+
+RandomSweep::Result RandomSweep::run(const ExecutionBody& body,
+                                     std::int64_t runs,
+                                     std::uint64_t first_seed) {
+  Result result;
+  for (std::int64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+    RandomDriver driver(seed);
+    ++result.runs;
+    try {
+      body(driver);
+    } catch (const std::exception& e) {
+      result.failing_seed = seed;
+      result.violation = e.what();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace subc

@@ -1,0 +1,117 @@
+#include "subc/runtime/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+namespace {
+// The fiber currently executing on this thread (nullptr when the kernel —
+// i.e. the main context — is running). The simulation is single-threaded,
+// but thread_local keeps the library safe to use from several independent
+// simulator threads (e.g. parallel test shards).
+thread_local Fiber* tl_current = nullptr;
+}  // namespace
+
+struct Fiber::Impl {
+  ucontext_t ctx{};
+  ucontext_t caller{};
+  std::unique_ptr<char[]> stack;
+  std::function<void()> entry;
+  std::exception_ptr error;
+  bool started = false;
+  bool finished = false;
+  bool killing = false;
+};
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()) {
+  if (!entry) {
+    throw SimError("Fiber requires a non-empty entry function");
+  }
+  impl_->entry = std::move(entry);
+  impl_->stack = std::make_unique<char[]>(stack_bytes);
+  if (getcontext(&impl_->ctx) != 0) {
+    throw SimError("getcontext failed");
+  }
+  impl_->ctx.uc_stack.ss_sp = impl_->stack.get();
+  impl_->ctx.uc_stack.ss_size = stack_bytes;
+  // When the trampoline returns, control goes back to the most recent
+  // resumer (impl_->caller is refreshed by every swapcontext in resume()).
+  impl_->ctx.uc_link = &impl_->caller;
+  // makecontext only passes ints portably; split the pointer into two words.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+              2, static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() { kill(); }
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<Fiber*>(bits);
+  try {
+    self->impl_->entry();
+  } catch (const FiberKilled&) {
+    // Expected during kill-unwinding: nothing to record.
+  } catch (...) {
+    self->impl_->error = std::current_exception();
+  }
+  self->impl_->finished = true;
+  // Falling off the trampoline switches to uc_link == impl_->caller.
+}
+
+void Fiber::resume() {
+  if (impl_->finished) {
+    throw SimError("resume() on a finished fiber");
+  }
+  Fiber* const prev = tl_current;
+  tl_current = this;
+  impl_->started = true;
+  swapcontext(&impl_->caller, &impl_->ctx);
+  tl_current = prev;
+  if (impl_->error) {
+    std::exception_ptr error = std::exchange(impl_->error, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+bool Fiber::finished() const noexcept { return impl_->finished; }
+
+void Fiber::kill() noexcept {
+  if (impl_->finished) {
+    return;
+  }
+  if (!impl_->started) {
+    // Never ran: there is no stack state to unwind.
+    impl_->finished = true;
+    return;
+  }
+  impl_->killing = true;
+  try {
+    resume();
+  } catch (...) {
+    // Destructors must not throw (Core Guidelines C.36); if one does while
+    // unwinding an abandoned fiber, dropping it here is the least bad option.
+  }
+}
+
+void Fiber::yield() {
+  Fiber* const self = tl_current;
+  if (self == nullptr) {
+    throw SimError("Fiber::yield() called outside any fiber");
+  }
+  swapcontext(&self->impl_->ctx, &self->impl_->caller);
+  if (self->impl_->killing) {
+    throw FiberKilled{};
+  }
+}
+
+}  // namespace subc

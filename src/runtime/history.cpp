@@ -1,0 +1,60 @@
+#include "subc/runtime/history.hpp"
+
+#include <sstream>
+
+namespace subc {
+
+std::size_t History::invoke(int pid, std::vector<Value> op) {
+  HistoryEntry e;
+  e.pid = pid;
+  e.op = std::move(op);
+  e.invoked_at = clock_++;
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+void History::respond(std::size_t handle, std::vector<Value> response) {
+  if (handle >= entries_.size()) {
+    throw SimError("respond: bad history handle");
+  }
+  HistoryEntry& e = entries_[handle];
+  if (!e.pending()) {
+    throw SimError("respond: operation already completed");
+  }
+  e.response = std::move(response);
+  e.responded_at = clock_++;
+}
+
+std::size_t History::completed() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (!e.pending()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string History::dump() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "p" << e.pid << " op(";
+    for (std::size_t i = 0; i < e.op.size(); ++i) {
+      os << (i ? "," : "") << to_string(e.op[i]);
+    }
+    os << ") @" << e.invoked_at;
+    if (e.pending()) {
+      os << " -> pending";
+    } else {
+      os << " -> (";
+      for (std::size_t i = 0; i < e.response.size(); ++i) {
+        os << (i ? "," : "") << to_string(e.response[i]);
+      }
+      os << ") @" << e.responded_at;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace subc

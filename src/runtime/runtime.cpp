@@ -1,0 +1,178 @@
+#include "subc/runtime/runtime.hpp"
+
+#include <utility>
+
+#include "subc/runtime/fiber.hpp"
+
+namespace subc {
+
+std::string to_string(ProcState s) {
+  switch (s) {
+    case ProcState::kRunning:
+      return "running";
+    case ProcState::kDone:
+      return "done";
+    case ProcState::kHung:
+      return "hung";
+    case ProcState::kCrashed:
+      return "crashed";
+  }
+  return "?";
+}
+
+struct Runtime::Proc {
+  std::unique_ptr<Fiber> fiber;
+  Context ctx;
+  ProcState state = ProcState::kRunning;
+  std::int64_t steps = 0;
+
+  Proc(Runtime* rt, int pid) : ctx(rt, pid) {}
+};
+
+Runtime::Runtime() = default;
+Runtime::~Runtime() = default;
+
+int Runtime::add_process(ProcessFn fn) {
+  if (started_) {
+    throw SimError("add_process after run() started");
+  }
+  if (!fn) {
+    throw SimError("add_process requires a non-empty function");
+  }
+  const int pid = num_processes();
+  auto proc = std::make_unique<Proc>(this, pid);
+  Proc* raw = proc.get();
+  proc->fiber = std::make_unique<Fiber>(
+      [raw, fn = std::move(fn)]() { fn(raw->ctx); });
+  procs_.push_back(std::move(proc));
+  decisions_.push_back(kBottom);
+  return pid;
+}
+
+void Runtime::check_pid(int pid) const {
+  if (pid < 0 || pid >= num_processes()) {
+    throw SimError("pid out of range: " + std::to_string(pid));
+  }
+}
+
+std::vector<int> Runtime::runnable() const {
+  std::vector<int> out;
+  out.reserve(procs_.size());
+  for (int pid = 0; pid < num_processes(); ++pid) {
+    if (procs_[pid]->state == ProcState::kRunning) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+Runtime::RunResult Runtime::run(ScheduleDriver& driver,
+                                std::int64_t max_steps) {
+  if (started_) {
+    throw SimError("Runtime::run is single-use");
+  }
+  started_ = true;
+  driver_ = &driver;
+
+  // Prime every fiber: run its process-local prologue up to the first
+  // shared-memory operation (the first sched_point). Priming executes no
+  // shared step, so it is not a scheduling decision.
+  for (auto& proc : procs_) {
+    if (proc->state == ProcState::kRunning) {
+      proc->fiber->resume();
+      if (proc->fiber->finished() && proc->state == ProcState::kRunning) {
+        proc->state = ProcState::kDone;
+      }
+    }
+  }
+
+  RunResult result;
+  while (true) {
+    const std::vector<int> enabled = runnable();
+    if (enabled.empty()) {
+      break;
+    }
+    if (total_steps_ >= max_steps) {
+      driver_ = nullptr;
+      throw SimError("step bound exceeded with processes still runnable (" +
+                     std::to_string(max_steps) + " steps)");
+    }
+    const std::size_t idx = driver.pick(enabled);
+    SUBC_ASSERT(idx < enabled.size());
+    const int pid = enabled[idx];
+    Proc& proc = *procs_[pid];
+    if (proc.state != ProcState::kRunning) {
+      // The driver crashed processes during pick(); its answer may be
+      // stale. Recompute the enabled set and ask again.
+      continue;
+    }
+    ++total_steps_;
+    ++proc.steps;
+    proc.fiber->resume();
+    if (proc.fiber->finished() && proc.state == ProcState::kRunning) {
+      proc.state = ProcState::kDone;
+    }
+  }
+  driver_ = nullptr;
+
+  result.decisions = decisions_;
+  result.states.reserve(procs_.size());
+  result.quiescent = true;
+  for (const auto& proc : procs_) {
+    result.states.push_back(proc->state);
+    if (proc->state == ProcState::kHung) {
+      result.quiescent = false;
+    }
+  }
+  result.total_steps = total_steps_;
+  return result;
+}
+
+void Runtime::crash(int pid) {
+  check_pid(pid);
+  Proc& proc = *procs_[pid];
+  if (proc.state == ProcState::kRunning) {
+    proc.state = ProcState::kCrashed;
+  }
+}
+
+std::int64_t Runtime::steps_of(int pid) const {
+  check_pid(pid);
+  return procs_[pid]->steps;
+}
+
+ProcState Runtime::state_of(int pid) const {
+  check_pid(pid);
+  return procs_[pid]->state;
+}
+
+void Context::sched_point() { Fiber::yield(); }
+
+std::uint32_t Context::choose(std::uint32_t arity) {
+  if (runtime_->driver_ == nullptr) {
+    throw SimError("choose() outside run()");
+  }
+  const std::uint32_t c = runtime_->driver_->choose(arity);
+  SUBC_ASSERT(c < arity);
+  return c;
+}
+
+void Context::decide(Value v) {
+  if (v == kBottom) {
+    throw SimError("decide(⊥) is not a valid task output");
+  }
+  Value& slot = runtime_->decisions_[static_cast<std::size_t>(pid_)];
+  if (slot != kBottom) {
+    throw SimError("process " + std::to_string(pid_) + " decided twice");
+  }
+  slot = v;
+}
+
+void Context::hang() {
+  runtime_->procs_[static_cast<std::size_t>(pid_)]->state = ProcState::kHung;
+  for (;;) {
+    Fiber::yield();  // Only a kill-unwind ever resumes us; yield() throws.
+  }
+}
+
+}  // namespace subc

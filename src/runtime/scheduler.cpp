@@ -1,0 +1,87 @@
+#include "subc/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace subc {
+
+std::size_t RoundRobinDriver::pick(std::span<const int> enabled) {
+  SUBC_ASSERT(!enabled.empty());
+  // First enabled pid strictly greater than the last scheduled one,
+  // wrapping around.
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (enabled[i] > last_pid_) {
+      last_pid_ = enabled[i];
+      return i;
+    }
+  }
+  last_pid_ = enabled[0];
+  return 0;
+}
+
+std::uint32_t RoundRobinDriver::choose(std::uint32_t arity) {
+  SUBC_ASSERT(arity >= 1);
+  return 0;
+}
+
+std::size_t RandomDriver::pick(std::span<const int> enabled) {
+  SUBC_ASSERT(!enabled.empty());
+  return std::uniform_int_distribution<std::size_t>(0, enabled.size() - 1)(
+      rng_);
+}
+
+std::uint32_t RandomDriver::choose(std::uint32_t arity) {
+  SUBC_ASSERT(arity >= 1);
+  return std::uniform_int_distribution<std::uint32_t>(0, arity - 1)(rng_);
+}
+
+std::size_t ScriptedDriver::pick(std::span<const int> enabled) {
+  SUBC_ASSERT(!enabled.empty());
+  if (pos_ < pids_.size()) {
+    const int wanted = pids_[pos_++];
+    const auto it = std::find(enabled.begin(), enabled.end(), wanted);
+    if (it != enabled.end()) {
+      return static_cast<std::size_t>(it - enabled.begin());
+    }
+  }
+  return 0;
+}
+
+std::uint32_t ScriptedDriver::choose(std::uint32_t arity) {
+  SUBC_ASSERT(arity >= 1);
+  return 0;
+}
+
+std::uint32_t ReplayDriver::next(std::uint32_t arity) {
+  SUBC_ASSERT(arity >= 1);
+  if (pos_ < trace_.size()) {
+    Decision& d = trace_[pos_++];
+    // The world must be deterministic given the decision string: the arity
+    // at each decision point has to match the recorded one.
+    SUBC_ASSERT(d.arity == arity);
+    SUBC_ASSERT(d.chosen < arity);
+    return d.chosen;
+  }
+  trace_.push_back(Decision{0, arity});
+  ++pos_;
+  return 0;
+}
+
+std::size_t ReplayDriver::pick(std::span<const int> enabled) {
+  return next(static_cast<std::uint32_t>(enabled.size()));
+}
+
+std::uint32_t ReplayDriver::choose(std::uint32_t arity) { return next(arity); }
+
+std::string format_trace(std::span<const ReplayDriver::Decision> trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) {
+      os << ' ';
+    }
+    os << trace[i].chosen << '/' << trace[i].arity;
+  }
+  return os.str();
+}
+
+}  // namespace subc

@@ -1,0 +1,133 @@
+// Differential testing: every atomic object whose behaviour is also encoded
+// as a sequential spec (or by a second implementation) is driven with the
+// same operation sequences through both and must answer identically.
+// Catches drift between the objects, the checker specs, and the derived
+// implementations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/algorithms/wrn_from_sse.hpp"
+#include "subc/objects/snapshot.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/explorer.hpp"
+
+namespace subc {
+namespace {
+
+TEST(Differential, OneShotWrnObjectMatchesItsSpecSequentially) {
+  // Random legal one-shot sequences: atomic object vs spec replay.
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 3 + static_cast<int>(rng() % 4);
+    std::vector<int> indices;
+    for (int i = 0; i < k; ++i) {
+      indices.push_back(i);
+    }
+    std::shuffle(indices.begin(), indices.end(), rng);
+    const int ops = 1 + static_cast<int>(rng() % k);
+
+    const OneShotWrnSpec spec{k};
+    auto spec_state = spec.initial();
+
+    Runtime rt;
+    OneShotWrnObject object(k);
+    rt.add_process([&](Context& ctx) {
+      for (int o = 0; o < ops; ++o) {
+        const int index = indices[static_cast<std::size_t>(o)];
+        const Value v = 1000 + index;
+        const Value got = object.wrn(ctx, index, v);
+        std::vector<Value> expected;
+        ASSERT_TRUE(spec.apply(spec_state, {index, v}, expected));
+        ASSERT_EQ(got, expected[0]) << "k=" << k << " op " << o;
+      }
+    });
+    RoundRobinDriver driver;
+    rt.run(driver);
+  }
+}
+
+TEST(Differential, WrnFromSseMatchesAtomicObjectSequentially) {
+  // Sequential (solo) runs: Algorithm 5's derived object must return
+  // byte-identical answers to the atomic 1sWRN for every one-shot
+  // permutation of k = 3 and k = 4.
+  for (const int k : {3, 4}) {
+    std::vector<int> permutation;
+    for (int i = 0; i < k; ++i) {
+      permutation.push_back(i);
+    }
+    do {
+      Runtime rt;
+      OneShotWrnObject atomic(k);
+      WrnFromSse derived(k);
+      rt.add_process([&](Context& ctx) {
+        for (const int index : permutation) {
+          const Value v = 100 + index;
+          ASSERT_EQ(derived.one_shot_wrn(ctx, index, v),
+                    atomic.wrn(ctx, index, v))
+              << "k=" << k << " at index " << index;
+        }
+      });
+      RoundRobinDriver driver;
+      rt.run(driver);
+    } while (std::next_permutation(permutation.begin(), permutation.end()));
+  }
+}
+
+TEST(Differential, RegisterSnapshotMatchesAtomicSnapshotSequentially) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int size = 2 + static_cast<int>(rng() % 4);
+    std::vector<std::pair<int, Value>> updates;
+    const int ops = 1 + static_cast<int>(rng() % 8);
+    for (int o = 0; o < ops; ++o) {
+      updates.emplace_back(static_cast<int>(rng() % size),
+                           static_cast<Value>(rng() % 50));
+    }
+    Runtime rt;
+    AtomicSnapshot<> atomic(size, kBottom);
+    SnapshotFromRegisters<> built(size, kBottom);
+    rt.add_process([&](Context& ctx) {
+      for (const auto& [cell, v] : updates) {
+        atomic.update(ctx, cell, v);
+        built.update(ctx, cell, v);
+        ASSERT_EQ(atomic.scan(ctx), built.scan(ctx));
+      }
+    });
+    RoundRobinDriver driver;
+    rt.run(driver);
+  }
+}
+
+TEST(Differential, MultiShotWrnAgainstDirectArraySimulation) {
+  // WrnObject vs a direct reference evaluation of Algorithm 1 over random
+  // multi-shot sequences.
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 2 + static_cast<int>(rng() % 6);
+    Runtime rt;
+    WrnObject object(k);
+    std::vector<Value> reference(static_cast<std::size_t>(k), kBottom);
+    const int ops = 1 + static_cast<int>(rng() % 20);
+    std::vector<std::pair<int, Value>> sequence;
+    for (int o = 0; o < ops; ++o) {
+      sequence.emplace_back(static_cast<int>(rng() % k),
+                            static_cast<Value>(1 + rng() % 9));
+    }
+    rt.add_process([&](Context& ctx) {
+      for (const auto& [index, v] : sequence) {
+        const Value got = object.wrn(ctx, index, v);
+        reference[static_cast<std::size_t>(index)] = v;
+        const Value expected =
+            reference[static_cast<std::size_t>((index + 1) % k)];
+        ASSERT_EQ(got, expected);
+      }
+    });
+    RoundRobinDriver driver;
+    rt.run(driver);
+  }
+}
+
+}  // namespace
+}  // namespace subc

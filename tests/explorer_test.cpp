@@ -1,0 +1,181 @@
+// Tests for the exhaustive explorer and the randomized sweep: completeness
+// of the schedule enumeration, violation reporting, replay, and enumeration
+// of object nondeterminism.
+#include "subc/runtime/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "subc/objects/register.hpp"
+#include "subc/runtime/runtime.hpp"
+
+namespace subc {
+namespace {
+
+// Two processes with 1 step each: exactly C(2,1) = 2 interleavings.
+TEST(Explorer, EnumeratesAllInterleavingsTwoProcessesOneStep) {
+  std::set<std::vector<Value>> outcomes;
+  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(kBottom);
+    std::vector<Value> reads(2, kBottom);
+    for (int p = 0; p < 2; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        reads[static_cast<std::size_t>(p)] = reg.read(ctx);
+        reg.write(ctx, p);
+      });
+    }
+    rt.run(driver);
+    outcomes.insert(reads);
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  // Interleavings of (r0 w0) with (r1 w1): 4!/(2!2!) = 6 schedules.
+  EXPECT_EQ(result.executions, 6);
+  // Observable outcomes: each process reads ⊥ or the other's write.
+  EXPECT_TRUE(outcomes.contains(std::vector<Value>{kBottom, kBottom}));
+  EXPECT_TRUE(outcomes.contains(std::vector<Value>{kBottom, 0}));
+  EXPECT_TRUE(outcomes.contains(std::vector<Value>{1, kBottom}));
+}
+
+TEST(Explorer, CountsMultinomialSchedules) {
+  // 3 processes x 2 steps: 6!/(2!2!2!) = 90 schedules.
+  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&](Context& ctx) {
+        reg.read(ctx);
+        reg.read(ctx);
+      });
+    }
+    rt.run(driver);
+  });
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.executions, 90);
+}
+
+TEST(Explorer, EnumeratesObjectNondeterminism) {
+  // One process making a 3-way choice then a 2-way choice: 6 executions.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    rt.add_process([&](Context& ctx) {
+      reg.read(ctx);
+      const auto a = ctx.choose(3);
+      const auto b = ctx.choose(2);
+      seen.insert({a, b});
+    });
+    rt.run(driver);
+  });
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.executions, 6);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Explorer, ReportsViolationWithReplayableTrace) {
+  // Fails iff process 1 runs first; the explorer must find it and the trace
+  // must replay to the same failure.
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(kBottom);
+    rt.add_process([&](Context& ctx) { reg.write(ctx, 1); });
+    rt.add_process([&](Context& ctx) {
+      if (reg.read(ctx) == kBottom) {
+        throw SpecViolation("process 1 ran before process 0");
+      }
+    });
+    rt.run(driver);
+  };
+  const auto result = Explorer::explore(body);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violation->find("process 1 ran"), std::string::npos);
+  EXPECT_THROW(Explorer::replay(body, result.violating_trace), SpecViolation);
+}
+
+TEST(Explorer, RespectsExecutionBudget) {
+  Explorer::Options opts;
+  opts.max_executions = 10;
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        for (int p = 0; p < 4; ++p) {
+          rt.add_process([&](Context& ctx) {
+            for (int s = 0; s < 4; ++s) {
+              reg.read(ctx);
+            }
+          });
+        }
+        rt.run(driver);
+      },
+      opts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.executions, 10);
+}
+
+TEST(RandomSweep, PassesCleanBodyAndReportsSeeds) {
+  const auto result = RandomSweep::run(
+      [](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        rt.add_process([&](Context& ctx) { reg.write(ctx, 1); });
+        rt.run(driver);
+      },
+      50);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.runs, 50);
+}
+
+TEST(RandomSweep, FindsSeedDependentViolation) {
+  // Violates when the random driver schedules process 1 first.
+  const auto result = RandomSweep::run(
+      [](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(kBottom);
+        rt.add_process([&](Context& ctx) { reg.write(ctx, 1); });
+        rt.add_process([&](Context& ctx) {
+          if (reg.read(ctx) == kBottom) {
+            throw SpecViolation("bad order");
+          }
+        });
+        rt.run(driver);
+      },
+      200);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.failing_seed.has_value());
+  // Replaying the same seed reproduces the failure.
+  RandomDriver driver(*result.failing_seed);
+  Runtime rt;
+  Register<> reg(kBottom);
+  rt.add_process([&](Context& ctx) { reg.write(ctx, 1); });
+  rt.add_process([&](Context& ctx) {
+    if (reg.read(ctx) == kBottom) {
+      throw SpecViolation("bad order");
+    }
+  });
+  EXPECT_THROW(rt.run(driver), SpecViolation);
+}
+
+TEST(Explorer, HungProcessesDoNotStallExploration) {
+  // A process that hangs leaves the others enumerable.
+  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    rt.add_process([&](Context& ctx) {
+      reg.read(ctx);
+      ctx.hang();
+    });
+    rt.add_process([&](Context& ctx) { reg.read(ctx); });
+    rt.run(driver);
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.executions, 1);
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,226 @@
+// Tests for the set-consensus implementability calculus: Theorem 41's
+// partition bound (closed form vs dynamic program), consensus numbers,
+// Corollary 42's 1sWRN hierarchy, and the O_{n,k} separation arithmetic of
+// the 2016 paper.
+#include "subc/core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+namespace {
+
+TEST(Hierarchy, PartitionAgreementClosedFormMatchesDp) {
+  for (int m = 2; m <= 12; ++m) {
+    for (int j = 1; j < m; ++j) {
+      for (int n = 1; n <= 30; ++n) {
+        EXPECT_EQ(sc_partition_agreement(n, m, j),
+                  sc_partition_agreement_dp(n, m, j))
+            << "n=" << n << " m=" << m << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, PartitionAgreementKnownValues) {
+  // n processes over (m,j) objects.
+  EXPECT_EQ(sc_partition_agreement(3, 3, 2), 2);    // one object
+  EXPECT_EQ(sc_partition_agreement(6, 3, 2), 4);    // two full groups
+  EXPECT_EQ(sc_partition_agreement(7, 3, 2), 5);    // remainder of 1
+  EXPECT_EQ(sc_partition_agreement(8, 3, 2), 6);    // remainder of 2
+  EXPECT_EQ(sc_partition_agreement(2, 5, 2), 2);    // fewer procs than j
+  EXPECT_EQ(sc_partition_agreement(5, 6, 3), 3);    // n < m
+  // n-consensus objects: (n,1); k-set-consensus power for N procs is ⌈N/n⌉.
+  EXPECT_EQ(sc_partition_agreement(7, 2, 1), 4);
+  EXPECT_EQ(sc_partition_agreement(6, 2, 1), 3);
+}
+
+TEST(Hierarchy, ImplementableMatchesTheorem41Statement) {
+  // (12, 8) from (3, 2): 8 >= 2*4 + 0 ✓ (the paper's Section 7 example).
+  EXPECT_TRUE(sc_implementable(12, 8, 3, 2));
+  // (12, 7) from (3, 2): 7 < 8 ✗.
+  EXPECT_FALSE(sc_implementable(12, 7, 3, 2));
+  // Trivial: k >= n always implementable.
+  EXPECT_TRUE(sc_implementable(3, 3, 100, 99));
+  // Consensus from weaker consensus: (3,1) from (2,1) needs 1 >= 1*1+1 ✗.
+  EXPECT_FALSE(sc_implementable(3, 1, 2, 1));
+  EXPECT_TRUE(sc_implementable(2, 1, 3, 1));
+}
+
+TEST(Hierarchy, ConsensusNumbers) {
+  EXPECT_EQ(sc_consensus_number(3, 2), 1);   // (3,2)-SC: level 1
+  EXPECT_EQ(sc_consensus_number(5, 2), 2);
+  EXPECT_EQ(sc_consensus_number(2, 1), 2);   // 2-consensus
+  EXPECT_EQ(sc_consensus_number(12, 4), 3);
+  // The WRN_k equivalence class (k, k−1): always level 1 for k >= 2... and
+  // ⌊k/(k−1)⌋ = 1 exactly when k >= 3; k=2 gives 2 (SWAP!).
+  EXPECT_EQ(sc_consensus_number(2, 1), 2);
+  for (int k = 3; k <= 10; ++k) {
+    EXPECT_EQ(sc_consensus_number(k, k - 1), 1) << k;
+  }
+}
+
+TEST(Hierarchy, Corollary42PairwiseStrictHierarchy) {
+  for (int k = 3; k <= 10; ++k) {
+    for (int k_prime = k + 1; k_prime <= 10; ++k_prime) {
+      EXPECT_NO_THROW(check_wrn_hierarchy_pair(k, k_prime))
+          << k << " vs " << k_prime;
+      EXPECT_TRUE(wrn_implementable_from(k_prime, k));
+      EXPECT_FALSE(wrn_implementable_from(k, k_prime));
+    }
+  }
+}
+
+TEST(Hierarchy, WrnSelfImplementable) {
+  for (int k = 3; k <= 8; ++k) {
+    EXPECT_TRUE(wrn_implementable_from(k, k));
+  }
+}
+
+TEST(Hierarchy, MatrixFormatterShowsTriangle) {
+  const std::string matrix = format_wrn_matrix(3, 6);
+  EXPECT_NE(matrix.find("k=3"), std::string::npos);
+  EXPECT_NE(matrix.find("✓"), std::string::npos);
+  EXPECT_NE(matrix.find("·"), std::string::npos);
+}
+
+TEST(OnkCalculus, ComponentParametersMatchDesign) {
+  // m_i = (n+1)(i+1) − 1, j_i = i+1; consensus number ⌊m_i/j_i⌋ = n.
+  for (int n = 1; n <= 6; ++n) {
+    for (int i = 0; i <= 6; ++i) {
+      const int m = onk_component_capacity(n, i);
+      const int j = onk_component_agreement(i);
+      EXPECT_EQ(m, (n + 1) * (i + 1) - 1);
+      EXPECT_EQ(j, i + 1);
+      if (i >= 1) {
+        EXPECT_EQ(sc_consensus_number(m, j), n) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(OnkCalculus, BestAgreementMatchesBruteForce) {
+  for (int n = 1; n <= 3; ++n) {
+    for (int k = 1; k <= 3; ++k) {
+      for (int procs = 1; procs <= 14; ++procs) {
+        EXPECT_EQ(onk_best_agreement(n, k, procs),
+                  onk_best_agreement_bruteforce(n, k, procs))
+            << "n=" << n << " k=" << k << " procs=" << procs;
+      }
+    }
+  }
+}
+
+TEST(OnkCalculus, BestPartitionCoversAllProcessesAtOptimalCost) {
+  for (int n = 2; n <= 4; ++n) {
+    for (int k = 1; k <= 4; ++k) {
+      for (int procs = 1; procs <= 25; procs += 3) {
+        const auto groups = onk_best_partition(n, k, procs);
+        int covered = 0;
+        int cost = 0;
+        for (const auto& [component, size] : groups) {
+          ASSERT_GE(component, 0);
+          ASSERT_LT(component, k);
+          ASSERT_LE(size, onk_component_capacity(n, component));
+          covered += size;
+          cost += onk_component_agreement(component);
+        }
+        EXPECT_EQ(covered, procs);
+        EXPECT_EQ(cost, onk_best_agreement(n, k, procs));
+      }
+    }
+  }
+}
+
+TEST(OnkSeparationArithmetic, MatchesThe2016Statement) {
+  // At N_k = nk+n+k: O_{n,k+1} achieves k+1, O_{n,k} only k+2 — for every
+  // n ≥ 2, k ≥ 1 in a broad grid. This is the 2016 hierarchy's separation
+  // at exactly the system size the paper states.
+  for (int n = 2; n <= 8; ++n) {
+    for (int k = 1; k <= 8; ++k) {
+      const OnkSeparation sep = onk_separation(n, k);
+      EXPECT_EQ(sep.system_size, n * k + n + k);
+      EXPECT_EQ(sep.agreement_with_k1, k + 1) << "n=" << n << " k=" << k;
+      EXPECT_EQ(sep.agreement_with_k, k + 2) << "n=" << n << " k=" << k;
+      EXPECT_TRUE(sep.separated());
+    }
+  }
+}
+
+TEST(OnkSeparationArithmetic, MonotoneInK) {
+  // O_{n,k'} dominates O_{n,k} for k' > k at every system size (component
+  // superset): best agreement never worsens.
+  for (int n = 2; n <= 4; ++n) {
+    for (int procs = 1; procs <= 30; ++procs) {
+      for (int k = 1; k <= 5; ++k) {
+        EXPECT_LE(onk_best_agreement(n, k + 1, procs),
+                  onk_best_agreement(n, k, procs));
+      }
+    }
+  }
+}
+
+TEST(PowerProfiles, KnownValuesAndOrderings) {
+  const int max_procs = 12;
+  const auto regs = profile_registers(max_procs);
+  const auto wrn3 = profile_wrn(3, max_procs);
+  const auto cons2 = profile_consensus(2, max_procs);
+  const auto onk22 = profile_onk(2, 2, max_procs);
+  const auto cas = profile_cas(max_procs);
+
+  for (int procs = 1; procs <= max_procs; ++procs) {
+    const auto at = [procs](const ObjectClassProfile& profile) {
+      return profile.best_agreement[static_cast<std::size_t>(procs - 1)];
+    };
+    // Registers: no agreement help.
+    EXPECT_EQ(at(regs), procs);
+    // 1sWRN_3 = (3,2)-SC partition bound.
+    EXPECT_EQ(at(wrn3),
+              std::min(procs, sc_partition_agreement(procs, 3, 2)));
+    // Chain: registers ≽ 1sWRN_3 ≽ 2-consensus ≽ O_{2,2} ≽ CAS.
+    EXPECT_GE(at(regs), at(wrn3));
+    EXPECT_GE(at(wrn3), at(cons2));
+    EXPECT_GE(at(cons2), at(onk22));
+    EXPECT_GE(at(onk22), at(cas));
+    EXPECT_EQ(at(cas), 1);
+  }
+  // Strictness witnesses: 1sWRN_3 helps at N=3 (2 < 3) but not at N=2;
+  // 2-consensus helps at N=2; O_{2,2} beats 2-consensus at N=5 (=N_1):
+  // ⌈5/2⌉ = 3 vs best 2 via the (5,2) component C_1.
+  EXPECT_EQ(wrn3.best_agreement[2], 2);
+  EXPECT_EQ(wrn3.best_agreement[1], 2);
+  EXPECT_EQ(cons2.best_agreement[1], 1);
+  EXPECT_EQ(cons2.best_agreement[4], 3);
+  EXPECT_EQ(onk22.best_agreement[4], 2);
+}
+
+TEST(PowerProfiles, SetConsensusProfileMatchesCalculus) {
+  const auto sc = profile_set_consensus(5, 2, 15);
+  EXPECT_EQ(sc.name, "(5,2)-SC");
+  for (int procs = 1; procs <= 15; ++procs) {
+    EXPECT_EQ(sc.best_agreement[static_cast<std::size_t>(procs - 1)],
+              std::min(procs, sc_partition_agreement(procs, 5, 2)));
+  }
+}
+
+TEST(PowerProfiles, ParameterValidation) {
+  EXPECT_THROW(profile_wrn(2, 5), SimError);
+  EXPECT_THROW(profile_consensus(0, 5), SimError);
+  EXPECT_THROW(profile_set_consensus(2, 2, 5), SimError);
+}
+
+TEST(Hierarchy, ParameterValidation) {
+  EXPECT_THROW(sc_partition_agreement(0, 3, 2), SimError);
+  EXPECT_THROW(sc_partition_agreement(3, 2, 2), SimError);
+  EXPECT_THROW(sc_partition_agreement(3, 2, 0), SimError);
+  EXPECT_THROW(wrn_implementable_from(2, 3), SimError);
+  EXPECT_THROW(check_wrn_hierarchy_pair(4, 4), SimError);
+  EXPECT_THROW(onk_best_agreement(0, 1, 1), SimError);
+  EXPECT_THROW(onk_separation(2, 0), SimError);
+}
+
+}  // namespace
+}  // namespace subc

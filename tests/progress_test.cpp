@@ -1,0 +1,88 @@
+// Tests for the wait-freedom harness: participation-subset sweeps over the
+// paper's algorithms (Claim 3 for Algorithm 2, and friends).
+#include "subc/checking/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "subc/algorithms/wrn_set_consensus.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/wrn.hpp"
+
+namespace subc {
+namespace {
+
+TEST(WaitFreedom, Algorithm2IsWaitFreeUnderAllParticipationSets) {
+  // Claim 3: every participating process finishes regardless of which other
+  // processes take steps. Shared state must be *per world*, so the factory
+  // owns it via shared_ptr captured in the process closures.
+  const int k = 4;
+  const auto report = check_wait_freedom(
+      [k](const std::vector<int>&) {
+        auto rt = std::make_unique<Runtime>();
+        auto algorithm = std::make_shared<WrnSetConsensus>(k);
+        for (int p = 0; p < k; ++p) {
+          rt->add_process([algorithm, p](Context& ctx) {
+            ctx.decide(algorithm->propose(ctx, p, 100 + p));
+          });
+        }
+        return rt;
+      },
+      k);
+  EXPECT_TRUE(report.ok()) << *report.violation;
+  EXPECT_EQ(report.participation_sets_checked, (1 << k) - 1);
+}
+
+TEST(WaitFreedom, DetectsBlockingAlgorithm) {
+  // A deliberately blocking "algorithm": spin until another process writes.
+  // Wait-freedom must fail on the singleton participation sets.
+  const auto report = check_wait_freedom(
+      [](const std::vector<int>&) {
+        auto rt = std::make_unique<Runtime>();
+        auto flag = std::make_shared<Register<Value>>(kBottom);
+        rt->add_process([flag](Context& ctx) {
+          while (flag->read(ctx) == kBottom) {
+          }
+        });
+        rt->add_process([flag](Context& ctx) { flag->write(ctx, 1); });
+        return rt;
+      },
+      2, /*rounds=*/3, /*seed=*/1, /*max_steps=*/5'000);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violation->find("{0}"), std::string::npos);
+}
+
+TEST(WaitFreedom, DetectsHangingObjectUse) {
+  // Two processes reusing a 1sWRN index: the reuser hangs; wait-freedom
+  // fails for the both-participate set.
+  const auto report = check_wait_freedom(
+      [](const std::vector<int>&) {
+        auto rt = std::make_unique<Runtime>();
+        auto wrn = std::make_shared<OneShotWrnObject>(3);
+        for (int p = 0; p < 2; ++p) {
+          rt->add_process(
+              [wrn](Context& ctx) { wrn->wrn(ctx, 0, 1); });
+        }
+        return rt;
+      },
+      2);
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(WaitFreedom, FormatSetRendersBraces) {
+  EXPECT_EQ(format_set({0, 2, 3}), "{0,2,3}");
+  EXPECT_EQ(format_set({}), "{}");
+}
+
+TEST(WaitFreedom, RejectsOversizedSweeps) {
+  EXPECT_THROW(check_wait_freedom(
+                   [](const std::vector<int>&) {
+                     return std::make_unique<Runtime>();
+                   },
+                   25),
+               SimError);
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,223 @@
+// Unit tests for the simulation kernel: stepping, scheduling, decisions,
+// crashes, hangs and the schedule drivers.
+#include "subc/runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "subc/objects/register.hpp"
+#include "subc/runtime/scheduler.hpp"
+
+namespace subc {
+namespace {
+
+TEST(Runtime, RunsSingleProcessToCompletion) {
+  Runtime rt;
+  Register<> reg(kBottom);
+  rt.add_process([&](Context& ctx) {
+    reg.write(ctx, 42);
+    ctx.decide(reg.read(ctx));
+  });
+  RoundRobinDriver driver;
+  const auto result = rt.run(driver);
+  EXPECT_EQ(result.decisions, (std::vector<Value>{42}));
+  EXPECT_EQ(result.states[0], ProcState::kDone);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.total_steps, 2);  // one write + one read
+}
+
+TEST(Runtime, EachGrantIsOneSharedStep) {
+  // Local computation costs no steps; only register operations do.
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) {
+    long local = 0;
+    for (int i = 0; i < 1000; ++i) {
+      ++local;  // free local work
+    }
+    reg.write(ctx, local);
+    reg.read(ctx);
+  });
+  RoundRobinDriver driver;
+  const auto result = rt.run(driver);
+  EXPECT_EQ(result.total_steps, 2);
+}
+
+TEST(Runtime, RoundRobinInterleavesWrites) {
+  Runtime rt;
+  Register<> reg(kBottom);
+  std::vector<Value> observed;
+  for (int p = 0; p < 3; ++p) {
+    rt.add_process([&, p](Context& ctx) {
+      reg.write(ctx, p);
+      observed.push_back(reg.read(ctx));
+    });
+  }
+  RoundRobinDriver driver;
+  rt.run(driver);
+  // Round robin: writes 0,1,2 then reads 2,2,2 (pid order each round).
+  EXPECT_EQ(observed, (std::vector<Value>{2, 2, 2}));
+}
+
+TEST(Runtime, ScriptedDriverFollowsSchedule) {
+  Runtime rt;
+  Register<> reg(kBottom);
+  std::vector<Value> reads(2, kBottom);
+  for (int p = 0; p < 2; ++p) {
+    rt.add_process([&, p](Context& ctx) {
+      reg.write(ctx, p);
+      reads[static_cast<std::size_t>(p)] = reg.read(ctx);
+    });
+  }
+  // p1 does both its steps first, then p0.
+  ScriptedDriver driver({1, 1, 0, 0});
+  rt.run(driver);
+  EXPECT_EQ(reads[1], 1);  // p1 read before p0 wrote
+  EXPECT_EQ(reads[0], 0);  // p0 overwrote and read its own value
+}
+
+TEST(Runtime, CrashedProcessTakesNoSteps) {
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) { reg.write(ctx, 1); });
+  rt.add_process([&](Context& ctx) { reg.write(ctx, 2); });
+  rt.crash(0);
+  RoundRobinDriver driver;
+  const auto result = rt.run(driver);
+  EXPECT_EQ(result.states[0], ProcState::kCrashed);
+  EXPECT_EQ(result.states[1], ProcState::kDone);
+  EXPECT_EQ(reg.peek(), 2);
+  EXPECT_EQ(rt.steps_of(0), 0);
+}
+
+TEST(Runtime, HangIsUndetectableButRecorded) {
+  Runtime rt;
+  rt.add_process([&](Context& ctx) { ctx.hang(); });
+  rt.add_process([&](Context& ctx) { ctx.decide(7); });
+  RoundRobinDriver driver;
+  const auto result = rt.run(driver);
+  EXPECT_EQ(result.states[0], ProcState::kHung);
+  EXPECT_EQ(result.states[1], ProcState::kDone);
+  EXPECT_FALSE(result.quiescent);
+  EXPECT_EQ(result.decisions[1], 7);
+}
+
+TEST(Runtime, DecideTwiceThrows) {
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) {
+    reg.read(ctx);
+    ctx.decide(1);
+    ctx.decide(2);
+  });
+  RoundRobinDriver driver;
+  EXPECT_THROW(rt.run(driver), SimError);
+}
+
+TEST(Runtime, DecideBottomThrows) {
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) {
+    reg.read(ctx);
+    ctx.decide(kBottom);
+  });
+  RoundRobinDriver driver;
+  EXPECT_THROW(rt.run(driver), SimError);
+}
+
+TEST(Runtime, StepBoundDetectsNonTermination) {
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) {
+    for (;;) {
+      reg.read(ctx);  // spins forever
+    }
+  });
+  RoundRobinDriver driver;
+  EXPECT_THROW(rt.run(driver, /*max_steps=*/1000), SimError);
+}
+
+TEST(Runtime, RunIsSingleUse) {
+  Runtime rt;
+  rt.add_process([](Context&) {});
+  RoundRobinDriver driver;
+  rt.run(driver);
+  EXPECT_THROW(rt.run(driver), SimError);
+  EXPECT_THROW(rt.add_process([](Context&) {}), SimError);
+}
+
+TEST(Runtime, ProcessExceptionsPropagate) {
+  Runtime rt;
+  Register<> reg(0);
+  rt.add_process([&](Context& ctx) {
+    reg.read(ctx);
+    throw SpecViolation("deliberate");
+  });
+  RoundRobinDriver driver;
+  EXPECT_THROW(rt.run(driver), SpecViolation);
+}
+
+TEST(Runtime, RandomDriverIsReproducible) {
+  const auto run_once = [](std::uint64_t seed) {
+    Runtime rt;
+    Register<> reg(kBottom);
+    std::vector<Value> reads;
+    for (int p = 0; p < 4; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        reg.write(ctx, p);
+        reads.push_back(reg.read(ctx));
+      });
+    }
+    RandomDriver driver(seed);
+    rt.run(driver);
+    return reads;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  // Different seeds eventually differ (not guaranteed per pair; check a few).
+  bool any_different = false;
+  const auto base = run_once(1);
+  for (std::uint64_t seed = 2; seed < 20 && !any_different; ++seed) {
+    any_different = (run_once(seed) != base);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Runtime, ChooseOutsideRunThrows) {
+  Runtime rt;
+  rt.add_process([](Context&) {});
+  // choose() needs an active driver; call through a hand-built Context is
+  // not possible from outside, so we check the in-run path instead: a
+  // process using choose gets driver-supplied values.
+  Runtime rt2;
+  std::vector<std::uint32_t> picks;
+  Register<> reg(0);
+  rt2.add_process([&](Context& ctx) {
+    reg.read(ctx);
+    picks.push_back(ctx.choose(3));
+    picks.push_back(ctx.choose(1));
+  });
+  RoundRobinDriver driver;  // always picks option 0
+  rt2.run(driver);
+  EXPECT_EQ(picks, (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(Runtime, ManyProcessesAllFinish) {
+  Runtime rt;
+  Register<> reg(0);
+  constexpr int kProcs = 32;
+  for (int p = 0; p < kProcs; ++p) {
+    rt.add_process([&](Context& ctx) {
+      for (int i = 0; i < 10; ++i) {
+        reg.write(ctx, reg.read(ctx) + 1);
+      }
+    });
+  }
+  RandomDriver driver(3);
+  const auto result = rt.run(driver);
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_EQ(result.states[static_cast<std::size_t>(p)], ProcState::kDone);
+  }
+  EXPECT_EQ(result.total_steps, kProcs * 20);
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,117 @@
+// Dedicated tests for the schedule drivers (the adversary implementations):
+// round-robin ordering, scripted fallback behaviour, replay-prefix
+// semantics and arity consistency, trace formatting.
+#include "subc/runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace subc {
+namespace {
+
+TEST(RoundRobin, CyclesThroughEnabledPids) {
+  RoundRobinDriver driver;
+  const std::array<int, 3> enabled{0, 1, 2};
+  EXPECT_EQ(driver.pick(enabled), 0u);
+  EXPECT_EQ(driver.pick(enabled), 1u);
+  EXPECT_EQ(driver.pick(enabled), 2u);
+  EXPECT_EQ(driver.pick(enabled), 0u);  // wraps
+}
+
+TEST(RoundRobin, SkipsDisabledPids) {
+  RoundRobinDriver driver;
+  const std::array<int, 3> all{0, 1, 2};
+  EXPECT_EQ(driver.pick(all), 0u);
+  // pid 1 vanished: next-greater is 2 at index 1.
+  const std::array<int, 2> reduced{0, 2};
+  EXPECT_EQ(reduced[driver.pick(reduced)], 2);
+  EXPECT_EQ(reduced[driver.pick(reduced)], 0);
+}
+
+TEST(RoundRobin, ChoiceAlwaysZero) {
+  RoundRobinDriver driver;
+  EXPECT_EQ(driver.choose(5), 0u);
+  EXPECT_EQ(driver.choose(1), 0u);
+}
+
+TEST(Scripted, FollowsScriptWhileValid) {
+  ScriptedDriver driver({2, 0, 2});
+  const std::array<int, 3> enabled{0, 1, 2};
+  EXPECT_EQ(enabled[driver.pick(enabled)], 2);
+  EXPECT_EQ(enabled[driver.pick(enabled)], 0);
+  EXPECT_EQ(enabled[driver.pick(enabled)], 2);
+}
+
+TEST(Scripted, FallsBackToFirstEnabled) {
+  ScriptedDriver driver({7});  // 7 never enabled
+  const std::array<int, 2> enabled{3, 5};
+  EXPECT_EQ(enabled[driver.pick(enabled)], 3);
+  // Script exhausted: first enabled again.
+  EXPECT_EQ(enabled[driver.pick(enabled)], 3);
+}
+
+TEST(Replay, ExtendsWithFirstOptionsAndRecords) {
+  ReplayDriver driver;
+  const std::array<int, 3> enabled{0, 1, 2};
+  EXPECT_EQ(driver.pick(enabled), 0u);
+  EXPECT_EQ(driver.choose(4), 0u);
+  ASSERT_EQ(driver.trace().size(), 2u);
+  EXPECT_EQ(driver.trace()[0].arity, 3u);
+  EXPECT_EQ(driver.trace()[1].arity, 4u);
+}
+
+TEST(Replay, ReplaysPrefixThenExtends) {
+  std::vector<ReplayDriver::Decision> prefix{{2, 3}, {1, 2}};
+  ReplayDriver driver(prefix);
+  const std::array<int, 3> three{0, 1, 2};
+  const std::array<int, 2> two{0, 1};
+  EXPECT_EQ(driver.pick(three), 2u);
+  EXPECT_EQ(driver.choose(2), 1u);
+  EXPECT_EQ(driver.pick(two), 0u);  // beyond prefix: first option
+  EXPECT_EQ(driver.trace().size(), 3u);
+}
+
+TEST(Replay, DetectsArityDrift) {
+  // If the world is not deterministic given the decision string, the
+  // recorded arity will not match — that must be loud, not silent.
+  std::vector<ReplayDriver::Decision> prefix{{0, 3}};
+  ReplayDriver driver(prefix);
+  const std::array<int, 2> two{0, 1};  // arity 2, recorded 3
+  EXPECT_THROW(driver.pick(two), SimError);
+}
+
+TEST(Replay, RejectsOutOfRangeChosen) {
+  std::vector<ReplayDriver::Decision> prefix{{5, 3}};
+  ReplayDriver driver(prefix);
+  const std::array<int, 3> three{0, 1, 2};
+  EXPECT_THROW(driver.pick(three), SimError);
+}
+
+TEST(Random, SameSeedSameDecisions) {
+  RandomDriver a(99);
+  RandomDriver b(99);
+  const std::array<int, 4> enabled{0, 1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.pick(enabled), b.pick(enabled));
+    EXPECT_EQ(a.choose(7), b.choose(7));
+  }
+}
+
+TEST(Random, ChoicesStayInRange) {
+  RandomDriver driver(5);
+  const std::array<int, 3> enabled{0, 1, 2};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(driver.pick(enabled), 3u);
+    EXPECT_LT(driver.choose(4), 4u);
+  }
+}
+
+TEST(FormatTrace, RendersDecisions) {
+  std::vector<ReplayDriver::Decision> trace{{0, 2}, {1, 3}};
+  EXPECT_EQ(format_trace(trace), "0/2 1/3");
+  EXPECT_EQ(format_trace({}), "");
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,99 @@
+// Tests for the task validators (consensus, k-set consensus, election,
+// renaming) — the assertion vocabulary of the whole suite, so its own
+// correctness is checked carefully here.
+#include "subc/core/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subc {
+namespace {
+
+TEST(Tasks, DistinctDecisionsIgnoresBottom) {
+  const std::vector<Value> decisions{1, 2, kBottom, 2, 1};
+  EXPECT_EQ(distinct_decisions(decisions), 2);
+  EXPECT_EQ(distinct_decisions(std::vector<Value>{}), 0);
+  EXPECT_EQ(distinct_decisions(std::vector<Value>{kBottom}), 0);
+}
+
+TEST(Tasks, ValidityAcceptsProposedValues) {
+  const std::vector<Value> inputs{10, 20, 30};
+  EXPECT_NO_THROW(check_validity(inputs, std::vector<Value>{30, 10, kBottom}));
+}
+
+TEST(Tasks, ValidityRejectsInventedValue) {
+  const std::vector<Value> inputs{10, 20};
+  EXPECT_THROW(check_validity(inputs, std::vector<Value>{10, 99}),
+               SpecViolation);
+}
+
+TEST(Tasks, KAgreementBoundary) {
+  const std::vector<Value> decisions{1, 2, 3};
+  EXPECT_NO_THROW(check_k_agreement(decisions, 3));
+  EXPECT_THROW(check_k_agreement(decisions, 2), SpecViolation);
+  EXPECT_NO_THROW(check_agreement(std::vector<Value>{5, 5, kBottom, 5}));
+  EXPECT_THROW(check_agreement(std::vector<Value>{5, 6}), SpecViolation);
+}
+
+TEST(Tasks, ElectionValidity) {
+  const std::vector<int> participants{0, 2};
+  EXPECT_NO_THROW(
+      check_election_validity(std::vector<Value>{2, kBottom, 0}, participants));
+  EXPECT_THROW(
+      check_election_validity(std::vector<Value>{1}, participants),
+      SpecViolation);
+}
+
+TEST(Tasks, SelfElection) {
+  // p0 elects p2, p2 elects itself: fine.
+  EXPECT_NO_THROW(check_self_election(std::vector<Value>{2, 1, 2}));
+  // p0 elects p1 but p1 elected p0: violation.
+  EXPECT_THROW(check_self_election(std::vector<Value>{1, 0}), SpecViolation);
+  // Electing an out-of-range id is a violation.
+  EXPECT_THROW(check_self_election(std::vector<Value>{5}), SpecViolation);
+}
+
+TEST(Tasks, RenamingValidator) {
+  EXPECT_NO_THROW(check_renaming(std::vector<Value>{0, 2, 1}, 5));
+  EXPECT_THROW(check_renaming(std::vector<Value>{0, 0}, 5), SpecViolation);
+  EXPECT_THROW(check_renaming(std::vector<Value>{5}, 5), SpecViolation);
+  EXPECT_THROW(check_renaming(std::vector<Value>{-1}, 5), SpecViolation);
+  EXPECT_NO_THROW(check_renaming(std::vector<Value>{kBottom, 1}, 5));
+}
+
+TEST(Tasks, FormatDecisionsShowsBottom) {
+  const std::string s = format_decisions(std::vector<Value>{1, kBottom});
+  EXPECT_NE(s.find("⊥"), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(Tasks, RunResultValidators) {
+  Runtime::RunResult result;
+  result.states = {ProcState::kDone, ProcState::kCrashed};
+  result.decisions = {4, kBottom};
+  EXPECT_NO_THROW(check_decided_if_done(result));
+  // All-done validator requires every process done and decided.
+  EXPECT_THROW(check_all_done_and_decided(result), SpecViolation);
+
+  result.states = {ProcState::kDone, ProcState::kDone};
+  EXPECT_THROW(check_all_done_and_decided(result), SpecViolation);
+  result.decisions = {4, 4};
+  EXPECT_NO_THROW(check_all_done_and_decided(result));
+
+  // Done without deciding is flagged.
+  result.decisions = {4, kBottom};
+  EXPECT_THROW(check_decided_if_done(result), SpecViolation);
+}
+
+TEST(Tasks, SetConsensusCompositeValidator) {
+  Runtime::RunResult result;
+  result.states = {ProcState::kDone, ProcState::kDone, ProcState::kDone};
+  result.decisions = {10, 10, 20};
+  const std::vector<Value> inputs{10, 20, 30};
+  EXPECT_NO_THROW(check_set_consensus(result, inputs, 2));
+  EXPECT_THROW(check_set_consensus(result, inputs, 1), SpecViolation);
+  result.decisions = {10, 10, 99};
+  EXPECT_THROW(check_set_consensus(result, inputs, 2), SpecViolation);
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,84 @@
+// Tests for the ASCII space-time renderer.
+#include "subc/checking/trace_viz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subc {
+namespace {
+
+TEST(TraceViz, EmptyHistory) {
+  History h;
+  EXPECT_EQ(render_history(h), "(empty history)\n");
+}
+
+TEST(TraceViz, RendersOneLanePerProcess) {
+  History h;
+  const auto a = h.invoke(0, {0, 100});
+  const auto b = h.invoke(1, {1, 101});
+  h.respond(a, {kBottom});
+  h.respond(b, {100});
+  const std::string out = render_history(h);
+  EXPECT_NE(out.find("p0 "), std::string::npos);
+  EXPECT_NE(out.find("p1 "), std::string::npos);
+  // Two lines, both containing op boxes.
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("op(0,100)"), std::string::npos);
+}
+
+TEST(TraceViz, PendingOpsRunToTheHorizon) {
+  History h;
+  h.invoke(0, {0, 1});  // never responds
+  const auto b = h.invoke(1, {1, 2});
+  h.respond(b, {7});
+  const std::string out = render_history(h);
+  EXPECT_NE(out.find("->?"), std::string::npos);  // pending marker
+  EXPECT_NE(out.find("->7"), std::string::npos);
+}
+
+TEST(TraceViz, CustomOpName) {
+  History h;
+  const auto a = h.invoke(2, {1, 5});
+  h.respond(a, {kBottom});
+  TraceVizOptions options;
+  options.op_name = "1sWRN";
+  const std::string out = render_history(h, options);
+  EXPECT_NE(out.find("1sWRN(1,5)"), std::string::npos);
+  EXPECT_NE(out.find("p2 "), std::string::npos);
+}
+
+TEST(TraceViz, OverlapIsVisible) {
+  // Sequential ops occupy disjoint column ranges; overlapping ops share
+  // columns. We check the structural property: the second op's box starts
+  // before the first one's end iff they overlap in logical time.
+  History seq;
+  auto a = seq.invoke(0, {0, 1});
+  seq.respond(a, {kBottom});
+  auto b = seq.invoke(1, {1, 2});
+  seq.respond(b, {1});
+  const std::string s = render_history(seq);
+
+  History conc;
+  auto c = conc.invoke(0, {0, 1});
+  auto d = conc.invoke(1, {1, 2});
+  conc.respond(c, {kBottom});
+  conc.respond(d, {1});
+  const std::string t = render_history(conc);
+
+  // In the sequential render, p1's box starts after p0's closes; grab
+  // column of p0's closing '|' and p1's opening '|'.
+  const auto line_of = [](const std::string& out, const char* prefix) {
+    const auto at = out.find(prefix);
+    const auto end = out.find('\n', at);
+    return out.substr(at, end - at);
+  };
+  const std::string s0 = line_of(s, "p0 ");
+  const std::string s1 = line_of(s, "p1 ");
+  EXPECT_LT(s0.find_last_of('|'), s1.find_first_of('|'));
+
+  const std::string t0 = line_of(t, "p0 ");
+  const std::string t1 = line_of(t, "p1 ");
+  EXPECT_GT(t0.find_last_of('|'), t1.find_first_of('|'));
+}
+
+}  // namespace
+}  // namespace subc

@@ -1,0 +1,41 @@
+// Compiles the umbrella header and exercises one object from each layer —
+// guards against the umbrella drifting out of sync with the tree.
+#include "subc/subc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subc {
+namespace {
+
+TEST(Umbrella, OneSymbolPerLayerLinks) {
+  // runtime
+  Runtime rt;
+  // objects
+  Register<> reg(kBottom);
+  WrnObject wrn(3);
+  OnkObject onk(2, 2);
+  // algorithms
+  WrnSetConsensus task(3);
+  SafeAgreement sa(2);
+  // core
+  EXPECT_TRUE(sc_implementable(12, 8, 3, 2));
+  EXPECT_EQ(onk_component_capacity(2, 1), 5);
+  // checking
+  History h;
+  EXPECT_EQ(h.completed(), 0u);
+
+  rt.add_process([&](Context& ctx) {
+    reg.write(ctx, 1);
+    wrn.wrn(ctx, 0, 5);
+    onk.propose(ctx, 0, 7);
+    sa.propose(ctx, 0, 9);
+    ctx.decide(task.propose(ctx, 0, 11));
+  });
+  RoundRobinDriver driver;
+  const auto result = rt.run(driver);
+  EXPECT_EQ(result.states[0], ProcState::kDone);
+  EXPECT_EQ(result.decisions[0], 11);
+}
+
+}  // namespace
+}  // namespace subc
