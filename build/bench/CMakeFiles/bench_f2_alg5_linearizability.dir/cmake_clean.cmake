@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_alg5_linearizability.dir/bench_f2_alg5_linearizability.cpp.o"
+  "CMakeFiles/bench_f2_alg5_linearizability.dir/bench_f2_alg5_linearizability.cpp.o.d"
+  "bench_f2_alg5_linearizability"
+  "bench_f2_alg5_linearizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_alg5_linearizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

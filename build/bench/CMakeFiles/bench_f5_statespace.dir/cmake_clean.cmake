@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_statespace.dir/bench_f5_statespace.cpp.o"
+  "CMakeFiles/bench_f5_statespace.dir/bench_f5_statespace.cpp.o.d"
+  "bench_f5_statespace"
+  "bench_f5_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_power_map.dir/bench_f7_power_map.cpp.o"
+  "CMakeFiles/bench_f7_power_map.dir/bench_f7_power_map.cpp.o.d"
+  "bench_f7_power_map"
+  "bench_f7_power_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_power_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_soak.dir/bench_f8_soak.cpp.o"
+  "CMakeFiles/bench_f8_soak.dir/bench_f8_soak.cpp.o.d"
+  "bench_f8_soak"
+  "bench_f8_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t1_wrn_set_consensus.
+# This may be replaced when dependencies are built.

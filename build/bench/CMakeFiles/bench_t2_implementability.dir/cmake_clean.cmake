@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_implementability.dir/bench_t2_implementability.cpp.o"
+  "CMakeFiles/bench_t2_implementability.dir/bench_t2_implementability.cpp.o.d"
+  "bench_t2_implementability"
+  "bench_t2_implementability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_implementability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_wrn_hierarchy.dir/bench_t3_wrn_hierarchy.cpp.o"
+  "CMakeFiles/bench_t3_wrn_hierarchy.dir/bench_t3_wrn_hierarchy.cpp.o.d"
+  "bench_t3_wrn_hierarchy"
+  "bench_t3_wrn_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_wrn_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

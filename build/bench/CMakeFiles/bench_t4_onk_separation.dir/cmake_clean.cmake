@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_onk_separation.dir/bench_t4_onk_separation.cpp.o"
+  "CMakeFiles/bench_t4_onk_separation.dir/bench_t4_onk_separation.cpp.o.d"
+  "bench_t4_onk_separation"
+  "bench_t4_onk_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_onk_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

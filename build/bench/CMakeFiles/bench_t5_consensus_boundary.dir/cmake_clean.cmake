@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_consensus_boundary.dir/bench_t5_consensus_boundary.cpp.o"
+  "CMakeFiles/bench_t5_consensus_boundary.dir/bench_t5_consensus_boundary.cpp.o.d"
+  "bench_t5_consensus_boundary"
+  "bench_t5_consensus_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_consensus_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_indistinguishability.dir/bench_t6_indistinguishability.cpp.o"
+  "CMakeFiles/bench_t6_indistinguishability.dir/bench_t6_indistinguishability.cpp.o.d"
+  "bench_t6_indistinguishability"
+  "bench_t6_indistinguishability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_indistinguishability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

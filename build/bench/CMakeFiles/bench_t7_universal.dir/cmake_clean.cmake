@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_universal.dir/bench_t7_universal.cpp.o"
+  "CMakeFiles/bench_t7_universal.dir/bench_t7_universal.cpp.o.d"
+  "bench_t7_universal"
+  "bench_t7_universal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

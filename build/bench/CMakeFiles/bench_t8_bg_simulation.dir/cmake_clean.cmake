@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_bg_simulation.dir/bench_t8_bg_simulation.cpp.o"
+  "CMakeFiles/bench_t8_bg_simulation.dir/bench_t8_bg_simulation.cpp.o.d"
+  "bench_t8_bg_simulation"
+  "bench_t8_bg_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_bg_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_check_wrn.dir/model_check_wrn.cpp.o"
+  "CMakeFiles/model_check_wrn.dir/model_check_wrn.cpp.o.d"
+  "model_check_wrn"
+  "model_check_wrn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_check_wrn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

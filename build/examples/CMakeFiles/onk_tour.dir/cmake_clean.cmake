@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onk_tour.dir/onk_tour.cpp.o"
+  "CMakeFiles/onk_tour.dir/onk_tour.cpp.o.d"
+  "onk_tour"
+  "onk_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onk_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

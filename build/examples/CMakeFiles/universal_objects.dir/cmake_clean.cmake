@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_objects.dir/universal_objects.cpp.o"
+  "CMakeFiles/universal_objects.dir/universal_objects.cpp.o.d"
+  "universal_objects"
+  "universal_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bg_simulation.cpp" "src/CMakeFiles/subc.dir/algorithms/bg_simulation.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/bg_simulation.cpp.o.d"
+  "/root/repo/src/algorithms/classic_consensus.cpp" "src/CMakeFiles/subc.dir/algorithms/classic_consensus.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/classic_consensus.cpp.o.d"
+  "/root/repo/src/algorithms/onk_algorithms.cpp" "src/CMakeFiles/subc.dir/algorithms/onk_algorithms.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/onk_algorithms.cpp.o.d"
+  "/root/repo/src/algorithms/partition_set_consensus.cpp" "src/CMakeFiles/subc.dir/algorithms/partition_set_consensus.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/partition_set_consensus.cpp.o.d"
+  "/root/repo/src/algorithms/relaxed_wrn.cpp" "src/CMakeFiles/subc.dir/algorithms/relaxed_wrn.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/relaxed_wrn.cpp.o.d"
+  "/root/repo/src/algorithms/renaming.cpp" "src/CMakeFiles/subc.dir/algorithms/renaming.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/renaming.cpp.o.d"
+  "/root/repo/src/algorithms/set_election.cpp" "src/CMakeFiles/subc.dir/algorithms/set_election.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/set_election.cpp.o.d"
+  "/root/repo/src/algorithms/wrn_anonymous.cpp" "src/CMakeFiles/subc.dir/algorithms/wrn_anonymous.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/wrn_anonymous.cpp.o.d"
+  "/root/repo/src/algorithms/wrn_from_sse.cpp" "src/CMakeFiles/subc.dir/algorithms/wrn_from_sse.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/wrn_from_sse.cpp.o.d"
+  "/root/repo/src/algorithms/wrn_set_consensus.cpp" "src/CMakeFiles/subc.dir/algorithms/wrn_set_consensus.cpp.o" "gcc" "src/CMakeFiles/subc.dir/algorithms/wrn_set_consensus.cpp.o.d"
+  "/root/repo/src/checking/linearizability.cpp" "src/CMakeFiles/subc.dir/checking/linearizability.cpp.o" "gcc" "src/CMakeFiles/subc.dir/checking/linearizability.cpp.o.d"
+  "/root/repo/src/checking/progress.cpp" "src/CMakeFiles/subc.dir/checking/progress.cpp.o" "gcc" "src/CMakeFiles/subc.dir/checking/progress.cpp.o.d"
+  "/root/repo/src/core/consensus_number.cpp" "src/CMakeFiles/subc.dir/core/consensus_number.cpp.o" "gcc" "src/CMakeFiles/subc.dir/core/consensus_number.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/CMakeFiles/subc.dir/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/subc.dir/core/hierarchy.cpp.o.d"
+  "/root/repo/src/core/tasks.cpp" "src/CMakeFiles/subc.dir/core/tasks.cpp.o" "gcc" "src/CMakeFiles/subc.dir/core/tasks.cpp.o.d"
+  "/root/repo/src/objects/onk.cpp" "src/CMakeFiles/subc.dir/objects/onk.cpp.o" "gcc" "src/CMakeFiles/subc.dir/objects/onk.cpp.o.d"
+  "/root/repo/src/objects/wrn.cpp" "src/CMakeFiles/subc.dir/objects/wrn.cpp.o" "gcc" "src/CMakeFiles/subc.dir/objects/wrn.cpp.o.d"
+  "/root/repo/src/runtime/explorer.cpp" "src/CMakeFiles/subc.dir/runtime/explorer.cpp.o" "gcc" "src/CMakeFiles/subc.dir/runtime/explorer.cpp.o.d"
+  "/root/repo/src/runtime/fiber.cpp" "src/CMakeFiles/subc.dir/runtime/fiber.cpp.o" "gcc" "src/CMakeFiles/subc.dir/runtime/fiber.cpp.o.d"
+  "/root/repo/src/runtime/history.cpp" "src/CMakeFiles/subc.dir/runtime/history.cpp.o" "gcc" "src/CMakeFiles/subc.dir/runtime/history.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/subc.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/subc.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/subc.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/subc.dir/runtime/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_consensus_test.dir/classic_consensus_test.cpp.o"
+  "CMakeFiles/classic_consensus_test.dir/classic_consensus_test.cpp.o.d"
+  "classic_consensus_test"
+  "classic_consensus_test.pdb"
+  "classic_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

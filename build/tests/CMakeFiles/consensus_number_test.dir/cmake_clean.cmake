@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_number_test.dir/consensus_number_test.cpp.o"
+  "CMakeFiles/consensus_number_test.dir/consensus_number_test.cpp.o.d"
+  "consensus_number_test"
+  "consensus_number_test.pdb"
+  "consensus_number_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_number_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwmr_register_test.dir/mwmr_register_test.cpp.o"
+  "CMakeFiles/mwmr_register_test.dir/mwmr_register_test.cpp.o.d"
+  "mwmr_register_test"
+  "mwmr_register_test.pdb"
+  "mwmr_register_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwmr_register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

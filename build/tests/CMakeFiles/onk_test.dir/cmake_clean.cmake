@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onk_test.dir/onk_test.cpp.o"
+  "CMakeFiles/onk_test.dir/onk_test.cpp.o.d"
+  "onk_test"
+  "onk_test.pdb"
+  "onk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

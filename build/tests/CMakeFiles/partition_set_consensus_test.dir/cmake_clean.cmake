@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_set_consensus_test.dir/partition_set_consensus_test.cpp.o"
+  "CMakeFiles/partition_set_consensus_test.dir/partition_set_consensus_test.cpp.o.d"
+  "partition_set_consensus_test"
+  "partition_set_consensus_test.pdb"
+  "partition_set_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_set_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ported_wrn_test.dir/ported_wrn_test.cpp.o"
+  "CMakeFiles/ported_wrn_test.dir/ported_wrn_test.cpp.o.d"
+  "ported_wrn_test"
+  "ported_wrn_test.pdb"
+  "ported_wrn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ported_wrn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

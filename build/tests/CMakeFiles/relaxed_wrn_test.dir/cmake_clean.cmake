@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxed_wrn_test.dir/relaxed_wrn_test.cpp.o"
+  "CMakeFiles/relaxed_wrn_test.dir/relaxed_wrn_test.cpp.o.d"
+  "relaxed_wrn_test"
+  "relaxed_wrn_test.pdb"
+  "relaxed_wrn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxed_wrn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

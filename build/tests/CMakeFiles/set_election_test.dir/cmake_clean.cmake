@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_election_test.dir/set_election_test.cpp.o"
+  "CMakeFiles/set_election_test.dir/set_election_test.cpp.o.d"
+  "set_election_test"
+  "set_election_test.pdb"
+  "set_election_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

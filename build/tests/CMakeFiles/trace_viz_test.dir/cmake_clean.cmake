@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_viz_test.dir/trace_viz_test.cpp.o"
+  "CMakeFiles/trace_viz_test.dir/trace_viz_test.cpp.o.d"
+  "trace_viz_test"
+  "trace_viz_test.pdb"
+  "trace_viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

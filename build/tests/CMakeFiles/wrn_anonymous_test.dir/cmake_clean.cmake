@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrn_anonymous_test.dir/wrn_anonymous_test.cpp.o"
+  "CMakeFiles/wrn_anonymous_test.dir/wrn_anonymous_test.cpp.o.d"
+  "wrn_anonymous_test"
+  "wrn_anonymous_test.pdb"
+  "wrn_anonymous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrn_anonymous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrn_from_sse_test.dir/wrn_from_sse_test.cpp.o"
+  "CMakeFiles/wrn_from_sse_test.dir/wrn_from_sse_test.cpp.o.d"
+  "wrn_from_sse_test"
+  "wrn_from_sse_test.pdb"
+  "wrn_from_sse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrn_from_sse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

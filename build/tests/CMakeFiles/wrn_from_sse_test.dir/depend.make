@@ -1,0 +1,2 @@
+# Empty dependencies file for wrn_from_sse_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrn_object_test.dir/wrn_object_test.cpp.o"
+  "CMakeFiles/wrn_object_test.dir/wrn_object_test.cpp.o.d"
+  "wrn_object_test"
+  "wrn_object_test.pdb"
+  "wrn_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrn_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

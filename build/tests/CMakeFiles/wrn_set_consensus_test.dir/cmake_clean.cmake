@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrn_set_consensus_test.dir/wrn_set_consensus_test.cpp.o"
+  "CMakeFiles/wrn_set_consensus_test.dir/wrn_set_consensus_test.cpp.o.d"
+  "wrn_set_consensus_test"
+  "wrn_set_consensus_test.pdb"
+  "wrn_set_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrn_set_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
