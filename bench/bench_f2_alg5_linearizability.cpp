@@ -6,10 +6,14 @@
 //    atomic versus register-built snapshots — the price of the paper's
 //    construction in base-object steps;
 //  * verification cost: Wing–Gong checker time on the recorded histories.
+// Sweeps run on the parallel RandomSweep; results also land in
+// BENCH_F2.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
+#include "bench_util.hpp"
 #include "subc/algorithms/wrn_from_sse.hpp"
 #include "subc/checking/linearizability.hpp"
 #include "subc/objects/wrn.hpp"
@@ -25,18 +29,23 @@ struct Row {
   double mean_steps_per_op = 0;
   long worst_steps_per_op = 0;
   double checker_ms_per_history = 0;
+  std::int64_t runs = 0;
+  double ms = 0;
   bool ok = true;
 };
 
-Row measure(int k, bool register_snapshots, int rounds) {
+Row measure(int k, bool register_snapshots, int rounds, int threads) {
   Row row;
   row.k = k;
   row.snapshots = register_snapshots ? "registers" : "atomic";
+  // Shared accumulators (guarded); the Runtime/History are per-execution.
+  std::mutex mu;
   long total_steps = 0;
   long ops = 0;
   long worst = 0;
   double checker_ms = 0;
   int histories = 0;
+  const subc_bench::Stopwatch sw;
   const auto result = RandomSweep::run(
       [&](ScheduleDriver& driver) {
         Runtime rt;
@@ -48,24 +57,29 @@ Row measure(int k, bool register_snapshots, int rounds) {
           });
         }
         rt.run(driver, 10'000'000);
-        for (int p = 0; p < k; ++p) {
-          const long steps = static_cast<long>(rt.steps_of(p));
-          total_steps += steps;
-          worst = std::max(worst, steps);
-          ++ops;
-        }
         const auto start = std::chrono::steady_clock::now();
         const auto check =
             check_linearizable(OneShotWrnSpec{k}, history.entries());
         const auto stop = std::chrono::steady_clock::now();
-        checker_ms += std::chrono::duration<double, std::milli>(stop - start)
-                          .count();
-        ++histories;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          for (int p = 0; p < k; ++p) {
+            const long steps = static_cast<long>(rt.steps_of(p));
+            total_steps += steps;
+            worst = std::max(worst, steps);
+            ++ops;
+          }
+          checker_ms +=
+              std::chrono::duration<double, std::milli>(stop - start).count();
+          ++histories;
+        }
         if (!check.linearizable) {
           throw SpecViolation("not linearizable: " + check.message);
         }
       },
-      rounds);
+      rounds, 1, threads);
+  row.ms = sw.ms();
+  row.runs = result.runs;
   row.ok = result.ok();
   row.mean_steps_per_op =
       ops ? static_cast<double>(total_steps) / static_cast<double>(ops) : 0;
@@ -78,30 +92,47 @@ Row measure(int k, bool register_snapshots, int rounds) {
 }  // namespace
 
 int main() {
+  const int threads = subc_bench::bench_threads();
   std::printf("F2: Algorithm 5 — steps per implemented 1sWRN op and "
-              "checker cost\n\n");
+              "checker cost (%d threads)\n\n", threads);
   std::printf("%4s  %-10s %16s  %16s  %18s  %s\n", "k", "snapshots",
               "mean steps/op", "worst steps/op", "checker ms/history", "ok");
   bool ok = true;
-  for (const int k : {3, 4, 5, 6}) {
-    const Row row = measure(k, false, 400);
+  std::vector<subc_bench::Json> rows;
+  const auto emit = [&](const Row& row) {
     ok = ok && row.ok;
     std::printf("%4d  %-10s %16.1f  %16ld  %18.3f  %s\n", row.k,
                 row.snapshots, row.mean_steps_per_op, row.worst_steps_per_op,
                 row.checker_ms_per_history, row.ok ? "yes" : "NO");
+    subc_bench::Json json_row;
+    json_row.set("k", row.k)
+        .set("snapshots", row.snapshots)
+        .set("mean_steps_per_op", row.mean_steps_per_op)
+        .set("worst_steps_per_op",
+             static_cast<std::int64_t>(row.worst_steps_per_op))
+        .set("checker_ms_per_history", row.checker_ms_per_history)
+        .set("runs", row.runs)
+        .set("ms", row.ms)
+        .set("runs_per_sec",
+             row.ms > 0 ? 1000.0 * static_cast<double>(row.runs) / row.ms : 0.0)
+        .set("ok", row.ok);
+    rows.push_back(json_row);
+  };
+  for (const int k : {3, 4, 5, 6}) {
+    emit(measure(k, false, 400, threads));
   }
   for (const int k : {3, 4}) {
-    const Row row = measure(k, true, 120);
-    ok = ok && row.ok;
-    std::printf("%4d  %-10s %16.1f  %16ld  %18.3f  %s\n", row.k,
-                row.snapshots, row.mean_steps_per_op, row.worst_steps_per_op,
-                row.checker_ms_per_history, row.ok ? "yes" : "NO");
+    emit(measure(k, true, 120, threads));
   }
   std::printf(
       "\nreading: with atomic snapshots an operation costs O(1) steps\n"
       "(announce, doorway, election, two snapshots, one view publish);\n"
       "register-built snapshots multiply each snapshot into O(k) collects\n"
       "(and updates embed a scan), which is the register-grounded price.\n");
+  subc_bench::Json out;
+  out.set("bench", "F2").set("threads", threads).set("rows", rows).set(
+      "pass", ok);
+  subc_bench::write_json("BENCH_F2.json", out);
   std::printf("\nF2 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -2,10 +2,13 @@
 //
 // Establishes the throughput envelope of the substrate itself: fiber
 // switches, kernel steps over base objects, the paper objects' operations,
-// whole-algorithm runs and explorer execution rates. These numbers bound
-// how large the exhaustive experiments (T1, T5, T6) can be pushed.
+// whole-algorithm runs and explorer execution rates (serial and parallel).
+// These numbers bound how large the exhaustive experiments (T1, T5, T6)
+// can be pushed. After the google-benchmark suite, the explorer rates are
+// re-measured directly and written to BENCH_F4.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "subc/algorithms/snapshot_impl.hpp"
 #include "subc/algorithms/wrn_set_consensus.hpp"
 #include "subc/objects/register.hpp"
@@ -110,29 +113,41 @@ void BM_Algorithm2FullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm2FullRun)->Arg(3)->Arg(8)->Arg(16);
 
+ExecutionBody explorer_rate_body() {
+  return [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&](Context& ctx) {
+        reg.read(ctx);
+        reg.write(ctx, 1);
+      });
+    }
+    rt.run(driver);
+  };
+}
+
 void BM_ExplorerExecutionRate(benchmark::State& state) {
   // Executions per second of the stateless explorer on a 3-process world.
+  // Arg(0) = worker threads (1 = the serial path).
+  Explorer::Options opts;
+  opts.max_executions = 2000;
+  opts.threads = static_cast<int>(state.range(0));
+  const ExecutionBody body = explorer_rate_body();
   for (auto _ : state) {
-    const auto result = Explorer::explore(
-        [](ScheduleDriver& driver) {
-          Runtime rt;
-          Register<> reg(0);
-          for (int p = 0; p < 3; ++p) {
-            rt.add_process([&](Context& ctx) {
-              reg.read(ctx);
-              reg.write(ctx, 1);
-            });
-          }
-          rt.run(driver);
-        },
-        Explorer::Options{.max_executions = 2000});
+    const auto result = Explorer::explore(body, opts);
     benchmark::DoNotOptimize(result.executions);
   }
   state.SetItemsProcessed(state.iterations() * 2000);
 }
-BENCHMARK(BM_ExplorerExecutionRate);
+BENCHMARK(BM_ExplorerExecutionRate)->Arg(1)->Arg(0);  // 0 = all hw threads
 
 void BM_RandomSweepRate(benchmark::State& state) {
+  // Arg(0) = worker threads as above.
+  const int threads =
+      static_cast<int>(state.range(0)) == 0
+          ? Explorer::resolve_threads(0)
+          : static_cast<int>(state.range(0));
   for (auto _ : state) {
     const auto result = RandomSweep::run(
         [](ScheduleDriver& driver) {
@@ -145,13 +160,67 @@ void BM_RandomSweepRate(benchmark::State& state) {
           }
           rt.run(driver);
         },
-        200);
+        200, 1, threads);
     benchmark::DoNotOptimize(result.runs);
   }
   state.SetItemsProcessed(state.iterations() * 200);
 }
-BENCHMARK(BM_RandomSweepRate);
+BENCHMARK(BM_RandomSweepRate)->Arg(1)->Arg(0);
+
+// Direct (non-google-benchmark) explorer rate measurement for the JSON
+// artifact: one larger tree, serial vs parallel.
+void write_results_json() {
+  const int threads = subc_bench::bench_threads();
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&](Context& ctx) {
+        for (int s = 0; s < 4; ++s) {
+          reg.read(ctx);
+        }
+      });
+    }
+    rt.run(driver);
+  };
+  Explorer::Options opts;
+  opts.max_executions = 5'000'000;
+  const subc_bench::Stopwatch serial_sw;
+  const auto serial = Explorer::explore(body, opts);
+  const double serial_ms = serial_sw.ms();
+  opts.threads = threads;
+  const subc_bench::Stopwatch parallel_sw;
+  const auto parallel = Explorer::explore(body, opts);
+  const double parallel_ms = parallel_sw.ms();
+
+  subc_bench::Json out;
+  out.set("bench", "F4")
+      .set("threads", threads)
+      .set("executions", serial.executions)
+      .set("counts_match", parallel.executions == serial.executions)
+      .set("serial_ms", serial_ms)
+      .set("parallel_ms", parallel_ms)
+      .set("serial_executions_per_sec",
+           serial_ms > 0
+               ? 1000.0 * static_cast<double>(serial.executions) / serial_ms
+               : 0.0)
+      .set("parallel_executions_per_sec",
+           parallel_ms > 0
+               ? 1000.0 * static_cast<double>(parallel.executions) /
+                     parallel_ms
+               : 0.0)
+      .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+  subc_bench::write_json("BENCH_F4.json", out);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  write_results_json();
+  return 0;
+}

@@ -1,13 +1,21 @@
-// Experiment F5 — state-space growth and checker scaling.
+// Experiment F5 — state-space growth, parallel explorer speedup, and
+// checker scaling.
 //
 // Series 1: exhaustive-explorer execution counts versus processes × steps
 // (the multinomial schedule-tree sizes), measured against the closed form —
-// calibrates what "exhaustive" can mean for T1/T5/T6.
+// calibrates what "exhaustive" can mean for T1/T5/T6. Each cell is explored
+// twice: serially and with the work-sharing parallel explorer; the counts
+// must agree bit-for-bit and the wall-clock ratio is the measured speedup.
 // Series 2: Wing–Gong checker time versus history length for maximally
 // concurrent 1sWRN histories (everything overlaps everything).
+//
+// Results are also written to BENCH_F5.json (per-cell executions, serial and
+// parallel times, executions/sec, speedup, thread count).
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "bench_util.hpp"
 #include "subc/checking/linearizability.hpp"
 #include "subc/objects/register.hpp"
 #include "subc/objects/wrn.hpp"
@@ -18,22 +26,51 @@ namespace {
 
 using namespace subc;
 
-long long count_executions(int procs, int steps) {
-  const auto result = Explorer::explore(
-      [&](ScheduleDriver& driver) {
-        Runtime rt;
-        Register<> reg(0);
-        for (int p = 0; p < procs; ++p) {
-          rt.add_process([&](Context& ctx) {
-            for (int s = 0; s < steps; ++s) {
-              reg.read(ctx);
-            }
-          });
+ExecutionBody grid_body(int procs, int steps) {
+  return [procs, steps](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    for (int p = 0; p < procs; ++p) {
+      rt.add_process([&](Context& ctx) {
+        for (int s = 0; s < steps; ++s) {
+          reg.read(ctx);
         }
-        rt.run(driver);
-      },
-      Explorer::Options{.max_executions = 5'000'000});
-  return result.complete ? result.executions : -result.executions;
+      });
+    }
+    rt.run(driver);
+  };
+}
+
+struct CellResult {
+  long long executions = 0;
+  bool complete = false;
+  bool counts_match = false;
+  double serial_ms = 0;
+  double parallel_ms = 0;
+};
+
+CellResult run_cell(int procs, int steps, int threads) {
+  const ExecutionBody body = grid_body(procs, steps);
+  Explorer::Options opts;
+  opts.max_executions = 5'000'000;
+  CellResult cell;
+  {
+    const subc_bench::Stopwatch sw;
+    const auto serial = Explorer::explore(body, opts);
+    cell.serial_ms = sw.ms();
+    cell.executions = serial.executions;
+    cell.complete = serial.complete;
+  }
+  {
+    Explorer::Options popts = opts;
+    popts.threads = threads;
+    const subc_bench::Stopwatch sw;
+    const auto parallel = Explorer::explore(body, popts);
+    cell.parallel_ms = sw.ms();
+    cell.counts_match = parallel.executions == cell.executions &&
+                        parallel.complete == cell.complete;
+  }
+  return cell;
 }
 
 double time_checker(int k) {
@@ -63,26 +100,65 @@ double time_checker(int k) {
 }  // namespace
 
 int main() {
+  const int threads = subc_bench::bench_threads();
   std::printf("F5: explorer state-space growth and checker scaling\n\n");
-  std::printf("series 1: exhaustive executions vs (processes, steps/proc)\n");
-  std::printf("%6s %6s %14s\n", "procs", "steps", "executions");
+  std::printf("series 1: exhaustive executions vs (processes, steps/proc), "
+              "serial vs %d-thread parallel\n", threads);
+  std::printf("%6s %6s %14s %12s %12s %9s %6s\n", "procs", "steps",
+              "executions", "serial(ms)", "par(ms)", "speedup", "match");
   struct Cell {
     int procs;
     int steps;
   };
   const Cell cells[] = {{2, 2}, {2, 4}, {2, 6}, {3, 2}, {3, 3},
                         {3, 4}, {4, 2}, {4, 3}, {5, 2}};
+  // Warm-up: the first exploration in a process is several times slower than
+  // steady state (fiber-stack page faults, allocator growth); run one
+  // untimed pass through both paths so the timed cells compare fairly.
+  run_cell(3, 3, threads);
+  bool ok = true;
+  std::vector<subc_bench::Json> series1;
+  double serial_total_ms = 0;
+  double parallel_total_ms = 0;
+  long long total_executions = 0;
   for (const auto& [procs, steps] : cells) {
-    const long long executions = count_executions(procs, steps);
-    std::printf("%6d %6d %14lld%s\n", procs, steps,
-                executions < 0 ? -executions : executions,
-                executions < 0 ? " (truncated)" : "");
+    const CellResult cell = run_cell(procs, steps, threads);
+    ok = ok && cell.counts_match;
+    const double speedup =
+        cell.parallel_ms > 0 ? cell.serial_ms / cell.parallel_ms : 0;
+    serial_total_ms += cell.serial_ms;
+    parallel_total_ms += cell.parallel_ms;
+    total_executions += cell.executions;
+    std::printf("%6d %6d %14lld%s %11.1f %11.1f %8.2fx %6s\n", procs, steps,
+                cell.executions, cell.complete ? "" : " (truncated)",
+                cell.serial_ms, cell.parallel_ms, speedup,
+                cell.counts_match ? "yes" : "NO");
+    subc_bench::Json row;
+    row.set("procs", procs)
+        .set("steps", steps)
+        .set("executions", cell.executions)
+        .set("complete", cell.complete)
+        .set("counts_match", cell.counts_match)
+        .set("serial_ms", cell.serial_ms)
+        .set("parallel_ms", cell.parallel_ms)
+        .set("speedup", speedup)
+        .set("parallel_executions_per_sec",
+             cell.parallel_ms > 0
+                 ? 1000.0 * static_cast<double>(cell.executions) /
+                       cell.parallel_ms
+                 : 0.0);
+    series1.push_back(row);
   }
+  const double overall_speedup =
+      parallel_total_ms > 0 ? serial_total_ms / parallel_total_ms : 0;
+  std::printf("\nseries 1 overall: %.1f ms serial, %.1f ms parallel, "
+              "%.2fx speedup at %d threads\n", serial_total_ms,
+              parallel_total_ms, overall_speedup, threads);
 
   std::printf("\nseries 2: Wing–Gong checker on maximally concurrent "
               "1sWRN_k histories\n");
   std::printf("%6s %14s\n", "k", "time (ms)");
-  bool ok = true;
+  std::vector<subc_bench::Json> series2;
   for (const int k : {4, 8, 12, 16, 20}) {
     const double ms = time_checker(k);
     if (ms < 0) {
@@ -91,12 +167,35 @@ int main() {
     } else {
       std::printf("%6d %14.3f\n", k, ms);
     }
+    subc_bench::Json row;
+    row.set("k", k).set("checker_ms", ms).set("linearizable", ms >= 0);
+    series2.push_back(row);
   }
   std::printf(
       "\nreading: schedule counts follow the multinomial "
       "(Σsteps)!/Π(steps!);\nthe checker's memoized DFS stays polynomial-ish "
       "on WRN histories because\nstate keys collapse equivalent "
       "linearization prefixes.\n");
+
+  subc_bench::Json out;
+  out.set("bench", "F5")
+      .set("threads", threads)
+      .set("hardware_concurrency",
+           static_cast<int>(std::thread::hardware_concurrency()))
+      .set("serial_total_ms", serial_total_ms)
+      .set("parallel_total_ms", parallel_total_ms)
+      .set("speedup", overall_speedup)
+      .set("total_executions", total_executions)
+      .set("parallel_executions_per_sec",
+           parallel_total_ms > 0
+               ? 1000.0 * static_cast<double>(total_executions) /
+                     parallel_total_ms
+               : 0.0)
+      .set("series1", series1)
+      .set("series2", series2)
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_F5.json", out);
+
   std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

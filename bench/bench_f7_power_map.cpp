@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "subc/core/hierarchy.hpp"
 
 namespace {
@@ -91,6 +92,25 @@ int main() {
       "every O_{2,k} dominates 2-consensus and improves strictly with k at\n"
       "the sizes N_k = 2k+2+k (the 2016 hierarchy); compare&swap closes the\n"
       "map at x = 1.\n");
+  std::vector<subc_bench::Json> rows;
+  for (const auto& profile : profiles) {
+    subc_bench::Json row;
+    row.set("class", profile.name);
+    std::vector<subc_bench::Json> cells;
+    for (int procs = 2; procs <= kMaxProcs; ++procs) {
+      subc_bench::Json cell;
+      cell.set("procs", procs)
+          .set("best_agreement",
+               profile.best_agreement[static_cast<std::size_t>(procs - 1)]);
+      cells.push_back(cell);
+    }
+    row.set("cells", cells);
+    rows.push_back(row);
+  }
+  subc_bench::Json out;
+  out.set("bench", "F7").set("classes", rows).set("pass", ok);
+  subc_bench::write_json("BENCH_F7.json", out);
+
   std::printf("\nF7 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

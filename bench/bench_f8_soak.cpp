@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "bench_util.hpp"
 #include "subc/algorithms/adopt_commit.hpp"
 #include "subc/algorithms/bg_simulation.hpp"
 #include "subc/algorithms/immediate_snapshot.hpp"
@@ -166,17 +167,30 @@ int main(int argc, char** argv) {
   bool ok = true;
   long total = 0;
   std::printf("%-34s %12s %14s\n", "workload", "runs", "runs/sec");
+  std::vector<subc_bench::Json> rows;
   for (const auto& workload : workloads) {
     const auto start = Clock::now();
     const long runs = soak_one(workload, seconds, &ok);
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     total += runs;
-    std::printf("%-34s %12ld %14.0f\n", workload.name, runs,
-                runs / std::max(elapsed, 1e-9));
+    const double per_sec = runs / std::max(elapsed, 1e-9);
+    std::printf("%-34s %12ld %14.0f\n", workload.name, runs, per_sec);
+    subc_bench::Json row;
+    row.set("workload", workload.name)
+        .set("runs", static_cast<std::int64_t>(runs))
+        .set("runs_per_sec", per_sec);
+    rows.push_back(row);
   }
   std::printf("\ntotal validated executions: %ld, violations: %s\n", total,
               ok ? "0" : "SOME (see above)");
+  subc_bench::Json out;
+  out.set("bench", "F8")
+      .set("seconds_per_workload", seconds)
+      .set("total_runs", static_cast<std::int64_t>(total))
+      .set("workloads", rows)
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_F8.json", out);
   std::printf("\nF8 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

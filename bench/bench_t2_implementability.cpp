@@ -6,6 +6,7 @@
 // against the all-partitions dynamic program on the whole grid.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "subc/core/hierarchy.hpp"
 
 int main() {
@@ -60,6 +61,12 @@ int main() {
 
   const bool ok = mismatches == 0 && sc_implementable(12, 8, 3, 2) &&
                   !sc_implementable(12, 7, 3, 2);
+  subc_bench::Json out;
+  out.set("bench", "T2")
+      .set("combinations_checked", static_cast<std::int64_t>(checked))
+      .set("mismatches", static_cast<std::int64_t>(mismatches))
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_T2.json", out);
   std::printf("\nT2 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

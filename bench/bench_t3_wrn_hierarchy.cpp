@@ -4,6 +4,7 @@
 // the strict-chain property on a wide range.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "subc/core/hierarchy.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -32,6 +33,11 @@ int main() {
   }
   std::printf("strict-chain property verified on %ld pairs (k,k') with "
               "3 <= k < k' <= 25\n", pairs);
+  subc_bench::Json out;
+  out.set("bench", "T3")
+      .set("pairs_verified", static_cast<std::int64_t>(pairs))
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_T3.json", out);
   std::printf("\nT3 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

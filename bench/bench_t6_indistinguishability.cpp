@@ -9,6 +9,7 @@
 // consensus mechanism), and the wrap-around region is fully inert.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "subc/core/consensus_number.hpp"
 
 int main() {
@@ -19,6 +20,7 @@ int main() {
   std::printf("%4s %10s %10s %12s  %s\n", "k", "states", "pairs", "uncovered",
               "verdict");
   bool ok = true;
+  std::vector<subc_bench::Json> wrn_rows;
   for (int k = 2; k <= 8; ++k) {
     const ValenceReport report = check_wrn_valence(k);
     const bool expect_covered = k >= 3;
@@ -30,11 +32,19 @@ int main() {
                     ? (pass ? "all covered -> Lemma 38 applies" : "FAIL")
                     : (pass ? "uncovered -> SWAP escapes (cons nr 2)"
                             : "FAIL"));
+    subc_bench::Json row;
+    row.set("k", k)
+        .set("states", static_cast<std::int64_t>(report.states_checked))
+        .set("pairs", static_cast<std::int64_t>(report.pairs_checked))
+        .set("uncovered", static_cast<std::int64_t>(report.uncovered.size()))
+        .set("pass", pass);
+    wrn_rows.push_back(row);
   }
 
   std::printf("\nGAC(n,i) over domain {1,2}, canonical arrival states:\n");
   std::printf("%4s %4s %10s %10s %12s  %s\n", "n", "i", "states", "pairs",
               "uncovered", "note");
+  std::vector<subc_bench::Json> gac_rows;
   for (int n = 1; n <= 4; ++n) {
     for (int i = 1; i <= 3; ++i) {
       const ValenceReport report = check_gac_valence(n, i);
@@ -45,6 +55,15 @@ int main() {
                   report.states_checked, report.pairs_checked,
                   report.uncovered.size(),
                   pass ? "races exist (consensus mechanism)" : "FAIL");
+      subc_bench::Json row;
+      row.set("n", n)
+          .set("i", i)
+          .set("states", static_cast<std::int64_t>(report.states_checked))
+          .set("pairs", static_cast<std::int64_t>(report.pairs_checked))
+          .set("uncovered",
+               static_cast<std::int64_t>(report.uncovered.size()))
+          .set("pass", pass);
+      gac_rows.push_back(row);
     }
   }
 
@@ -55,6 +74,12 @@ int main() {
       "2-process consensus. WRN_k (k>=3): fully covered, hence consensus\n"
       "number 1 (Theorem 1). WRN_2 = SWAP: adjacent-index pairs uncovered,\n"
       "hence the 2-consensus protocol exists (validated in T5).\n");
+  subc_bench::Json out;
+  out.set("bench", "T6")
+      .set("wrn", wrn_rows)
+      .set("gac", gac_rows)
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_T6.json", out);
   std::printf("\nT6 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

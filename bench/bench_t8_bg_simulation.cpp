@@ -5,10 +5,13 @@
 // k-agreement of the transferred set-consensus task under adversarial
 // random schedules, with worst observed distinct outputs; then the
 // resilience series: crash f simulators and verify survivors finish with
-// intact agreement for f ≤ k−1.
+// intact agreement for f ≤ k−1. Grid sweeps run on the parallel
+// RandomSweep; results also land in BENCH_T8.json.
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 
+#include "bench_util.hpp"
 #include "subc/algorithms/bg_simulation.hpp"
 #include "subc/core/tasks.hpp"
 #include "subc/runtime/explorer.hpp"
@@ -17,11 +20,15 @@ namespace {
 
 using namespace subc;
 
-bool grid_row(int m, int n, int k, int rounds) {
+std::vector<subc_bench::Json> g_grid_rows;
+std::vector<subc_bench::Json> g_crash_rows;
+
+bool grid_row(int m, int n, int k, int rounds, int threads) {
   std::vector<Value> inputs;
   for (int s = 0; s < m; ++s) {
     inputs.push_back(100 + 3 * s);
   }
+  std::mutex mu;
   int worst = 0;
   long total_steps = 0;
   long samples = 0;
@@ -38,15 +45,27 @@ bool grid_row(int m, int n, int k, int rounds) {
         const auto run = rt.run(driver, 10'000'000);
         check_all_done_and_decided(run);
         check_set_consensus(run, inputs, k);
-        worst = std::max(worst, distinct_decisions(run.decisions));
+        const int distinct = distinct_decisions(run.decisions);
+        const std::lock_guard<std::mutex> lock(mu);
+        worst = std::max(worst, distinct);
         total_steps += run.total_steps;
         ++samples;
       },
-      rounds);
+      rounds, 1, threads);
+  const double mean_steps =
+      static_cast<double>(total_steps) / static_cast<double>(samples);
   std::printf("%4d %4d %4d | %6d (<= %d) | %10.1f | %s\n", m, n, k, worst, k,
-              static_cast<double>(total_steps) / static_cast<double>(samples),
-              result.ok() ? "ok" : result.violation->c_str());
-  return result.ok() && worst <= k;
+              mean_steps, result.ok() ? "ok" : result.violation->c_str());
+  const bool ok = result.ok() && worst <= k;
+  subc_bench::Json row;
+  row.set("m", m)
+      .set("n", n)
+      .set("k", k)
+      .set("worst_distinct", worst)
+      .set("mean_steps", mean_steps)
+      .set("ok", ok);
+  g_grid_rows.push_back(row);
+  return ok;
 }
 
 bool crash_row(int m, int n, int k, int crashes) {
@@ -84,21 +103,27 @@ bool crash_row(int m, int n, int k, int crashes) {
   }
   std::printf("%4d %4d %4d | %7d | %s\n", m, n, k, crashes,
               ok ? "survivors fine" : "VIOLATION");
+  subc_bench::Json row;
+  row.set("m", m).set("n", n).set("k", k).set("crashes", crashes).set("ok",
+                                                                      ok);
+  g_crash_rows.push_back(row);
   return ok;
 }
 
 }  // namespace
 
 int main() {
-  std::printf("T8: BG simulation — k-set consensus transfer\n\n");
+  const int threads = subc_bench::bench_threads();
+  std::printf("T8: BG simulation — k-set consensus transfer (%d threads)\n\n",
+              threads);
   std::printf("   m    n    k |  worst distinct |  mean steps | status\n");
   bool ok = true;
-  ok &= grid_row(2, 4, 1, 200);
-  ok &= grid_row(3, 5, 2, 200);
-  ok &= grid_row(3, 6, 2, 200);
-  ok &= grid_row(4, 6, 3, 150);
-  ok &= grid_row(4, 8, 2, 100);
-  ok &= grid_row(5, 7, 3, 100);
+  ok &= grid_row(2, 4, 1, 200, threads);
+  ok &= grid_row(3, 5, 2, 200, threads);
+  ok &= grid_row(3, 6, 2, 200, threads);
+  ok &= grid_row(4, 6, 3, 150, threads);
+  ok &= grid_row(4, 8, 2, 100, threads);
+  ok &= grid_row(5, 7, 3, 100, threads);
 
   std::printf("\nresilience: f simulators crashed before starting "
               "(f <= k-1 tolerated)\n");
@@ -107,6 +132,14 @@ int main() {
   ok &= crash_row(4, 6, 3, 2);
   ok &= crash_row(4, 8, 2, 1);
   ok &= crash_row(5, 7, 3, 2);
+
+  subc_bench::Json out;
+  out.set("bench", "T8")
+      .set("threads", threads)
+      .set("grid", g_grid_rows)
+      .set("resilience", g_crash_rows)
+      .set("pass", ok);
+  subc_bench::write_json("BENCH_T8.json", out);
 
   std::printf(
       "\nreading: m simulators jointly run the (k-1)-resilient n-process\n"

@@ -1,17 +1,38 @@
 #!/usr/bin/env bash
-# Full verification pass: configure, build, run the test suite, run every
-# experiment binary. Exits non-zero on the first failure. This is what CI
-# would run.
+# Full verification pass: configure, build, run the test suite, run the
+# ThreadSanitizer configuration of the concurrency-sensitive tests, then run
+# every experiment binary from a Release build. Exits non-zero on the first
+# failure. This is what CI would run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --- Default (Debug-ish) build + full test suite -------------------------
 cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build --output-on-failure
 
-for bench in build/bench/bench_*; do
+# --- ThreadSanitizer: guard the parallel explorer's work queue and -------
+# cancellation paths (and the fiber layer's TSan integration).
+cmake -B build-tsan -G Ninja \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan --target fiber_test explorer_test \
+  parallel_explorer_test
+for t in fiber_test explorer_test parallel_explorer_test; do
+  echo "== tsan: ${t}"
+  "build-tsan/tests/${t}"
+done
+
+# --- Benches: Release build, JSON artifacts land in bench-results/ -------
+cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release
+
+mkdir -p bench-results
+cd bench-results
+for bench in ../build-release/bench/bench_*; do
   echo "== ${bench}"
   "${bench}"
 done
+cd ..
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,29 @@
+#include "subc/checking/violation_log.hpp"
+
+#include <utility>
+
+namespace subc {
+
+bool ViolationLog::report(std::uint64_t index, std::string message,
+                          std::vector<ReplayDriver::Decision> trace) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (index >= entry_.index) {
+    return false;
+  }
+  entry_.index = index;
+  entry_.message = std::move(message);
+  entry_.trace = std::move(trace);
+  best_.store(index, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<ViolationLog::Entry> ViolationLog::winner() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (entry_.index == kNone) {
+    return std::nullopt;
+  }
+  return entry_;
+}
+
+}  // namespace subc

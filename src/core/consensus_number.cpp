@@ -173,12 +173,13 @@ ValenceReport check_gac_valence(int n, int i) {
 ConsensusCheck check_consensus_algorithm(
     const ConsensusWorldBody& body,
     const std::vector<std::vector<Value>>& input_vectors,
-    std::int64_t max_executions_per_input) {
+    std::int64_t max_executions_per_input, int threads) {
   ConsensusCheck check;
   check.exhaustive = true;
   for (const auto& inputs : input_vectors) {
     Explorer::Options opts;
     opts.max_executions = max_executions_per_input;
+    opts.threads = threads;
     const Explorer::Result r = Explorer::explore(
         [&](ScheduleDriver& driver) { body(driver, inputs); }, opts);
     check.executions += r.executions;
@@ -338,9 +339,10 @@ ProtocolSearchResult search_gac_consensus_protocols(int n, int i, int procs) {
 
 std::optional<std::string> find_consensus_violation(
     const ConsensusWorldBody& body, const std::vector<Value>& inputs,
-    std::int64_t max_executions) {
+    std::int64_t max_executions, int threads) {
   Explorer::Options opts;
   opts.max_executions = max_executions;
+  opts.threads = threads;
   const Explorer::Result r = Explorer::explore(
       [&](ScheduleDriver& driver) { body(driver, inputs); }, opts);
   if (!r.ok()) {

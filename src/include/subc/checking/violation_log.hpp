@@ -1,0 +1,66 @@
+// Thread-safe violation aggregation for parallel checkers.
+//
+// Parallel exploration (explorer.hpp) partitions the decision tree into work
+// units and assigns each unit the index it would occupy in the *serial* DFS
+// emission order. Violations reported from concurrently running workers are
+// aggregated here; the winner is the candidate with the least canonical
+// index, i.e. exactly the violation the serial explorer would have reported
+// first. That makes failure reports deterministic across runs, thread
+// counts, and scheduling jitter.
+//
+// `best_index()` is a relaxed atomic read so workers can poll it on their
+// hot path as a cooperative-cancellation signal without taking the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subc/runtime/scheduler.hpp"
+
+namespace subc {
+
+class ViolationLog {
+ public:
+  /// Sentinel: no violation reported yet.
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+  struct Entry {
+    /// Canonical (serial DFS emission) index of the reporting work unit.
+    std::uint64_t index = kNone;
+    std::string message;
+    std::vector<ReplayDriver::Decision> trace;
+  };
+
+  /// Records a candidate violation. Returns true iff it became the current
+  /// best (least canonical index). Safe to call from any thread.
+  bool report(std::uint64_t index, std::string message,
+              std::vector<ReplayDriver::Decision> trace);
+
+  /// Least canonical index reported so far (`kNone` when empty). Workers use
+  /// this to cancel work units that can no longer win.
+  [[nodiscard]] std::uint64_t best_index() const noexcept {
+    return best_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return best_index() == kNone; }
+
+  /// Total candidates reported (including losers).
+  [[nodiscard]] std::int64_t total_reported() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// The winning (least-index) entry, or nullopt when nothing was reported.
+  [[nodiscard]] std::optional<Entry> winner() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> best_{kNone};
+  std::atomic<std::int64_t> total_{0};
+  Entry entry_;
+};
+
+}  // namespace subc

@@ -170,18 +170,22 @@ struct ConsensusCheck {
 };
 
 /// Validates `body` as consensus for the given input vectors, exhaustively
-/// when feasible. Each input vector spawns one exploration.
+/// when feasible. Each input vector spawns one exploration. With
+/// `threads > 1` each exploration runs on the parallel explorer (the body
+/// must then be safe to run from several threads at once; bodies that build
+/// their whole world inside the call, as all in-tree ones do, qualify).
 ConsensusCheck check_consensus_algorithm(
     const ConsensusWorldBody& body,
     const std::vector<std::vector<Value>>& input_vectors,
-    std::int64_t max_executions_per_input = 500'000);
+    std::int64_t max_executions_per_input = 500'000, int threads = 1);
 
 /// Searches for a violating schedule of an alleged consensus algorithm.
 /// Returns the violation message (expected for impossible tasks), or
-/// nullopt if none was found within the budget.
+/// nullopt if none was found within the budget. `threads` as above; the
+/// reported schedule is the canonically least one at any thread count.
 std::optional<std::string> find_consensus_violation(
     const ConsensusWorldBody& body, const std::vector<Value>& inputs,
-    std::int64_t max_executions = 500'000);
+    std::int64_t max_executions = 500'000, int threads = 1);
 
 // ---------------------------------------------------------------------------
 // Bounded protocol synthesis (the strong form of the T5 boundary)

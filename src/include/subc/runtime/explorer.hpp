@@ -8,8 +8,20 @@
 // reported together with the decision string that produced it, so failures
 // replay deterministically.
 //
+// With `Options::threads > 1` the search runs in parallel: the tree is first
+// enumerated down to a frontier depth `d`, producing disjoint subtree
+// prefixes in serial-DFS order; a pool of workers then claims subtrees in
+// that order and runs the same restart-DFS inside each. Results are
+// aggregated canonically — the reported violation is the one the *serial*
+// DFS would have found first, and `executions` matches the serial count
+// bit-for-bit (see docs/explorer.md) — so results are independent of thread
+// timing and core count. Execution bodies must be thread-safe under
+// parallel exploration: each invocation builds its own world, and any state
+// shared across invocations must be synchronized.
+//
 // For larger instances `RandomSweep` runs many seeded-random executions —
-// the standard randomized analogue.
+// the standard randomized analogue — with the same seed-range partitioning
+// and deterministic least-seed failure reporting when parallelized.
 #pragma once
 
 #include <cstdint>
@@ -28,13 +40,35 @@ using ExecutionBody = std::function<void(ScheduleDriver& driver)>;
 
 class Explorer {
  public:
+  /// See ReplayDriver::PruneFn: return true to skip the subtree below the
+  /// given partial decision string. Must be thread-safe when threads > 1.
+  using PruneFn = ReplayDriver::PruneFn;
+
   struct Options {
     /// Stop (incomplete) after this many executions.
     std::int64_t max_executions = 2'000'000;
+
+    /// Worker threads for the search. 1 = serial in the calling thread
+    /// (the default); 0 = one worker per hardware thread; n > 1 = exactly n
+    /// workers. Results are identical at every setting.
+    int threads = 1;
+
+    /// Depth (in recorded, i.e. arity>=2, decisions) of the partition
+    /// frontier used to generate parallel work items. 0 = auto-tune from
+    /// the thread count. Ignored when running serially.
+    int frontier_depth = 0;
+
+    /// Optional symmetry/pruning hook, consulted once for every partial
+    /// decision string the first time the search reaches it; returning true
+    /// skips the whole subtree below it. Pruned subtrees are counted in
+    /// `Result::pruned_subtrees` and do not consume `max_executions` budget.
+    PruneFn prune;
   };
 
   struct Result {
     std::int64_t executions = 0;
+    /// Subtrees skipped by `Options::prune` (0 when no hook installed).
+    std::int64_t pruned_subtrees = 0;
     /// True when the decision tree was exhausted within the budget.
     bool complete = false;
     /// Set when an execution failed; `trace` replays it.
@@ -45,19 +79,28 @@ class Explorer {
     [[nodiscard]] bool ok() const noexcept { return !violation.has_value(); }
   };
 
-  /// Exhaustively enumerates adversary decision strings (DFS).
+  /// Exhaustively enumerates adversary decision strings (DFS), in parallel
+  /// when `opts.threads != 1`.
   static Result explore(const ExecutionBody& body, Options opts);
   static Result explore(const ExecutionBody& body) {
     return explore(body, Options{});
   }
 
   /// Re-runs a single execution following `trace` (from a prior violation).
+  /// Traces from serial and parallel runs replay identically.
   static void replay(const ExecutionBody& body,
                      std::vector<ReplayDriver::Decision> trace);
+
+  /// Resolves an `Options::threads` value: 0 becomes the hardware thread
+  /// count, everything else is returned as-is (minimum 1).
+  static int resolve_threads(int threads) noexcept;
 };
 
 /// Randomized sweep: `runs` executions with seeds `first_seed .. first_seed
 /// + runs - 1`. Returns the first failing seed, or nullopt when all passed.
+/// With `threads != 1` the seed range is partitioned across workers; the
+/// reported failure is always the *least* failing seed index that the serial
+/// sweep would have hit first, and `Result::runs` matches the serial count.
 struct RandomSweep {
   struct Result {
     std::int64_t runs = 0;
@@ -68,7 +111,7 @@ struct RandomSweep {
   };
 
   static Result run(const ExecutionBody& body, std::int64_t runs,
-                    std::uint64_t first_seed = 1);
+                    std::uint64_t first_seed = 1, int threads = 1);
 };
 
 }  // namespace subc

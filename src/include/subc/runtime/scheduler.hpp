@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <span>
 #include <vector>
@@ -76,9 +77,27 @@ class ScriptedDriver final : public ScheduleDriver {
   std::size_t pos_ = 0;
 };
 
+/// Thrown by `ReplayDriver` when a fresh decision would exceed the
+/// configured decision limit (`set_decision_limit`). Used by the parallel
+/// explorer's frontier enumeration to cut executions at the partition depth.
+/// Deliberately not derived from `std::exception` (like `FiberKilled`) so
+/// that execution bodies catching `std::exception` cannot swallow it.
+struct FrontierCut {};
+
+/// Thrown by `ReplayDriver` when the prune hook rejects a freshly recorded
+/// decision: the whole subtree below the current partial decision string is
+/// abandoned. Not derived from `std::exception` for the same reason as
+/// `FrontierCut`.
+struct PruneCut {};
+
 /// Replays a recorded decision prefix and extends it with first options;
 /// records the arity of every decision point. This is the explorer's
 /// workhorse (stateless model checking): see explorer.hpp.
+///
+/// Forced (arity-1) decisions are elided: they have exactly one outcome, so
+/// recording them would only lengthen traces and slow backtracking. Traces
+/// therefore contain only decisions with `arity >= 2`, and prefixes passed in
+/// must use the same convention (any trace recorded by a ReplayDriver does).
 class ReplayDriver final : public ScheduleDriver {
  public:
   struct Decision {
@@ -86,9 +105,15 @@ class ReplayDriver final : public ScheduleDriver {
     std::uint32_t arity = 1;
   };
 
+  /// Prune hook: given the partial decision string ending at a candidate
+  /// decision, return true to skip the entire subtree below it. Must be
+  /// thread-safe: the parallel explorer invokes it concurrently from worker
+  /// threads.
+  using PruneFn = std::function<bool(std::span<const Decision>)>;
+
   ReplayDriver() = default;
   explicit ReplayDriver(std::vector<Decision> prefix)
-      : trace_(std::move(prefix)), prefix_len_(trace_.size()) {}
+      : trace_(std::move(prefix)) {}
 
   std::size_t pick(std::span<const int> enabled) override;
   std::uint32_t choose(std::uint32_t arity) override;
@@ -98,12 +123,30 @@ class ReplayDriver final : public ScheduleDriver {
     return trace_;
   }
 
+  /// Moves the recorded decision string out; the driver is spent afterwards.
+  /// Lets the explorer recycle the trace as the next iteration's prefix
+  /// without copying (millions of executions, one vector).
+  [[nodiscard]] std::vector<Decision> take_trace() noexcept {
+    return std::move(trace_);
+  }
+
+  /// Fresh decisions that would grow the trace beyond `limit` entries throw
+  /// `FrontierCut` instead of being recorded (replayed prefix entries are
+  /// unaffected). Default: no limit.
+  void set_decision_limit(std::size_t limit) noexcept { limit_ = limit; }
+
+  /// Consults `prune` on every freshly recorded decision; a true return
+  /// throws `PruneCut`. The pointee must outlive the driver. Pass nullptr
+  /// (the default) to disable.
+  void set_prune(const PruneFn* prune) noexcept { prune_ = prune; }
+
  private:
   std::uint32_t next(std::uint32_t arity);
 
   std::vector<Decision> trace_;
-  std::size_t prefix_len_ = 0;
   std::size_t pos_ = 0;
+  std::size_t limit_ = static_cast<std::size_t>(-1);
+  const PruneFn* prune_ = nullptr;
 };
 
 /// Renders a decision string for diagnostics ("2/3 0/2 1/4 ...").

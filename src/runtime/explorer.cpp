@@ -1,47 +1,326 @@
 #include "subc/runtime/explorer.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "subc/checking/violation_log.hpp"
 #include "subc/runtime/value.hpp"
 
 namespace subc {
+namespace {
 
-Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
-  Result result;
-  std::vector<ReplayDriver::Decision> prefix;
+using Decision = ReplayDriver::Decision;
 
-  while (result.executions < opts.max_executions) {
-    ReplayDriver driver(prefix);
-    ++result.executions;
+// State shared by every participant of one exploration (the frontier
+// enumerator and all subtree workers). The budget is reserved *before* an
+// execution runs and refunded when the attempt turns out not to be a real
+// execution (frontier cut, pruned subtree), so a completed exploration
+// reports exactly `min(tree size, max_executions)` executions.
+struct SearchState {
+  std::int64_t max_executions = 0;
+  std::atomic<std::int64_t> budget_used{0};
+  std::atomic<bool> exhausted{false};
+  ViolationLog log;
+
+  bool reserve() {
+    if (budget_used.fetch_add(1, std::memory_order_relaxed) >=
+        max_executions) {
+      budget_used.fetch_sub(1, std::memory_order_relaxed);
+      exhausted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  void refund() { budget_used.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+// Tallies of one subtree work unit, merged in canonical order afterwards.
+struct SubtreeStats {
+  std::int64_t executions = 0;
+  std::int64_t pruned = 0;
+  std::optional<std::string> violation;
+  std::vector<Decision> trace;
+  /// True when the subtree was fully explored or stopped at its own (first)
+  /// violation — false only on cancellation or budget exhaustion.
+  bool finished = false;
+};
+
+// Advances `trace` to the next DFS prefix inside the subtree whose first
+// `floor` decisions are fixed: bump the deepest decision that still has
+// unexplored options, dropping everything after it. `prune` is consulted on
+// every candidate prefix (its subtree is skipped and counted when rejected).
+// Returns false when the subtree is exhausted.
+bool advance(std::vector<Decision>& trace, std::size_t floor,
+             const Explorer::PruneFn& prune, std::int64_t& pruned) {
+  std::size_t i = trace.size();
+  while (i > floor) {
+    Decision& d = trace[i - 1];
+    if (d.chosen + 1 < d.arity) {
+      ++d.chosen;
+      if (prune && prune(std::span<const Decision>(trace.data(), i))) {
+        ++pruned;
+        continue;  // same position, next option
+      }
+      trace.resize(i);
+      return true;
+    }
+    --i;
+  }
+  return false;
+}
+
+// Restart-DFS over the subtree rooted at `prefix` (decisions below `floor`
+// are fixed). Stops at the subtree's first violation — the lexicographically
+// least one, since DFS visits decision strings in lexicographic order — on
+// budget exhaustion, or when a canonically earlier work unit has already
+// reported a violation (nothing in this subtree can win then).
+SubtreeStats explore_subtree(const ExecutionBody& body,
+                             std::vector<Decision> prefix, std::size_t floor,
+                             const Explorer::PruneFn& prune,
+                             SearchState& state, std::uint64_t my_index) {
+  SubtreeStats stats;
+  for (;;) {
+    if (state.log.best_index() < my_index) {
+      return stats;  // cancelled; these tallies will be discarded
+    }
+    if (!state.reserve()) {
+      return stats;  // budget exhausted
+    }
+    ReplayDriver driver(std::move(prefix));
+    driver.set_prune(prune ? &prune : nullptr);
     try {
       body(driver);
+      ++stats.executions;
+    } catch (const PruneCut&) {
+      ++stats.pruned;
+      state.refund();
     } catch (const std::exception& e) {
-      result.violation = e.what();
-      result.violating_trace = driver.trace();
-      return result;
+      ++stats.executions;
+      stats.violation = e.what();
+      stats.trace = driver.take_trace();
+      stats.finished = true;
+      return stats;
     }
-
-    // Backtrack: bump the deepest decision that still has unexplored
-    // options; drop everything after it.
-    std::vector<ReplayDriver::Decision> trace = driver.trace();
-    std::size_t i = trace.size();
-    while (i > 0) {
-      ReplayDriver::Decision& d = trace[i - 1];
-      if (d.chosen + 1 < d.arity) {
-        ++d.chosen;
-        break;
-      }
-      --i;
+    std::vector<Decision> trace = driver.take_trace();
+    if (!advance(trace, floor, prune, stats.pruned)) {
+      stats.finished = true;
+      return stats;
     }
-    if (i == 0) {
-      result.complete = true;
-      return result;
-    }
-    trace.resize(i);
     prefix = std::move(trace);
   }
-  return result;  // budget exhausted, incomplete
+}
+
+// One entry of the canonical (serial-DFS-order) emission sequence produced
+// by frontier enumeration: a completed shallow execution, a pruned subtree,
+// or a frontier work unit (a depth-d prefix whose subtree a worker explores).
+struct Event {
+  enum class Kind { kExecution, kPruned, kUnit };
+  Kind kind;
+  std::vector<Decision> payload;  // kUnit: the prefix; violating kExecution:
+                                  // the trace
+  std::optional<std::string> violation;
+};
+
+// Enumerates the decision tree down to `depth` recorded decisions, in serial
+// DFS order. Stops early at the first violating shallow execution (every
+// later event is canonically greater, so it wins outright) or when the
+// budget is exhausted.
+std::vector<Event> enumerate_frontier(const ExecutionBody& body,
+                                      std::size_t depth,
+                                      const Explorer::PruneFn& prune,
+                                      SearchState& state) {
+  std::vector<Event> events;
+  std::vector<Decision> prefix;
+  for (;;) {
+    if (!state.reserve()) {
+      return events;
+    }
+    ReplayDriver driver(std::move(prefix));
+    driver.set_decision_limit(depth);
+    driver.set_prune(prune ? &prune : nullptr);
+    bool cut = false;
+    bool pruned_here = false;
+    try {
+      body(driver);
+    } catch (const FrontierCut&) {
+      cut = true;
+      state.refund();  // the unit's worker re-runs this subtree from scratch
+    } catch (const PruneCut&) {
+      pruned_here = true;
+      state.refund();
+    } catch (const std::exception& e) {
+      events.push_back(
+          Event{Event::Kind::kExecution, driver.take_trace(), e.what()});
+      return events;
+    }
+    std::vector<Decision> trace = driver.take_trace();
+    if (cut) {
+      events.push_back(Event{Event::Kind::kUnit, trace, std::nullopt});
+    } else if (pruned_here) {
+      events.push_back(Event{Event::Kind::kPruned, {}, std::nullopt});
+    } else {
+      events.push_back(Event{Event::Kind::kExecution, {}, std::nullopt});
+    }
+    std::int64_t advance_prunes = 0;
+    const bool more = advance(trace, 0, prune, advance_prunes);
+    // Each subtree pruned while advancing sits between this event and the
+    // next in canonical order; record it so truncated tallies stay exact.
+    for (std::int64_t i = 0; i < advance_prunes; ++i) {
+      events.push_back(Event{Event::Kind::kPruned, {}, std::nullopt});
+    }
+    if (!more) {
+      return events;
+    }
+    prefix = std::move(trace);
+  }
+}
+
+// Picks a frontier depth giving roughly 16+ work items per worker (assuming
+// the minimum branching factor of 2), so the pool load-balances even when
+// subtree sizes are badly skewed.
+std::size_t auto_frontier_depth(int threads) {
+  std::size_t depth = 1;
+  while ((std::size_t{1} << depth) < static_cast<std::size_t>(threads) * 16 &&
+         depth < 10) {
+    ++depth;
+  }
+  return depth;
+}
+
+Explorer::Result finish_serial(SubtreeStats stats, const SearchState& state) {
+  Explorer::Result result;
+  result.executions = stats.executions;
+  result.pruned_subtrees = stats.pruned;
+  if (stats.violation) {
+    result.violation = std::move(stats.violation);
+    result.violating_trace = std::move(stats.trace);
+  } else {
+    result.complete = stats.finished && !state.exhausted.load();
+  }
+  return result;
+}
+
+Explorer::Result explore_parallel(const ExecutionBody& body,
+                                  const Explorer::Options& opts, int threads) {
+  SearchState state;
+  state.max_executions = opts.max_executions;
+  const std::size_t depth = opts.frontier_depth > 0
+                                ? static_cast<std::size_t>(opts.frontier_depth)
+                                : auto_frontier_depth(threads);
+  const std::vector<Event> events =
+      enumerate_frontier(body, depth, opts.prune, state);
+
+  // A violating shallow execution terminates enumeration; it is the last
+  // event and canonically beats everything that would have followed.
+  if (!events.empty() && events.back().violation) {
+    state.log.report(events.size() - 1, *events.back().violation,
+                     events.back().payload);
+  }
+
+  std::vector<std::size_t> unit_events;  // event index per unit, ascending
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == Event::Kind::kUnit) {
+      unit_events.push_back(i);
+    }
+  }
+  std::vector<SubtreeStats> unit_stats(unit_events.size());
+
+  if (!unit_events.empty() && !state.exhausted.load()) {
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), unit_events.size()));
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const std::size_t u = next.fetch_add(1, std::memory_order_relaxed);
+          if (u >= unit_events.size()) {
+            return;
+          }
+          const std::uint64_t ev = unit_events[u];
+          // Units are claimed in canonical order, so once a violation beats
+          // this unit it beats every later one too: stop, don't skip.
+          if (state.log.best_index() < ev ||
+              state.exhausted.load(std::memory_order_relaxed)) {
+            return;
+          }
+          unit_stats[u] = explore_subtree(body, events[ev].payload, depth,
+                                          opts.prune, state, ev);
+          if (unit_stats[u].violation) {
+            state.log.report(ev, *unit_stats[u].violation,
+                             unit_stats[u].trace);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Canonical aggregation: walk the emission sequence in order, stopping at
+  // the winning violation. Units after the winner are excluded even if they
+  // ran (the serial DFS would never have entered them), so `executions` and
+  // `pruned_subtrees` are bit-identical to the serial explorer's regardless
+  // of thread timing.
+  Explorer::Result result;
+  const std::optional<ViolationLog::Entry> win = state.log.winner();
+  const std::uint64_t winner_index = win ? win->index : ViolationLog::kNone;
+  bool all_finished = true;
+  std::size_t u = 0;
+  for (std::size_t i = 0; i < events.size() && i <= winner_index; ++i) {
+    switch (events[i].kind) {
+      case Event::Kind::kExecution:
+        ++result.executions;
+        break;
+      case Event::Kind::kPruned:
+        ++result.pruned_subtrees;
+        break;
+      case Event::Kind::kUnit:
+        result.executions += unit_stats[u].executions;
+        result.pruned_subtrees += unit_stats[u].pruned;
+        all_finished = all_finished && unit_stats[u].finished;
+        ++u;
+        break;
+    }
+  }
+  if (win) {
+    result.violation = win->message;
+    result.violating_trace = win->trace;
+  } else {
+    result.complete = all_finished && !state.exhausted.load();
+  }
+  return result;
+}
+
+}  // namespace
+
+int Explorer::resolve_threads(int threads) noexcept {
+  if (threads > 0) {
+    return threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
+  const int threads = resolve_threads(opts.threads);
+  if (threads <= 1) {
+    SearchState state;
+    state.max_executions = opts.max_executions;
+    SubtreeStats stats =
+        explore_subtree(body, {}, 0, opts.prune, state, /*my_index=*/0);
+    return finish_serial(std::move(stats), state);
+  }
+  return explore_parallel(body, opts, threads);
 }
 
 void Explorer::replay(const ExecutionBody& body,
@@ -52,19 +331,73 @@ void Explorer::replay(const ExecutionBody& body,
 
 RandomSweep::Result RandomSweep::run(const ExecutionBody& body,
                                      std::int64_t runs,
-                                     std::uint64_t first_seed) {
+                                     std::uint64_t first_seed, int threads) {
   Result result;
-  for (std::int64_t i = 0; i < runs; ++i) {
-    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
-    RandomDriver driver(seed);
-    ++result.runs;
-    try {
-      body(driver);
-    } catch (const std::exception& e) {
-      result.failing_seed = seed;
-      result.violation = e.what();
-      return result;
+  if (runs <= 0) {
+    return result;
+  }
+  const int workers = std::min<std::int64_t>(
+      Explorer::resolve_threads(threads), runs);
+  if (workers <= 1) {
+    for (std::int64_t i = 0; i < runs; ++i) {
+      const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+      RandomDriver driver(seed);
+      ++result.runs;
+      try {
+        body(driver);
+      } catch (const std::exception& e) {
+        result.failing_seed = seed;
+        result.violation = e.what();
+        return result;
+      }
     }
+    return result;
+  }
+
+  // Parallel sweep: workers claim fixed-size blocks of the seed range in
+  // ascending order; failures are aggregated by seed index, so the reported
+  // failure is the least failing seed — exactly what the serial sweep
+  // returns — and blocks past the current best are never started.
+  constexpr std::int64_t kBlock = 64;
+  ViolationLog log;
+  std::atomic<std::int64_t> next_block{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        const std::int64_t start =
+            next_block.fetch_add(1, std::memory_order_relaxed) * kBlock;
+        if (start >= runs ||
+            log.best_index() < static_cast<std::uint64_t>(start)) {
+          return;
+        }
+        const std::int64_t end = std::min(start + kBlock, runs);
+        for (std::int64_t i = start; i < end; ++i) {
+          if (log.best_index() < static_cast<std::uint64_t>(i)) {
+            break;
+          }
+          RandomDriver driver(first_seed + static_cast<std::uint64_t>(i));
+          try {
+            body(driver);
+          } catch (const std::exception& e) {
+            log.report(static_cast<std::uint64_t>(i), e.what(), {});
+            break;  // later seeds in this block cannot beat index i
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  if (const std::optional<ViolationLog::Entry> win = log.winner()) {
+    result.runs = static_cast<std::int64_t>(win->index) + 1;
+    result.failing_seed = first_seed + win->index;
+    result.violation = win->message;
+  } else {
+    result.runs = runs;
   }
   return result;
 }

@@ -5,8 +5,26 @@
 #include <cstdint>
 #include <exception>
 #include <utility>
+#include <vector>
 
 #include "subc/runtime/value.hpp"
+
+// ThreadSanitizer cannot follow swapcontext stack switches on its own: it
+// would keep attributing execution to the old stack, producing false races
+// (and shadow-stack corruption) as soon as several simulator threads run
+// fibers — exactly what the parallel explorer does. The fiber API below
+// tells TSan about every switch.
+#if defined(__SANITIZE_THREAD__)
+#define SUBC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SUBC_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef SUBC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace subc {
 
@@ -16,17 +34,48 @@ namespace {
 // but thread_local keeps the library safe to use from several independent
 // simulator threads (e.g. parallel test shards).
 thread_local Fiber* tl_current = nullptr;
+
+// Stacks are allocated and freed once per simulated process per execution —
+// millions of times in an exploration. Going straight to malloc for them is
+// pathological: the default stack size sits exactly at glibc's dynamic mmap
+// threshold, so every allocation degenerates into an mmap/munmap pair plus
+// first-touch page faults, costing ~10x the simulated execution itself. A
+// small per-thread pool of default-sized stacks removes the churn
+// (custom-sized stacks stay on the regular allocator).
+constexpr std::size_t kMaxPooledStacks = 16;
+thread_local std::vector<std::unique_ptr<char[]>> tl_stack_pool;
+
+std::unique_ptr<char[]> acquire_stack(std::size_t stack_bytes) {
+  if (stack_bytes == Fiber::kDefaultStackBytes && !tl_stack_pool.empty()) {
+    std::unique_ptr<char[]> stack = std::move(tl_stack_pool.back());
+    tl_stack_pool.pop_back();
+    return stack;
+  }
+  return std::make_unique<char[]>(stack_bytes);
+}
+
+void release_stack(std::unique_ptr<char[]> stack, std::size_t stack_bytes) {
+  if (stack_bytes == Fiber::kDefaultStackBytes &&
+      tl_stack_pool.size() < kMaxPooledStacks) {
+    tl_stack_pool.push_back(std::move(stack));
+  }
+}
 }  // namespace
 
 struct Fiber::Impl {
   ucontext_t ctx{};
   ucontext_t caller{};
   std::unique_ptr<char[]> stack;
+  std::size_t stack_bytes = 0;
   std::function<void()> entry;
   std::exception_ptr error;
   bool started = false;
   bool finished = false;
   bool killing = false;
+#ifdef SUBC_TSAN_FIBERS
+  void* tsan_fiber = nullptr;   // this fiber's TSan context
+  void* tsan_caller = nullptr;  // where to switch back to on yield/finish
+#endif
 };
 
 Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
@@ -35,23 +84,33 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
     throw SimError("Fiber requires a non-empty entry function");
   }
   impl_->entry = std::move(entry);
-  impl_->stack = std::make_unique<char[]>(stack_bytes);
+  impl_->stack = acquire_stack(stack_bytes);
+  impl_->stack_bytes = stack_bytes;
   if (getcontext(&impl_->ctx) != 0) {
     throw SimError("getcontext failed");
   }
   impl_->ctx.uc_stack.ss_sp = impl_->stack.get();
   impl_->ctx.uc_stack.ss_size = stack_bytes;
-  // When the trampoline returns, control goes back to the most recent
-  // resumer (impl_->caller is refreshed by every swapcontext in resume()).
+  // Safety net only: the trampoline parks in an explicit swapcontext loop
+  // when the entry finishes (see trampoline()), so uc_link is never taken.
   impl_->ctx.uc_link = &impl_->caller;
   // makecontext only passes ints portably; split the pointer into two words.
   const auto self = reinterpret_cast<std::uintptr_t>(this);
   makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
               2, static_cast<unsigned>(self >> 32),
               static_cast<unsigned>(self & 0xffffffffu));
+#ifdef SUBC_TSAN_FIBERS
+  impl_->tsan_fiber = __tsan_create_fiber(0);
+#endif
 }
 
-Fiber::~Fiber() { kill(); }
+Fiber::~Fiber() {
+  kill();
+#ifdef SUBC_TSAN_FIBERS
+  __tsan_destroy_fiber(impl_->tsan_fiber);
+#endif
+  release_stack(std::move(impl_->stack), impl_->stack_bytes);
+}
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   const auto bits =
@@ -65,7 +124,20 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
     self->impl_->error = std::current_exception();
   }
   self->impl_->finished = true;
-  // Falling off the trampoline switches to uc_link == impl_->caller.
+  // Hand control back with an explicit swapcontext rather than falling off
+  // the trampoline onto uc_link: the fall-off path runs the kernel-side
+  // context teardown with an unbalanced sanitizer shadow stack, which under
+  // ThreadSanitizer leaks one caller-side shadow frame per finished fiber
+  // until the shadow stack overflows (observed as libtsan SEGVs after a few
+  // tens of thousands of fibers). A finished fiber is never resumed
+  // (resume() throws), so the park loop below is effectively unreachable
+  // after the first switch.
+  for (;;) {
+#ifdef SUBC_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
+#endif
+    swapcontext(&self->impl_->ctx, &self->impl_->caller);
+  }
 }
 
 void Fiber::resume() {
@@ -75,6 +147,10 @@ void Fiber::resume() {
   Fiber* const prev = tl_current;
   tl_current = this;
   impl_->started = true;
+#ifdef SUBC_TSAN_FIBERS
+  impl_->tsan_caller = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(impl_->tsan_fiber, 0);
+#endif
   swapcontext(&impl_->caller, &impl_->ctx);
   tl_current = prev;
   if (impl_->error) {
@@ -108,6 +184,9 @@ void Fiber::yield() {
   if (self == nullptr) {
     throw SimError("Fiber::yield() called outside any fiber");
   }
+#ifdef SUBC_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
+#endif
   swapcontext(&self->impl_->ctx, &self->impl_->caller);
   if (self->impl_->killing) {
     throw FiberKilled{};

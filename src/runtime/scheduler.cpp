@@ -54,6 +54,12 @@ std::uint32_t ScriptedDriver::choose(std::uint32_t arity) {
 
 std::uint32_t ReplayDriver::next(std::uint32_t arity) {
   SUBC_ASSERT(arity >= 1);
+  if (arity == 1) {
+    // Forced decision: exactly one option, so it can never be backtracked.
+    // Eliding it keeps traces short and backtracking cheap (a sole enabled
+    // process stepping repeatedly would otherwise fill the trace).
+    return 0;
+  }
   if (pos_ < trace_.size()) {
     Decision& d = trace_[pos_++];
     // The world must be deterministic given the decision string: the arity
@@ -62,8 +68,14 @@ std::uint32_t ReplayDriver::next(std::uint32_t arity) {
     SUBC_ASSERT(d.chosen < arity);
     return d.chosen;
   }
+  if (trace_.size() >= limit_) {
+    throw FrontierCut{};
+  }
   trace_.push_back(Decision{0, arity});
   ++pos_;
+  if (prune_ != nullptr && *prune_ && (*prune_)(trace_)) {
+    throw PruneCut{};
+  }
   return 0;
 }
 

@@ -160,6 +160,110 @@ TEST(RandomSweep, FindsSeedDependentViolation) {
   EXPECT_THROW(rt.run(driver), SpecViolation);
 }
 
+TEST(Explorer, BudgetExhaustionOnViolationFreeBodyReportsIncomplete) {
+  // A violation-free tree strictly larger than the budget: the result must
+  // carry no violation, exactly `max_executions` executions, and
+  // complete == false so callers cannot mistake the truncation for a proof.
+  Explorer::Options opts;
+  opts.max_executions = 37;
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        for (int p = 0; p < 3; ++p) {
+          rt.add_process([&](Context& ctx) {
+            for (int s = 0; s < 3; ++s) {
+              reg.read(ctx);
+            }
+          });
+        }
+        rt.run(driver);
+      },
+      opts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.executions, 37);  // tree has 1680 executions
+}
+
+TEST(Explorer, ReplayRoundTripsRecordedViolatingTrace) {
+  // The recorded violating trace must reproduce the identical execution: the
+  // replayed decision string equals the recorded one bit-for-bit, and the
+  // same violation fires.
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(kBottom);
+    rt.add_process([&](Context& ctx) {
+      reg.read(ctx);
+      reg.write(ctx, 7);
+    });
+    rt.add_process([&](Context& ctx) {
+      if (reg.read(ctx) == 7) {
+        throw SpecViolation("saw the write");
+      }
+      reg.read(ctx);
+    });
+    rt.run(driver);
+  };
+  const auto result = Explorer::explore(body);
+  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.violating_trace.empty());
+
+  ReplayDriver driver(result.violating_trace);
+  EXPECT_THROW(body(driver), SpecViolation);
+  EXPECT_EQ(format_trace(driver.trace()), format_trace(result.violating_trace));
+}
+
+TEST(Explorer, Arity1DecisionsAreElidedFromTraces) {
+  // A single process makes every decision forced (one enabled pid, no
+  // object nondeterminism): one execution, empty trace.
+  std::vector<ReplayDriver::Decision> trace{{9, 9}};  // must be overwritten
+  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    rt.add_process([&](Context& ctx) {
+      for (int s = 0; s < 5; ++s) {
+        reg.read(ctx);
+      }
+    });
+    const auto run = rt.run(driver);
+    ReplayDriver* replay = dynamic_cast<ReplayDriver*>(&driver);
+    ASSERT_NE(replay, nullptr);
+    trace = replay->trace();
+    EXPECT_EQ(run.total_steps, 5);
+  });
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.executions, 1);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(Explorer, PruneHookCutsSubtreesAndCountsThem) {
+  // Prune everything after the first recorded decision takes option != 0:
+  // only the schedules where process 0 moves first survive.
+  Explorer::Options opts;
+  opts.prune = [](std::span<const ReplayDriver::Decision> prefix) {
+    return prefix.size() == 1 && prefix[0].chosen != 0;
+  };
+  const auto pruned = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        for (int p = 0; p < 3; ++p) {
+          rt.add_process([&](Context& ctx) {
+            reg.read(ctx);
+            reg.read(ctx);
+          });
+        }
+        rt.run(driver);
+      },
+      opts);
+  EXPECT_TRUE(pruned.complete);
+  EXPECT_TRUE(pruned.ok());
+  // Full tree: 90 executions. First decision has arity 3; two of the three
+  // root subtrees (30 executions each) are cut.
+  EXPECT_EQ(pruned.executions, 30);
+  EXPECT_EQ(pruned.pruned_subtrees, 2);
+}
+
 TEST(Explorer, HungProcessesDoNotStallExploration) {
   // A process that hangs leaves the others enumerable.
   const auto result = Explorer::explore([&](ScheduleDriver& driver) {
