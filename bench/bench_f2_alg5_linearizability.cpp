@@ -132,6 +132,9 @@ int main() {
   subc_bench::Json out;
   out.set("bench", "F2").set("threads", threads).set("rows", rows).set(
       "pass", ok);
+  // This bench never drives the exhaustive explorer; stamp the neutral
+  // reduction telemetry every BENCH_<ID>.json carries.
+  subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::write_json("BENCH_F2.json", out);
   std::printf("\nF2 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -132,6 +132,9 @@ void BM_ExplorerExecutionRate(benchmark::State& state) {
   // Arg(0) = worker threads (1 = the serial path).
   Explorer::Options opts;
   opts.max_executions = 2000;
+  // Raw enumeration rate is the quantity under test: with reduction on the
+  // tree shrinks and items-processed would no longer equal executions.
+  opts.reduction = Reduction::kNone;
   opts.threads = static_cast<int>(state.range(0));
   const ExecutionBody body = explorer_rate_body();
   for (auto _ : state) {
@@ -185,6 +188,7 @@ void write_results_json() {
   };
   Explorer::Options opts;
   opts.max_executions = 5'000'000;
+  opts.reduction = Reduction::kNone;  // rate of the raw enumeration
   const subc_bench::Stopwatch serial_sw;
   const auto serial = Explorer::explore(body, opts);
   const double serial_ms = serial_sw.ms();
@@ -192,11 +196,18 @@ void write_results_json() {
   const subc_bench::Stopwatch parallel_sw;
   const auto parallel = Explorer::explore(body, opts);
   const double parallel_ms = parallel_sw.ms();
+  // One reduced pass over the same tree for the reduction telemetry all
+  // BENCH_<ID>.json files carry.
+  Explorer::Options red = opts;
+  red.threads = 1;
+  red.reduction = Reduction::kSleepSets;
+  const auto reduced = Explorer::explore(body, red);
 
   subc_bench::Json out;
   out.set("bench", "F4")
       .set("threads", threads)
       .set("executions", serial.executions)
+      .set("executions_reduced", reduced.executions)
       .set("counts_match", parallel.executions == serial.executions)
       .set("serial_ms", serial_ms)
       .set("parallel_ms", parallel_ms)
@@ -210,6 +221,8 @@ void write_results_json() {
                      parallel_ms
                : 0.0)
       .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+  subc_bench::set_reduction_fields(out, reduced.reduced_subtrees,
+                                   reduced.executions);
   subc_bench::write_json("BENCH_F4.json", out);
 }
 

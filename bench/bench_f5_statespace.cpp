@@ -1,18 +1,29 @@
-// Experiment F5 — state-space growth, parallel explorer speedup, and
-// checker scaling.
+// Experiment F5 — state-space growth, partial-order reduction, parallel
+// explorer speedup, and checker scaling.
 //
-// Series 1: exhaustive-explorer execution counts versus processes × steps
-// (the multinomial schedule-tree sizes), measured against the closed form —
-// calibrates what "exhaustive" can mean for T1/T5/T6. Each cell is explored
-// twice: serially and with the work-sharing parallel explorer; the counts
-// must agree bit-for-bit and the wall-clock ratio is the measured speedup.
+// Series 1: exhaustive-explorer execution counts versus processes × steps,
+// with the sleep-set reduction off and on — calibrates what "exhaustive"
+// can mean for T1/T5/T6 and measures how much of the multinomial schedule
+// tree the footprint-based reduction proves redundant. Two world families:
+//   reads — every step reads one shared register (fully commuting: the
+//           degenerate best case, the tree collapses to ~1 execution);
+//   mixed — each process alternates a write to its own register (commutes
+//           with everything) and a write to one shared register (conflicts
+//           with every other process): the realistic partial-conflict case.
+// Each cell is explored three ways: unreduced serial, reduced serial, and
+// reduced parallel; the two reduced runs must agree bit-for-bit (executions
+// and reduced_subtrees), all three must reach the same verdict, and the
+// per-cell reduction factor (unreduced/reduced executions) and speedups are
+// reported.
 // Series 2: Wing–Gong checker time versus history length for maximally
 // concurrent 1sWRN histories (everything overlaps everything).
 //
-// Results are also written to BENCH_F5.json (per-cell executions, serial and
-// parallel times, executions/sec, speedup, thread count).
+// Results are also written to BENCH_F5.json (per-cell execution counts for
+// both reduction settings, reduction factor, serial and parallel times,
+// speedups, thread count).
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -26,14 +37,39 @@ namespace {
 
 using namespace subc;
 
-ExecutionBody grid_body(int procs, int steps) {
+enum class World { kReads, kMixed };
+
+const char* world_name(World w) {
+  return w == World::kReads ? "reads" : "mixed";
+}
+
+ExecutionBody grid_body(World world, int procs, int steps) {
+  if (world == World::kReads) {
+    return [procs, steps](ScheduleDriver& driver) {
+      Runtime rt;
+      Register<> reg(0);
+      for (int p = 0; p < procs; ++p) {
+        rt.add_process([&](Context& ctx) {
+          for (int s = 0; s < steps; ++s) {
+            reg.read(ctx);
+          }
+        });
+      }
+      rt.run(driver);
+    };
+  }
   return [procs, steps](ScheduleDriver& driver) {
     Runtime rt;
-    Register<> reg(0);
+    Register<> shared(0);
+    RegisterArray<> own(procs, 0);
     for (int p = 0; p < procs; ++p) {
-      rt.add_process([&](Context& ctx) {
+      rt.add_process([&, p](Context& ctx) {
         for (int s = 0; s < steps; ++s) {
-          reg.read(ctx);
+          if (s % 2 == 0) {
+            own[p].write(ctx, s);
+          } else {
+            shared.write(ctx, p);
+          }
         }
       });
     }
@@ -42,24 +78,45 @@ ExecutionBody grid_body(int procs, int steps) {
 }
 
 struct CellResult {
-  long long executions = 0;
+  long long executions_unreduced = 0;
+  long long executions_reduced = 0;
+  long long reduced_subtrees = 0;
   bool complete = false;
-  bool counts_match = false;
-  double serial_ms = 0;
+  bool counts_match = false;   // reduced serial == reduced parallel
+  bool verdict_match = false;  // all three runs: same ok() and complete
+  double unreduced_ms = 0;
+  double reduced_ms = 0;
   double parallel_ms = 0;
 };
 
-CellResult run_cell(int procs, int steps, int threads) {
-  const ExecutionBody body = grid_body(procs, steps);
+CellResult run_cell(World world, int procs, int steps, int threads) {
+  const ExecutionBody body = grid_body(world, procs, steps);
   Explorer::Options opts;
   opts.max_executions = 5'000'000;
   CellResult cell;
+  bool ok_unreduced = false;
+  bool ok_reduced = false;
+  bool ok_parallel = false;
+  bool complete_reduced = false;
+  bool complete_parallel = false;
+  {
+    Explorer::Options raw = opts;
+    raw.reduction = Reduction::kNone;
+    const subc_bench::Stopwatch sw;
+    const auto unreduced = Explorer::explore(body, raw);
+    cell.unreduced_ms = sw.ms();
+    cell.executions_unreduced = unreduced.executions;
+    cell.complete = unreduced.complete;
+    ok_unreduced = unreduced.ok();
+  }
   {
     const subc_bench::Stopwatch sw;
-    const auto serial = Explorer::explore(body, opts);
-    cell.serial_ms = sw.ms();
-    cell.executions = serial.executions;
-    cell.complete = serial.complete;
+    const auto reduced = Explorer::explore(body, opts);
+    cell.reduced_ms = sw.ms();
+    cell.executions_reduced = reduced.executions;
+    cell.reduced_subtrees = reduced.reduced_subtrees;
+    ok_reduced = reduced.ok();
+    complete_reduced = reduced.complete;
   }
   {
     Explorer::Options popts = opts;
@@ -67,9 +124,15 @@ CellResult run_cell(int procs, int steps, int threads) {
     const subc_bench::Stopwatch sw;
     const auto parallel = Explorer::explore(body, popts);
     cell.parallel_ms = sw.ms();
-    cell.counts_match = parallel.executions == cell.executions &&
-                        parallel.complete == cell.complete;
+    cell.counts_match = parallel.executions == cell.executions_reduced &&
+                        parallel.reduced_subtrees == cell.reduced_subtrees;
+    ok_parallel = parallel.ok();
+    complete_parallel = parallel.complete;
   }
+  cell.verdict_match = ok_unreduced == ok_reduced &&
+                       ok_reduced == ok_parallel &&
+                       cell.complete == complete_reduced &&
+                       complete_reduced == complete_parallel;
   return cell;
 }
 
@@ -101,59 +164,103 @@ double time_checker(int k) {
 
 int main() {
   const int threads = subc_bench::bench_threads();
-  std::printf("F5: explorer state-space growth and checker scaling\n\n");
-  std::printf("series 1: exhaustive executions vs (processes, steps/proc), "
-              "serial vs %d-thread parallel\n", threads);
-  std::printf("%6s %6s %14s %12s %12s %9s %6s\n", "procs", "steps",
-              "executions", "serial(ms)", "par(ms)", "speedup", "match");
+  std::printf("F5: explorer state-space growth, reduction, checker scaling\n\n");
+  std::printf("series 1: exhaustive executions vs (world, processes, "
+              "steps/proc), reduction off vs on, %d-thread parallel\n",
+              threads);
+  std::printf("%6s %6s %6s %12s %12s %8s %9s %9s %9s %6s\n", "world", "procs",
+              "steps", "raw execs", "red execs", "factor", "raw(ms)",
+              "red(ms)", "par(ms)", "ok");
   struct Cell {
+    World world;
     int procs;
     int steps;
   };
-  const Cell cells[] = {{2, 2}, {2, 4}, {2, 6}, {3, 2}, {3, 3},
-                        {3, 4}, {4, 2}, {4, 3}, {5, 2}};
+  const Cell cells[] = {
+      {World::kReads, 2, 2}, {World::kReads, 2, 4}, {World::kReads, 2, 6},
+      {World::kReads, 3, 2}, {World::kReads, 3, 3}, {World::kReads, 3, 4},
+      {World::kReads, 4, 2}, {World::kReads, 4, 3}, {World::kReads, 5, 2},
+      {World::kMixed, 2, 4}, {World::kMixed, 2, 6}, {World::kMixed, 3, 2},
+      {World::kMixed, 3, 3}, {World::kMixed, 3, 4}, {World::kMixed, 4, 2},
+      {World::kMixed, 4, 3}};
   // Warm-up: the first exploration in a process is several times slower than
   // steady state (fiber-stack page faults, allocator growth); run one
-  // untimed pass through both paths so the timed cells compare fairly.
-  run_cell(3, 3, threads);
+  // untimed pass through all paths so the timed cells compare fairly.
+  run_cell(World::kMixed, 3, 3, threads);
   bool ok = true;
   std::vector<subc_bench::Json> series1;
-  double serial_total_ms = 0;
+  double unreduced_total_ms = 0;
+  double reduced_total_ms = 0;
   double parallel_total_ms = 0;
-  long long total_executions = 0;
-  for (const auto& [procs, steps] : cells) {
-    const CellResult cell = run_cell(procs, steps, threads);
-    ok = ok && cell.counts_match;
-    const double speedup =
-        cell.parallel_ms > 0 ? cell.serial_ms / cell.parallel_ms : 0;
-    serial_total_ms += cell.serial_ms;
+  long long total_executions_unreduced = 0;
+  long long total_executions_reduced = 0;
+  long long total_reduced_subtrees = 0;
+  int cells_at_2x = 0;
+  for (const auto& [world, procs, steps] : cells) {
+    const CellResult cell = run_cell(world, procs, steps, threads);
+    ok = ok && cell.counts_match && cell.verdict_match;
+    const double factor =
+        cell.executions_reduced > 0
+            ? static_cast<double>(cell.executions_unreduced) /
+                  static_cast<double>(cell.executions_reduced)
+            : 0;
+    if (factor >= 2.0) {
+      ++cells_at_2x;
+    }
+    const double reduction_speedup =
+        cell.reduced_ms > 0 ? cell.unreduced_ms / cell.reduced_ms : 0;
+    const double parallel_speedup =
+        cell.parallel_ms > 0 ? cell.reduced_ms / cell.parallel_ms : 0;
+    unreduced_total_ms += cell.unreduced_ms;
+    reduced_total_ms += cell.reduced_ms;
     parallel_total_ms += cell.parallel_ms;
-    total_executions += cell.executions;
-    std::printf("%6d %6d %14lld%s %11.1f %11.1f %8.2fx %6s\n", procs, steps,
-                cell.executions, cell.complete ? "" : " (truncated)",
-                cell.serial_ms, cell.parallel_ms, speedup,
-                cell.counts_match ? "yes" : "NO");
+    total_executions_unreduced += cell.executions_unreduced;
+    total_executions_reduced += cell.executions_reduced;
+    total_reduced_subtrees += cell.reduced_subtrees;
+    std::printf("%6s %6d %6d %12lld %12lld %7.1fx %9.1f %9.1f %9.1f %6s\n",
+                world_name(world), procs, steps, cell.executions_unreduced,
+                cell.executions_reduced, factor, cell.unreduced_ms,
+                cell.reduced_ms, cell.parallel_ms,
+                cell.counts_match && cell.verdict_match ? "yes" : "NO");
     subc_bench::Json row;
-    row.set("procs", procs)
+    row.set("world", world_name(world))
+        .set("procs", procs)
         .set("steps", steps)
-        .set("executions", cell.executions)
+        .set("executions_unreduced", cell.executions_unreduced)
+        .set("executions_reduced", cell.executions_reduced)
+        .set("reduced_subtrees", cell.reduced_subtrees)
+        .set("reduction_factor", factor)
         .set("complete", cell.complete)
         .set("counts_match", cell.counts_match)
-        .set("serial_ms", cell.serial_ms)
+        .set("verdict_match", cell.verdict_match)
+        .set("unreduced_ms", cell.unreduced_ms)
+        .set("reduced_ms", cell.reduced_ms)
         .set("parallel_ms", cell.parallel_ms)
-        .set("speedup", speedup)
-        .set("parallel_executions_per_sec",
-             cell.parallel_ms > 0
-                 ? 1000.0 * static_cast<double>(cell.executions) /
-                       cell.parallel_ms
-                 : 0.0);
+        .set("reduction_speedup", reduction_speedup)
+        .set("parallel_speedup", parallel_speedup);
     series1.push_back(row);
   }
-  const double overall_speedup =
-      parallel_total_ms > 0 ? serial_total_ms / parallel_total_ms : 0;
-  std::printf("\nseries 1 overall: %.1f ms serial, %.1f ms parallel, "
-              "%.2fx speedup at %d threads\n", serial_total_ms,
-              parallel_total_ms, overall_speedup, threads);
+  // The reduction must pay for itself on register-heavy worlds: at least
+  // half the cells shrink the explored tree by 2x or more.
+  const int total_cells = static_cast<int>(std::size(cells));
+  const bool reduction_effective = 2 * cells_at_2x >= total_cells;
+  ok = ok && reduction_effective;
+  const double overall_factor =
+      total_executions_reduced > 0
+          ? static_cast<double>(total_executions_unreduced) /
+                static_cast<double>(total_executions_reduced)
+          : 0;
+  const double overall_reduction_speedup =
+      reduced_total_ms > 0 ? unreduced_total_ms / reduced_total_ms : 0;
+  const double overall_parallel_speedup =
+      parallel_total_ms > 0 ? reduced_total_ms / parallel_total_ms : 0;
+  std::printf("\nseries 1 overall: %lld raw vs %lld reduced executions "
+              "(%.1fx, >=2x on %d/%d cells), %.1f ms raw, %.1f ms reduced "
+              "(%.2fx), %.1f ms parallel (%.2fx at %d threads)\n",
+              total_executions_unreduced, total_executions_reduced,
+              overall_factor, cells_at_2x, total_cells, unreduced_total_ms,
+              reduced_total_ms, overall_reduction_speedup, parallel_total_ms,
+              overall_parallel_speedup, threads);
 
   std::printf("\nseries 2: Wing–Gong checker on maximally concurrent "
               "1sWRN_k histories\n");
@@ -172,28 +279,34 @@ int main() {
     series2.push_back(row);
   }
   std::printf(
-      "\nreading: schedule counts follow the multinomial "
-      "(Σsteps)!/Π(steps!);\nthe checker's memoized DFS stays polynomial-ish "
-      "on WRN histories because\nstate keys collapse equivalent "
-      "linearization prefixes.\n");
+      "\nreading: raw schedule counts follow the multinomial "
+      "(Σsteps)!/Π(steps!);\nsleep sets keep one representative per "
+      "Mazurkiewicz trace, so fully\ncommuting worlds collapse to ~1 "
+      "execution and mixed worlds shrink by the\nshare of commuting "
+      "adjacent steps. The checker's memoized DFS stays\npolynomial-ish on "
+      "WRN histories because state keys collapse equivalent\nlinearization "
+      "prefixes.\n");
 
   subc_bench::Json out;
   out.set("bench", "F5")
       .set("threads", threads)
       .set("hardware_concurrency",
            static_cast<int>(std::thread::hardware_concurrency()))
-      .set("serial_total_ms", serial_total_ms)
+      .set("unreduced_total_ms", unreduced_total_ms)
+      .set("reduced_total_ms", reduced_total_ms)
       .set("parallel_total_ms", parallel_total_ms)
-      .set("speedup", overall_speedup)
-      .set("total_executions", total_executions)
-      .set("parallel_executions_per_sec",
-           parallel_total_ms > 0
-               ? 1000.0 * static_cast<double>(total_executions) /
-                     parallel_total_ms
-               : 0.0)
+      .set("reduction_speedup", overall_reduction_speedup)
+      .set("parallel_speedup", overall_parallel_speedup)
+      .set("executions_unreduced", total_executions_unreduced)
+      .set("executions_reduced", total_executions_reduced)
+      .set("execution_reduction_factor", overall_factor)
+      .set("cells_at_2x", cells_at_2x)
+      .set("cells_total", total_cells)
       .set("series1", series1)
       .set("series2", series2)
       .set("pass", ok);
+  subc_bench::set_reduction_fields(out, total_reduced_subtrees,
+                                   total_executions_reduced);
   subc_bench::write_json("BENCH_F5.json", out);
 
   std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");

@@ -37,6 +37,9 @@ int main() {
   out.set("bench", "T3")
       .set("pairs_verified", static_cast<std::int64_t>(pairs))
       .set("pass", ok);
+  // This bench never drives the exhaustive explorer; stamp the neutral
+  // reduction telemetry every BENCH_<ID>.json carries.
+  subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T3.json", out);
   std::printf("\nT3 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -137,6 +137,9 @@ int main() {
       .set("separations", rows)
       .set("synthesis", synth_rows)
       .set("pass", ok);
+  // This bench never drives the exhaustive explorer; stamp the neutral
+  // reduction telemetry every BENCH_<ID>.json carries.
+  subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T4.json", out);
 
   std::printf(

@@ -51,6 +51,7 @@ int main() {
   std::vector<subc_bench::Json> boundary_rows;
   const subc_bench::Stopwatch total_sw;
   std::int64_t total_executions = 0;
+  std::int64_t total_reduced = 0;
 
   for (int k = 2; k <= 8; ++k) {
     subc_bench::Json row;
@@ -61,6 +62,7 @@ int main() {
       const bool pass = check.ok() && check.exhaustive;
       ok = ok && pass;
       total_executions += check.executions;
+      total_reduced += check.reduced_subtrees;
       std::printf("%4d  %-12s  solves 2-consensus; %lld executions, "
                   "exhaustive\n", k, pass ? "SWAP (=2)" : "FAIL",
                   static_cast<long long>(check.executions));
@@ -154,6 +156,7 @@ int main() {
         control.body, {{0, 1}, {1, 0}}, 500'000, threads);
     ok = ok && check.ok();
     total_executions += check.executions;
+    total_reduced += check.reduced_subtrees;
     std::printf("  %-9s %s (%lld executions)\n", control.name,
                 check.ok() ? "ok" : "FAIL",
                 static_cast<long long>(check.executions));
@@ -172,6 +175,7 @@ int main() {
       .set("boundary", boundary_rows)
       .set("synthesis", synthesis_rows)
       .set("pass", ok);
+  subc_bench::set_reduction_fields(out, total_reduced, total_executions);
   subc_bench::write_json("BENCH_T5.json", out);
 
   std::printf("\nT5 %s\n", ok ? "PASS" : "FAIL");

@@ -139,6 +139,9 @@ int main() {
       .set("grid", g_grid_rows)
       .set("resilience", g_crash_rows)
       .set("pass", ok);
+  // This bench never drives the exhaustive explorer; stamp the neutral
+  // reduction telemetry every BENCH_<ID>.json carries.
+  subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T8.json", out);
 
   std::printf(

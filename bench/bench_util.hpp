@@ -109,6 +109,23 @@ class Json {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Stamps the partial-order-reduction telemetry carried by every
+/// BENCH_<ID>.json: `reduced_subtrees` (how many redundant scheduling
+/// options sleep sets skipped across all explorations the bench ran) and
+/// `reduction_factor` ((executions + reduced_subtrees) / executions). Each
+/// skipped subtree holds at least one execution, so the factor lower-bounds
+/// the raw/reduced execution-count ratio; benches that never drive the
+/// exhaustive explorer pass (0, 0) and report factor 1.
+inline void set_reduction_fields(Json& json, std::int64_t reduced_subtrees,
+                                 std::int64_t executions) {
+  json.set("reduced_subtrees", reduced_subtrees);
+  json.set("reduction_factor",
+           executions > 0
+               ? static_cast<double>(executions + reduced_subtrees) /
+                     static_cast<double>(executions)
+               : 1.0);
+}
+
 /// Writes `json` to `path` (+ trailing newline). Returns false on IO error.
 inline bool write_json(const std::string& path, const Json& json) {
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,16 +1,32 @@
 #!/usr/bin/env bash
 # Full verification pass: configure, build, run the test suite, run the
-# ThreadSanitizer configuration of the concurrency-sensitive tests, then run
+# UndefinedBehaviorSanitizer and ThreadSanitizer configurations, then run
 # every experiment binary from a Release build. Exits non-zero on the first
-# failure. This is what CI would run.
+# failure. This is what CI would run. Every ctest invocation carries a
+# per-test timeout so a hung exploration fails loudly instead of stalling
+# the whole pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Per-test wall-clock budget (seconds). Generous: the slowest tier-1 test
+# finishes in well under a minute on a laptop.
+CTEST_TIMEOUT=300
 
 # --- Default (Debug-ish) build + full test suite -------------------------
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure --timeout "${CTEST_TIMEOUT}"
+
+# --- UndefinedBehaviorSanitizer: the whole suite. The footprint/sleep-set -
+# layer leans on bit shifts over 64-bit masks and on mixed-radix counter
+# arithmetic; UBSan guards the shift widths and signed overflow.
+cmake -B build-ubsan -G Ninja \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+cmake --build build-ubsan
+
+ctest --test-dir build-ubsan --output-on-failure --timeout "${CTEST_TIMEOUT}"
 
 # --- ThreadSanitizer: guard the parallel explorer's work queue and -------
 # cancellation paths (and the fiber layer's TSan integration).
@@ -18,8 +34,8 @@ cmake -B build-tsan -G Ninja \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan --target fiber_test explorer_test \
-  parallel_explorer_test
-for t in fiber_test explorer_test parallel_explorer_test; do
+  parallel_explorer_test reduction_test
+for t in fiber_test explorer_test parallel_explorer_test reduction_test; do
   echo "== tsan: ${t}"
   "build-tsan/tests/${t}"
 done

@@ -183,6 +183,7 @@ ConsensusCheck check_consensus_algorithm(
     const Explorer::Result r = Explorer::explore(
         [&](ScheduleDriver& driver) { body(driver, inputs); }, opts);
     check.executions += r.executions;
+    check.reduced_subtrees += r.reduced_subtrees;
     if (!r.complete) {
       check.exhaustive = false;
     }

@@ -163,6 +163,9 @@ using ConsensusWorldBody =
 
 struct ConsensusCheck {
   std::int64_t executions = 0;
+  /// Scheduling options the partial-order reduction skipped, summed over
+  /// all input vectors (0 under `Reduction::kNone`).
+  std::int64_t reduced_subtrees = 0;
   bool exhaustive = false;
   std::optional<std::string> violation;
 

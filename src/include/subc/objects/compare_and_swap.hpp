@@ -16,7 +16,7 @@ class CompareAndSwap {
   /// Atomically: if value == expected, set to desired; returns the value
   /// observed (== expected exactly when the swap took effect).
   Value compare_and_swap(Context& ctx, Value expected, Value desired) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     const Value observed = value_;
     if (observed == expected) {
       value_ = desired;
@@ -26,11 +26,12 @@ class CompareAndSwap {
 
   /// Atomic read.
   Value read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
  private:
+  ObjectId id_;
   Value value_;
 };
 

@@ -25,7 +25,7 @@ class ConsensusObject {
     if (v == kBottom) {
       throw SimError("propose(⊥) is illegal");
     }
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     if (proposals_ == n_) {
       ctx.hang();
     }
@@ -39,6 +39,7 @@ class ConsensusObject {
   [[nodiscard]] int capacity() const noexcept { return n_; }
 
  private:
+  ObjectId id_;
   int n_;
   int proposals_ = 0;
   Value decision_ = kBottom;

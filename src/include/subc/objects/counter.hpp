@@ -16,13 +16,13 @@ class Counter {
 
   /// Atomically adds one.
   void increment(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kWrite);
     ++value_;
   }
 
   /// Atomic read.
   Value read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
@@ -30,6 +30,7 @@ class Counter {
   [[nodiscard]] Value peek() const noexcept { return value_; }
 
  private:
+  ObjectId id_;
   Value value_;
 };
 

@@ -38,7 +38,7 @@ class StrongSetElectionObject {
     if (id == kBottom) {
       throw SimError("invoke(⊥) is illegal");
     }
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kChoose);
     if (invocations_ == n_) {
       ctx.hang();
     }
@@ -61,6 +61,7 @@ class StrongSetElectionObject {
   [[nodiscard]] int agreement() const noexcept { return k_; }
 
  private:
+  ObjectId id_;
   int n_;
   int k_;
   int invocations_ = 0;

@@ -13,7 +13,7 @@ class FetchAdd {
 
   /// Atomically adds `delta` and returns the previous value.
   Value fetch_add(Context& ctx, Value delta) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     const Value previous = value_;
     value_ += delta;
     return previous;
@@ -21,11 +21,12 @@ class FetchAdd {
 
   /// Atomic read.
   Value read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
  private:
+  ObjectId id_;
   Value value_;
 };
 

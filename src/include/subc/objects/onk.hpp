@@ -53,6 +53,7 @@ class GacObject {
   }
 
  private:
+  ObjectId id_;
   int n_;
   int i_;
   std::vector<Value> arrivals_;

@@ -30,7 +30,7 @@ class PortedWrn {
   /// one shared step (the binding registry write).
   void bind(Context& ctx, int port) {
     check_port(port);
-    ctx.sched_point();
+    ctx.sched_point(registry_id_, AccessKind::kRmw);
     auto& owner = owner_[static_cast<std::size_t>(port)];
     if (owner != kUnbound) {
       throw SimError("port " + std::to_string(port) + " already bound");
@@ -65,6 +65,7 @@ class PortedWrn {
     }
   }
 
+  ObjectId registry_id_;  // footprint of the binding registry (bind steps)
   OneShotWrnObject inner_;
   std::vector<int> owner_;
 };

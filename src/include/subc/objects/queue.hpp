@@ -19,13 +19,13 @@ class FifoQueue {
 
   /// Atomically appends `v`.
   void enqueue(Context& ctx, Value v) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kWrite);
     items_.push_back(v);
   }
 
   /// Atomically removes and returns the head, or ⊥ when empty.
   Value dequeue(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     if (items_.empty()) {
       return kBottom;
     }
@@ -35,6 +35,7 @@ class FifoQueue {
   }
 
  private:
+  ObjectId id_;
   std::deque<Value> items_;
 };
 

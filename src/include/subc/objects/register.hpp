@@ -20,13 +20,13 @@ class Register {
 
   /// Atomic read.
   T read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
   /// Atomic write.
   void write(Context& ctx, T v) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kWrite);
     value_ = std::move(v);
   }
 
@@ -35,6 +35,7 @@ class Register {
   [[nodiscard]] const T& peek() const noexcept { return value_; }
 
  private:
+  ObjectId id_;
   T value_;
 };
 

@@ -29,7 +29,7 @@ class SetConsensusObject {
     if (v == kBottom) {
       throw SimError("propose(⊥) is illegal");
     }
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kChoose);
     if (proposals_ == n_) {
       ctx.hang();
     }
@@ -60,6 +60,7 @@ class SetConsensusObject {
     return false;
   }
 
+  ObjectId id_;
   int n_;
   int k_;
   int proposals_ = 0;

@@ -31,16 +31,18 @@ class AtomicSnapshot {
     return static_cast<int>(cells_.size());
   }
 
-  /// Atomically writes cell `i`.
+  /// Atomically writes cell `i`. Footprints are whole-object (an update
+  /// conflicts with every scan, and update∥update commutes only per cell —
+  /// we conservatively treat the snapshot as one object).
   void update(Context& ctx, int i, T v) {
     check_index(i);
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kWrite);
     cells_[static_cast<std::size_t>(i)] = std::move(v);
   }
 
   /// Atomically reads all cells.
   std::vector<T> scan(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return cells_;
   }
 
@@ -51,6 +53,7 @@ class AtomicSnapshot {
     }
   }
 
+  ObjectId id_;
   std::vector<T> cells_;
 };
 

@@ -19,7 +19,7 @@ class StickyRegister {
     if (v == kBottom) {
       throw SimError("stick(⊥) is illegal");
     }
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     if (value_ == kBottom) {
       value_ = v;
     }
@@ -28,11 +28,12 @@ class StickyRegister {
 
   /// Atomic read (⊥ while nothing stuck).
   Value read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
  private:
+  ObjectId id_;
   Value value_ = kBottom;
 };
 

@@ -17,17 +17,18 @@ class SwapRegister {
 
   /// Atomically writes `v` and returns the previous value.
   Value swap(Context& ctx, Value v) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     return std::exchange(value_, v);
   }
 
   /// Atomic read.
   Value read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return value_;
   }
 
  private:
+  ObjectId id_;
   Value value_;
 };
 

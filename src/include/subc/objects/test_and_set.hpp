@@ -12,7 +12,7 @@ class TestAndSet {
  public:
   /// Atomically sets the bit and returns its previous value.
   bool test_and_set(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRmw);
     const bool previous = set_;
     set_ = true;
     return previous;
@@ -20,11 +20,12 @@ class TestAndSet {
 
   /// Atomic read without setting.
   bool read(Context& ctx) {
-    ctx.sched_point();
+    ctx.sched_point(id_, AccessKind::kRead);
     return set_;
   }
 
  private:
+  ObjectId id_;
   bool set_ = false;
 };
 

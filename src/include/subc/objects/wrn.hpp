@@ -35,6 +35,7 @@ class WrnObject {
   [[nodiscard]] Value peek(int index) const;
 
  private:
+  ObjectId id_;
   int k_;
   std::vector<Value> slots_;
 };
@@ -50,6 +51,7 @@ class OneShotWrnObject {
   [[nodiscard]] int k() const noexcept { return k_; }
 
  private:
+  ObjectId id_;
   int k_;
   std::vector<Value> slots_;
   std::vector<bool> used_;

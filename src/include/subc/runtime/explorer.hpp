@@ -38,6 +38,18 @@ namespace subc {
 /// validate — throw `SpecViolation` (or any exception) to flag a violation.
 using ExecutionBody = std::function<void(ScheduleDriver& driver)>;
 
+/// Partial-order reduction strategy for the exhaustive search.
+enum class Reduction : std::uint8_t {
+  /// Raw enumeration of every decision string.
+  kNone,
+  /// Sleep sets over the per-step access footprints (scheduler.hpp): after
+  /// the subtree where process p steps at a decision point is explored, p
+  /// sleeps at the later siblings and stays asleep below them until some
+  /// step *dependent* on p's pending step runs. Sound: a violation is found
+  /// iff the unreduced search finds one (docs/explorer.md).
+  kSleepSets,
+};
+
 class Explorer {
  public:
   /// See ReplayDriver::PruneFn: return true to skip the subtree below the
@@ -45,8 +57,14 @@ class Explorer {
   using PruneFn = ReplayDriver::PruneFn;
 
   struct Options {
-    /// Stop (incomplete) after this many executions.
+    /// Stop (incomplete) after this many executions. Must be positive
+    /// (validated by `explore`, which throws `SimError` otherwise).
     std::int64_t max_executions = 2'000'000;
+
+    /// Partial-order reduction. The default prunes redundant interleavings
+    /// of provably commuting steps; use `kNone` when the raw interleaving
+    /// count itself is the quantity under test.
+    Reduction reduction = Reduction::kSleepSets;
 
     /// Worker threads for the search. 1 = serial in the calling thread
     /// (the default); 0 = one worker per hardware thread; n > 1 = exactly n
@@ -55,7 +73,8 @@ class Explorer {
 
     /// Depth (in recorded, i.e. arity>=2, decisions) of the partition
     /// frontier used to generate parallel work items. 0 = auto-tune from
-    /// the thread count. Ignored when running serially.
+    /// the thread count; negative values are rejected with `SimError`.
+    /// Ignored when running serially.
     int frontier_depth = 0;
 
     /// Optional symmetry/pruning hook, consulted once for every partial
@@ -69,6 +88,11 @@ class Explorer {
     std::int64_t executions = 0;
     /// Subtrees skipped by `Options::prune` (0 when no hook installed).
     std::int64_t pruned_subtrees = 0;
+    /// Scheduling options the partial-order reduction proved redundant and
+    /// skipped (0 under `Reduction::kNone`). Like `pruned_subtrees`, these
+    /// consume no `max_executions` budget and are bit-identical at every
+    /// thread count.
+    std::int64_t reduced_subtrees = 0;
     /// True when the decision tree was exhausted within the budget.
     bool complete = false;
     /// Set when an execution failed; `trace` replays it.

@@ -32,6 +32,33 @@ namespace subc {
 class Runtime;
 class Fiber;
 
+/// Kernel-assigned identity of one shared object, used only for access
+/// footprints (scheduler.hpp). Ids are assigned lazily — per runtime, in
+/// first-`sched_point` order — so they are deterministic given the decision
+/// prefix and recorded traces replay with identical footprints.
+///
+/// Copying an object creates a *distinct* object (the copy starts with no
+/// id; e.g. RegisterArray stamps elements from a prototype register), while
+/// moving preserves identity (containers may relocate an object mid-run).
+/// Id collisions across runtimes sharing one driver only ever merge two
+/// objects' footprints, i.e. add dependence — sound for the reduction.
+class ObjectId {
+ public:
+  ObjectId() = default;
+  ObjectId(const ObjectId& /*other*/) noexcept {}
+  ObjectId& operator=(const ObjectId& /*other*/) noexcept { return *this; }
+  ObjectId(ObjectId&& other) noexcept : id_(other.id_) { other.id_ = 0; }
+  ObjectId& operator=(ObjectId&& other) noexcept {
+    id_ = other.id_;
+    other.id_ = 0;
+    return *this;
+  }
+
+ private:
+  friend class Context;
+  mutable std::uint32_t id_ = 0;  // 0 = not yet assigned
+};
+
 /// Per-process handle passed to process functions; the only way process code
 /// interacts with the kernel.
 class Context {
@@ -41,8 +68,15 @@ class Context {
 
   /// Marks the boundary of the next atomic operation: suspends the process
   /// until the scheduler grants it a step. Called by shared objects, not by
-  /// algorithm code.
+  /// algorithm code. This overload declares no footprint — the pending step
+  /// is treated as dependent with everything (always sound).
   void sched_point();
+
+  /// As above, additionally declaring the pending step's access footprint:
+  /// it touches `obj` (assigning its id on first use) as a `kind` access.
+  /// Footprints are pure metadata consumed by the explorer's partial-order
+  /// reduction; they never alter execution semantics (docs/MODEL.md).
+  void sched_point(const ObjectId& obj, AccessKind kind);
 
   /// Resolves object nondeterminism adversarially: returns a driver-chosen
   /// value in [0, arity). Must be called inside an atomic step.
@@ -136,12 +170,14 @@ class Runtime {
   struct Proc;
 
   void check_pid(int pid) const;
-  std::vector<int> runnable() const;
+  void collect_enabled(std::vector<int>& enabled,
+                       std::vector<Access>& footprints) const;
   ScheduleDriver* driver_ = nullptr;
 
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Value> decisions_;
   std::int64_t total_steps_ = 0;
+  std::uint32_t next_object_id_ = 1;
   bool started_ = false;
 };
 

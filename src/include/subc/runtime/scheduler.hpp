@@ -9,6 +9,12 @@
 // both. The exhaustive explorer (explorer.hpp) enumerates every decision
 // string; the drivers here provide round-robin, seeded-random and scripted
 // strategies for larger instances.
+//
+// Scheduling decisions carry *access footprints*: alongside the enabled pid
+// list, the runtime passes the footprint of each enabled process's pending
+// step ({object, kind}, announced at its `sched_point`). Footprints are pure
+// metadata — they never change what a step does, only let the explorer's
+// partial-order reduction recognise commuting steps (docs/explorer.md).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,33 @@
 
 namespace subc {
 
+/// How a pending atomic step accesses its shared object. `kChoose` marks
+/// steps that additionally resolve object nondeterminism via
+/// `Context::choose` (set-consensus propose, set-election invoke); for
+/// independence they behave like `kRmw`.
+enum class AccessKind : std::uint8_t { kUnknown = 0, kRead, kWrite, kRmw, kChoose };
+
+/// The access footprint of one pending atomic step: which shared object it
+/// touches and how. `object == 0` means "unknown" — a step with no declared
+/// footprint, conservatively treated as dependent with everything.
+struct Access {
+  std::uint32_t object = 0;
+  AccessKind kind = AccessKind::kUnknown;
+};
+
+/// Mazurkiewicz independence of two steps, judged by footprint: steps on
+/// distinct objects commute, and two reads of the same object commute.
+/// Unknown footprints are dependent with everything (sound default).
+[[nodiscard]] constexpr bool independent(Access a, Access b) noexcept {
+  if (a.object == 0 || b.object == 0) {
+    return false;
+  }
+  if (a.object != b.object) {
+    return true;
+  }
+  return a.kind == AccessKind::kRead && b.kind == AccessKind::kRead;
+}
+
 /// Supplies adversarial decisions. `pick` selects an index into the enabled
 /// set (never empty); `choose` resolves object nondeterminism with an
 /// arbitrary arity.
@@ -28,19 +61,28 @@ class ScheduleDriver {
  public:
   virtual ~ScheduleDriver() = default;
 
-  /// Returns an index into `enabled` (the pids currently able to step,
-  /// in increasing pid order).
-  virtual std::size_t pick(std::span<const int> enabled) = 0;
+  /// Returns an index into `enabled` (the pids currently able to step, in
+  /// increasing pid order). `footprints`, when non-empty, is index-aligned
+  /// with `enabled` and holds each pending step's access footprint; drivers
+  /// that do not inspect footprints simply ignore it.
+  virtual std::size_t pick(std::span<const int> enabled,
+                           std::span<const Access> footprints = {}) = 0;
 
   /// Returns a value in [0, arity). `arity >= 1`.
   virtual std::uint32_t choose(std::uint32_t arity) = 0;
+
+  /// Called by `Runtime::run` before the first step of a world. Drivers that
+  /// keep per-world state (e.g. the replay driver's sleep sets) reset it
+  /// here so one driver can soundly span several runtimes in one execution.
+  virtual void begin_run() {}
 };
 
 /// Cycles through processes in pid order; object choices always take
 /// option 0. Deterministic; useful for smoke tests and benchmarks.
 class RoundRobinDriver final : public ScheduleDriver {
  public:
-  std::size_t pick(std::span<const int> enabled) override;
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
 
  private:
@@ -54,7 +96,8 @@ class RandomDriver final : public ScheduleDriver {
  public:
   explicit RandomDriver(std::uint64_t seed) : rng_(seed) {}
 
-  std::size_t pick(std::span<const int> enabled) override;
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
 
  private:
@@ -69,7 +112,8 @@ class ScriptedDriver final : public ScheduleDriver {
  public:
   explicit ScriptedDriver(std::vector<int> pids) : pids_(std::move(pids)) {}
 
-  std::size_t pick(std::span<const int> enabled) override;
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
 
  private:
@@ -90,6 +134,13 @@ struct FrontierCut {};
 /// `FrontierCut`.
 struct PruneCut {};
 
+/// Thrown by `ReplayDriver` when sleep-set partial-order reduction proves
+/// every continuation of the current partial execution equivalent to an
+/// already-explored one (every enabled process is asleep): the subtree is
+/// abandoned as redundant. Not derived from `std::exception` for the same
+/// reason as `FrontierCut`.
+struct SleepCut {};
+
 /// Replays a recorded decision prefix and extends it with first options;
 /// records the arity of every decision point. This is the explorer's
 /// workhorse (stateless model checking): see explorer.hpp.
@@ -98,11 +149,25 @@ struct PruneCut {};
 /// recording them would only lengthen traces and slow backtracking. Traces
 /// therefore contain only decisions with `arity >= 2`, and prefixes passed in
 /// must use the same convention (any trace recorded by a ReplayDriver does).
+///
+/// With `set_reduction(true)` the driver additionally runs sleep-set
+/// partial-order reduction over the access footprints the runtime supplies
+/// to `pick`: scheduling options whose process is asleep (its pending step
+/// provably commutes with an already-explored sibling branch) are skipped,
+/// and partial executions with every enabled process asleep throw `SleepCut`.
+/// The skip metadata (`Decision::enabled`, `Decision::sleep`) is recorded in
+/// the trace so the explorer's backtracking applies identical skips.
 class ReplayDriver final : public ScheduleDriver {
  public:
   struct Decision {
     std::uint32_t chosen = 0;
     std::uint32_t arity = 1;
+    /// Scheduling decisions under reduction: bitmask of the enabled pids
+    /// (option i = i-th set bit) and the sleep set inherited from the path
+    /// above. Both 0 for object choices, for scheduling decisions recorded
+    /// without reduction, and for any pid >= 64 (reduction disabled there).
+    std::uint64_t enabled = 0;
+    std::uint64_t sleep = 0;
   };
 
   /// Prune hook: given the partial decision string ending at a candidate
@@ -115,8 +180,10 @@ class ReplayDriver final : public ScheduleDriver {
   explicit ReplayDriver(std::vector<Decision> prefix)
       : trace_(std::move(prefix)) {}
 
-  std::size_t pick(std::span<const int> enabled) override;
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
+  void begin_run() override { sleep_ = 0; }
 
   /// Full decision string of the execution driven so far.
   [[nodiscard]] const std::vector<Decision>& trace() const noexcept {
@@ -140,13 +207,24 @@ class ReplayDriver final : public ScheduleDriver {
   /// (the default) to disable.
   void set_prune(const PruneFn* prune) noexcept { prune_ = prune; }
 
+  /// Enables sleep-set partial-order reduction for fresh scheduling
+  /// decisions. Off by default (raw enumeration).
+  void set_reduction(bool on) noexcept { reduce_ = on; }
+
+  /// Scheduling options skipped by the reduction so far (each is a subtree
+  /// the search proved redundant and never entered).
+  [[nodiscard]] std::int64_t reduced() const noexcept { return reduced_; }
+
  private:
-  std::uint32_t next(std::uint32_t arity);
+  std::uint32_t next_choice(std::uint32_t arity);
 
   std::vector<Decision> trace_;
   std::size_t pos_ = 0;
   std::size_t limit_ = static_cast<std::size_t>(-1);
   const PruneFn* prune_ = nullptr;
+  bool reduce_ = false;
+  std::uint64_t sleep_ = 0;
+  std::int64_t reduced_ = 0;
 };
 
 /// Renders a decision string for diagnostics ("2/3 0/2 1/4 ...").

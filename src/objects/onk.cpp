@@ -13,7 +13,7 @@ Value GacObject::propose(Context& ctx, Value v) {
   if (v == kBottom) {
     throw SimError("propose(⊥) is illegal");
   }
-  ctx.sched_point();
+  ctx.sched_point(id_, AccessKind::kRmw);
   const int t = static_cast<int>(arrivals_.size()) + 1;  // 1-based arrival
   if (t > capacity()) {
     ctx.hang();

@@ -22,7 +22,7 @@ WrnObject::WrnObject(int k)
 
 Value WrnObject::wrn(Context& ctx, int index, Value v) {
   check_params(k_, index, v);
-  ctx.sched_point();
+  ctx.sched_point(id_, AccessKind::kRmw);
   slots_[static_cast<std::size_t>(index)] = v;
   return slots_[static_cast<std::size_t>((index + 1) % k_)];
 }
@@ -45,7 +45,7 @@ OneShotWrnObject::OneShotWrnObject(int k)
 
 Value OneShotWrnObject::wrn(Context& ctx, int index, Value v) {
   check_params(k_, index, v);
-  ctx.sched_point();
+  ctx.sched_point(id_, AccessKind::kRmw);
   const auto i = static_cast<std::size_t>(index);
   if (used_[i]) {
     // "Any attempt to invoke 1sWRN with the same index twice is illegal,

@@ -45,6 +45,7 @@ struct SearchState {
 struct SubtreeStats {
   std::int64_t executions = 0;
   std::int64_t pruned = 0;
+  std::int64_t reduced = 0;
   std::optional<std::string> violation;
   std::vector<Decision> trace;
   /// True when the subtree was fully explored or stopped at its own (first)
@@ -52,18 +53,43 @@ struct SubtreeStats {
   bool finished = false;
 };
 
+// True when sleep-set metadata recorded at `d` says option `chosen` is
+// redundant: its process was asleep when the decision point was first
+// reached (`Decision::sleep` stores the inherited sleep set; earlier sibling
+// options all have distinct pids, so membership there never changes the
+// verdict). `d.enabled == 0` means no metadata — never skip.
+bool option_asleep(const Decision& d, std::uint32_t chosen) {
+  if (d.enabled == 0) {
+    return false;
+  }
+  // Pid of the chosen option = position of its (chosen-th) set bit.
+  std::uint64_t rest = d.enabled;
+  for (std::uint32_t c = 0; c < chosen; ++c) {
+    rest &= rest - 1;  // clear lowest set bit
+  }
+  const std::uint64_t bit = rest & ~(rest - 1);  // lowest remaining
+  return (d.sleep & bit) != 0;
+}
+
 // Advances `trace` to the next DFS prefix inside the subtree whose first
 // `floor` decisions are fixed: bump the deepest decision that still has
-// unexplored options, dropping everything after it. `prune` is consulted on
-// every candidate prefix (its subtree is skipped and counted when rejected).
-// Returns false when the subtree is exhausted.
+// unexplored options, dropping everything after it. Options asleep under
+// the recorded reduction metadata are skipped (counted in `reduced`), and
+// `prune` is consulted on every surviving candidate prefix (its subtree is
+// skipped and counted when rejected). Returns false when the subtree is
+// exhausted.
 bool advance(std::vector<Decision>& trace, std::size_t floor,
-             const Explorer::PruneFn& prune, std::int64_t& pruned) {
+             const Explorer::PruneFn& prune, std::int64_t& pruned,
+             std::int64_t& reduced) {
   std::size_t i = trace.size();
   while (i > floor) {
     Decision& d = trace[i - 1];
     if (d.chosen + 1 < d.arity) {
       ++d.chosen;
+      if (option_asleep(d, d.chosen)) {
+        ++reduced;
+        continue;  // same position, next option
+      }
       if (prune && prune(std::span<const Decision>(trace.data(), i))) {
         ++pruned;
         continue;  // same position, next option
@@ -83,9 +109,10 @@ bool advance(std::vector<Decision>& trace, std::size_t floor,
 // reported a violation (nothing in this subtree can win then).
 SubtreeStats explore_subtree(const ExecutionBody& body,
                              std::vector<Decision> prefix, std::size_t floor,
-                             const Explorer::PruneFn& prune,
-                             SearchState& state, std::uint64_t my_index) {
+                             const Explorer::Options& opts, SearchState& state,
+                             std::uint64_t my_index) {
   SubtreeStats stats;
+  const Explorer::PruneFn& prune = opts.prune;
   for (;;) {
     if (state.log.best_index() < my_index) {
       return stats;  // cancelled; these tallies will be discarded
@@ -95,21 +122,26 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
     }
     ReplayDriver driver(std::move(prefix));
     driver.set_prune(prune ? &prune : nullptr);
+    driver.set_reduction(opts.reduction == Reduction::kSleepSets);
     try {
       body(driver);
       ++stats.executions;
     } catch (const PruneCut&) {
       ++stats.pruned;
       state.refund();
+    } catch (const SleepCut&) {
+      state.refund();  // redundant subtree, not an execution
     } catch (const std::exception& e) {
       ++stats.executions;
       stats.violation = e.what();
+      stats.reduced += driver.reduced();
       stats.trace = driver.take_trace();
       stats.finished = true;
       return stats;
     }
+    stats.reduced += driver.reduced();
     std::vector<Decision> trace = driver.take_trace();
-    if (!advance(trace, floor, prune, stats.pruned)) {
+    if (!advance(trace, floor, prune, stats.pruned, stats.reduced)) {
       stats.finished = true;
       return stats;
     }
@@ -118,14 +150,18 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
 }
 
 // One entry of the canonical (serial-DFS-order) emission sequence produced
-// by frontier enumeration: a completed shallow execution, a pruned subtree,
-// or a frontier work unit (a depth-d prefix whose subtree a worker explores).
+// by frontier enumeration: a completed shallow execution, a pruned or
+// reduction-skipped subtree, or a frontier work unit (a depth-d prefix whose
+// subtree a worker explores). Every event additionally carries the
+// reduction skips that occurred at (and while advancing past) it, so that
+// tallies truncated at a winning violation stay exact.
 struct Event {
-  enum class Kind { kExecution, kPruned, kUnit };
+  enum class Kind { kExecution, kPruned, kSkip, kUnit };
   Kind kind;
   std::vector<Decision> payload;  // kUnit: the prefix; violating kExecution:
                                   // the trace
   std::optional<std::string> violation;
+  std::int64_t reduced = 0;
 };
 
 // Enumerates the decision tree down to `depth` recorded decisions, in serial
@@ -134,8 +170,9 @@ struct Event {
 // budget is exhausted.
 std::vector<Event> enumerate_frontier(const ExecutionBody& body,
                                       std::size_t depth,
-                                      const Explorer::PruneFn& prune,
+                                      const Explorer::Options& opts,
                                       SearchState& state) {
+  const Explorer::PruneFn& prune = opts.prune;
   std::vector<Event> events;
   std::vector<Decision> prefix;
   for (;;) {
@@ -145,8 +182,10 @@ std::vector<Event> enumerate_frontier(const ExecutionBody& body,
     ReplayDriver driver(std::move(prefix));
     driver.set_decision_limit(depth);
     driver.set_prune(prune ? &prune : nullptr);
+    driver.set_reduction(opts.reduction == Reduction::kSleepSets);
     bool cut = false;
     bool pruned_here = false;
+    bool skipped_here = false;
     try {
       body(driver);
     } catch (const FrontierCut&) {
@@ -155,25 +194,40 @@ std::vector<Event> enumerate_frontier(const ExecutionBody& body,
     } catch (const PruneCut&) {
       pruned_here = true;
       state.refund();
+    } catch (const SleepCut&) {
+      skipped_here = true;
+      state.refund();
     } catch (const std::exception& e) {
-      events.push_back(
-          Event{Event::Kind::kExecution, driver.take_trace(), e.what()});
+      Event ev{Event::Kind::kExecution, driver.take_trace(), e.what()};
+      ev.reduced = driver.reduced();
+      events.push_back(std::move(ev));
       return events;
     }
     std::vector<Decision> trace = driver.take_trace();
+    Event ev{Event::Kind::kExecution, {}, std::nullopt};
     if (cut) {
-      events.push_back(Event{Event::Kind::kUnit, trace, std::nullopt});
+      ev.kind = Event::Kind::kUnit;
+      ev.payload = trace;
     } else if (pruned_here) {
-      events.push_back(Event{Event::Kind::kPruned, {}, std::nullopt});
-    } else {
-      events.push_back(Event{Event::Kind::kExecution, {}, std::nullopt});
+      ev.kind = Event::Kind::kPruned;
+    } else if (skipped_here) {
+      ev.kind = Event::Kind::kSkip;
     }
+    ev.reduced = driver.reduced();
+    events.push_back(std::move(ev));
     std::int64_t advance_prunes = 0;
-    const bool more = advance(trace, 0, prune, advance_prunes);
-    // Each subtree pruned while advancing sits between this event and the
-    // next in canonical order; record it so truncated tallies stay exact.
+    std::int64_t advance_reduced = 0;
+    const bool more = advance(trace, 0, prune, advance_prunes, advance_reduced);
+    // Subtrees pruned or reduction-skipped while advancing sit between this
+    // event and the next in canonical order (in particular *after* a unit's
+    // whole subtree); record them separately so truncated tallies stay exact.
     for (std::int64_t i = 0; i < advance_prunes; ++i) {
       events.push_back(Event{Event::Kind::kPruned, {}, std::nullopt});
+    }
+    if (advance_reduced > 0) {
+      Event skip{Event::Kind::kSkip, {}, std::nullopt};
+      skip.reduced = advance_reduced;
+      events.push_back(std::move(skip));
     }
     if (!more) {
       return events;
@@ -198,6 +252,7 @@ Explorer::Result finish_serial(SubtreeStats stats, const SearchState& state) {
   Explorer::Result result;
   result.executions = stats.executions;
   result.pruned_subtrees = stats.pruned;
+  result.reduced_subtrees = stats.reduced;
   if (stats.violation) {
     result.violation = std::move(stats.violation);
     result.violating_trace = std::move(stats.trace);
@@ -215,7 +270,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
                                 ? static_cast<std::size_t>(opts.frontier_depth)
                                 : auto_frontier_depth(threads);
   const std::vector<Event> events =
-      enumerate_frontier(body, depth, opts.prune, state);
+      enumerate_frontier(body, depth, opts, state);
 
   // A violating shallow execution terminates enumeration; it is the last
   // event and canonically beats everything that would have followed.
@@ -253,7 +308,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
             return;
           }
           unit_stats[u] = explore_subtree(body, events[ev].payload, depth,
-                                          opts.prune, state, ev);
+                                          opts, state, ev);
           if (unit_stats[u].violation) {
             state.log.report(ev, *unit_stats[u].violation,
                              unit_stats[u].trace);
@@ -277,6 +332,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
   bool all_finished = true;
   std::size_t u = 0;
   for (std::size_t i = 0; i < events.size() && i <= winner_index; ++i) {
+    result.reduced_subtrees += events[i].reduced;
     switch (events[i].kind) {
       case Event::Kind::kExecution:
         ++result.executions;
@@ -284,9 +340,12 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
       case Event::Kind::kPruned:
         ++result.pruned_subtrees;
         break;
+      case Event::Kind::kSkip:
+        break;  // reduction skips carried in the `reduced` field above
       case Event::Kind::kUnit:
         result.executions += unit_stats[u].executions;
         result.pruned_subtrees += unit_stats[u].pruned;
+        result.reduced_subtrees += unit_stats[u].reduced;
         all_finished = all_finished && unit_stats[u].finished;
         ++u;
         break;
@@ -312,12 +371,21 @@ int Explorer::resolve_threads(int threads) noexcept {
 }
 
 Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
+  if (opts.max_executions <= 0) {
+    throw SimError("Explorer::Options::max_executions must be positive, got " +
+                   std::to_string(opts.max_executions));
+  }
+  if (opts.frontier_depth < 0) {
+    throw SimError(
+        "Explorer::Options::frontier_depth must be non-negative, got " +
+        std::to_string(opts.frontier_depth));
+  }
   const int threads = resolve_threads(opts.threads);
   if (threads <= 1) {
     SearchState state;
     state.max_executions = opts.max_executions;
     SubtreeStats stats =
-        explore_subtree(body, {}, 0, opts.prune, state, /*my_index=*/0);
+        explore_subtree(body, {}, 0, opts, state, /*my_index=*/0);
     return finish_serial(std::move(stats), state);
   }
   return explore_parallel(body, opts, threads);

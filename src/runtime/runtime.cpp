@@ -25,6 +25,10 @@ struct Runtime::Proc {
   Context ctx;
   ProcState state = ProcState::kRunning;
   std::int64_t steps = 0;
+  /// Footprint of the pending step, announced at the sched_point that
+  /// suspended the fiber. Default (unknown) until the first sched_point and
+  /// after any footprint-less one.
+  Access next_access;
 
   Proc(Runtime* rt, int pid) : ctx(rt, pid) {}
 };
@@ -55,15 +59,16 @@ void Runtime::check_pid(int pid) const {
   }
 }
 
-std::vector<int> Runtime::runnable() const {
-  std::vector<int> out;
-  out.reserve(procs_.size());
+void Runtime::collect_enabled(std::vector<int>& enabled,
+                              std::vector<Access>& footprints) const {
+  enabled.clear();
+  footprints.clear();
   for (int pid = 0; pid < num_processes(); ++pid) {
     if (procs_[pid]->state == ProcState::kRunning) {
-      out.push_back(pid);
+      enabled.push_back(pid);
+      footprints.push_back(procs_[pid]->next_access);
     }
   }
-  return out;
 }
 
 Runtime::RunResult Runtime::run(ScheduleDriver& driver,
@@ -73,10 +78,13 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   }
   started_ = true;
   driver_ = &driver;
+  driver.begin_run();
 
   // Prime every fiber: run its process-local prologue up to the first
   // shared-memory operation (the first sched_point). Priming executes no
-  // shared step, so it is not a scheduling decision.
+  // shared step, so it is not a scheduling decision — but it does announce
+  // each process's first footprint, so every pick below sees a complete
+  // footprint vector.
   for (auto& proc : procs_) {
     if (proc->state == ProcState::kRunning) {
       proc->fiber->resume();
@@ -87,8 +95,12 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   }
 
   RunResult result;
+  std::vector<int> enabled;
+  std::vector<Access> footprints;
+  enabled.reserve(procs_.size());
+  footprints.reserve(procs_.size());
   while (true) {
-    const std::vector<int> enabled = runnable();
+    collect_enabled(enabled, footprints);
     if (enabled.empty()) {
       break;
     }
@@ -97,7 +109,7 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
       throw SimError("step bound exceeded with processes still runnable (" +
                      std::to_string(max_steps) + " steps)");
     }
-    const std::size_t idx = driver.pick(enabled);
+    const std::size_t idx = driver.pick(enabled, footprints);
     SUBC_ASSERT(idx < enabled.size());
     const int pid = enabled[idx];
     Proc& proc = *procs_[pid];
@@ -146,7 +158,19 @@ ProcState Runtime::state_of(int pid) const {
   return procs_[pid]->state;
 }
 
-void Context::sched_point() { Fiber::yield(); }
+void Context::sched_point() {
+  runtime_->procs_[static_cast<std::size_t>(pid_)]->next_access = Access{};
+  Fiber::yield();
+}
+
+void Context::sched_point(const ObjectId& obj, AccessKind kind) {
+  if (obj.id_ == 0) {
+    obj.id_ = runtime_->next_object_id_++;
+  }
+  runtime_->procs_[static_cast<std::size_t>(pid_)]->next_access =
+      Access{obj.id_, kind};
+  Fiber::yield();
+}
 
 std::uint32_t Context::choose(std::uint32_t arity) {
   if (runtime_->driver_ == nullptr) {

@@ -4,8 +4,26 @@
 #include <sstream>
 
 namespace subc {
+namespace {
 
-std::size_t RoundRobinDriver::pick(std::span<const int> enabled) {
+/// Bitmask of the enabled pids, or 0 when any pid falls outside the 64-bit
+/// mask (reduction degrades to "off" at such decision points — sound, just
+/// unreduced).
+std::uint64_t enabled_mask(std::span<const int> enabled) {
+  std::uint64_t mask = 0;
+  for (const int pid : enabled) {
+    if (pid < 0 || pid >= 64) {
+      return 0;
+    }
+    mask |= std::uint64_t{1} << pid;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::size_t RoundRobinDriver::pick(std::span<const int> enabled,
+                                   std::span<const Access> /*footprints*/) {
   SUBC_ASSERT(!enabled.empty());
   // First enabled pid strictly greater than the last scheduled one,
   // wrapping around.
@@ -24,7 +42,8 @@ std::uint32_t RoundRobinDriver::choose(std::uint32_t arity) {
   return 0;
 }
 
-std::size_t RandomDriver::pick(std::span<const int> enabled) {
+std::size_t RandomDriver::pick(std::span<const int> enabled,
+                               std::span<const Access> /*footprints*/) {
   SUBC_ASSERT(!enabled.empty());
   return std::uniform_int_distribution<std::size_t>(0, enabled.size() - 1)(
       rng_);
@@ -35,7 +54,8 @@ std::uint32_t RandomDriver::choose(std::uint32_t arity) {
   return std::uniform_int_distribution<std::uint32_t>(0, arity - 1)(rng_);
 }
 
-std::size_t ScriptedDriver::pick(std::span<const int> enabled) {
+std::size_t ScriptedDriver::pick(std::span<const int> enabled,
+                                 std::span<const Access> /*footprints*/) {
   SUBC_ASSERT(!enabled.empty());
   if (pos_ < pids_.size()) {
     const int wanted = pids_[pos_++];
@@ -52,18 +72,104 @@ std::uint32_t ScriptedDriver::choose(std::uint32_t arity) {
   return 0;
 }
 
-std::uint32_t ReplayDriver::next(std::uint32_t arity) {
-  SUBC_ASSERT(arity >= 1);
+std::size_t ReplayDriver::pick(std::span<const int> enabled,
+                               std::span<const Access> footprints) {
+  if (enabled.empty()) {
+    throw SimError("ReplayDriver::pick: empty enabled set");
+  }
+  const auto arity = static_cast<std::uint32_t>(enabled.size());
+
+  // Reduction is active at this decision point only when footprints are
+  // supplied and every pid fits the sleep bitmask.
+  const std::uint64_t mask =
+      (reduce_ && footprints.size() == enabled.size()) ? enabled_mask(enabled)
+                                                       : 0;
+  // Sleeping processes must still be enabled (crash() can retire one).
+  sleep_ &= mask;
+
+  std::uint32_t chosen = 0;
   if (arity == 1) {
-    // Forced decision: exactly one option, so it can never be backtracked.
-    // Eliding it keeps traces short and backtracking cheap (a sole enabled
-    // process stepping repeatedly would otherwise fill the trace).
+    // Forced decision: exactly one option, elided from the trace (it can
+    // never be backtracked). The sleep set still evolves across it — and a
+    // forced step by a sleeping process means every continuation was
+    // already covered by the sibling branch that put it to sleep.
+    if (mask != 0 && (sleep_ >> enabled[0] & 1) != 0) {
+      ++reduced_;
+      throw SleepCut{};
+    }
+  } else if (pos_ < trace_.size()) {
+    const Decision& d = trace_[pos_++];
+    // The world must be deterministic given the decision string: arity,
+    // enabled set and inherited sleep set must match the recording.
+    SUBC_ASSERT(d.arity == arity);
+    SUBC_ASSERT(d.chosen < arity);
+    SUBC_ASSERT(mask == 0 || d.enabled == 0 || d.enabled == mask);
+    SUBC_ASSERT(mask == 0 || d.enabled == 0 || d.sleep == sleep_);
+    chosen = d.chosen;
+  } else {
+    if (trace_.size() >= limit_) {
+      throw FrontierCut{};
+    }
+    if (mask != 0) {
+      // Sleep-set skip: the least option whose process is awake. Each
+      // skipped option is a subtree an earlier sibling branch already
+      // covers; with every process asleep the whole node is redundant.
+      while (chosen < arity && (sleep_ >> enabled[chosen] & 1) != 0) {
+        ++reduced_;
+        ++chosen;
+      }
+      if (chosen == arity) {
+        throw SleepCut{};
+      }
+    }
+    trace_.push_back(Decision{chosen, arity, mask, sleep_});
+    ++pos_;
+    if (prune_ != nullptr && *prune_ && (*prune_)(trace_)) {
+      throw PruneCut{};
+    }
+  }
+
+  if (mask != 0) {
+    // Classic sleep-set propagation past the granted step: earlier sibling
+    // options join the sleep set (their subtrees are explored first in DFS
+    // order), then every sleeper whose pending step *depends* on the
+    // granted step wakes up.
+    std::uint64_t eff = sleep_;
+    for (std::uint32_t c = 0; c < chosen; ++c) {
+      eff |= std::uint64_t{1} << enabled[c];
+    }
+    const Access granted = footprints[chosen];
+    std::uint64_t next = 0;
+    for (std::size_t j = 0; j < enabled.size(); ++j) {
+      if (j == chosen) {
+        continue;
+      }
+      const std::uint64_t bit = std::uint64_t{1} << enabled[j];
+      if ((eff & bit) != 0 && independent(footprints[j], granted)) {
+        next |= bit;
+      }
+    }
+    sleep_ = next;
+  } else {
+    sleep_ = 0;
+  }
+  return chosen;
+}
+
+std::uint32_t ReplayDriver::choose(std::uint32_t arity) {
+  if (arity == 0) {
+    throw SimError("ReplayDriver::choose: arity must be >= 1");
+  }
+  return next_choice(arity);
+}
+
+std::uint32_t ReplayDriver::next_choice(std::uint32_t arity) {
+  if (arity == 1) {
+    // Forced decision: elided, as in pick().
     return 0;
   }
   if (pos_ < trace_.size()) {
-    Decision& d = trace_[pos_++];
-    // The world must be deterministic given the decision string: the arity
-    // at each decision point has to match the recorded one.
+    const Decision& d = trace_[pos_++];
     SUBC_ASSERT(d.arity == arity);
     SUBC_ASSERT(d.chosen < arity);
     return d.chosen;
@@ -71,19 +177,13 @@ std::uint32_t ReplayDriver::next(std::uint32_t arity) {
   if (trace_.size() >= limit_) {
     throw FrontierCut{};
   }
-  trace_.push_back(Decision{0, arity});
+  trace_.push_back(Decision{0, arity, 0, 0});
   ++pos_;
   if (prune_ != nullptr && *prune_ && (*prune_)(trace_)) {
     throw PruneCut{};
   }
   return 0;
 }
-
-std::size_t ReplayDriver::pick(std::span<const int> enabled) {
-  return next(static_cast<std::uint32_t>(enabled.size()));
-}
-
-std::uint32_t ReplayDriver::choose(std::uint32_t arity) { return next(arity); }
 
 std::string format_trace(std::span<const ReplayDriver::Decision> trace) {
   std::ostringstream os;

@@ -173,7 +173,9 @@ TEST(BgSimulation, ToleratesUpToKMinus1CrashedSimulators) {
           bool crashed1 = false, crashed2 = false;
           Driver(Runtime* r, std::uint64_t seed, int v1, int s1, int v2)
               : rt(r), inner(seed), victim1(v1), steps1(s1), victim2(v2) {}
-          std::size_t pick(std::span<const int> enabled) override {
+          std::size_t pick(std::span<const int> enabled,
+                           std::span<const Access> /*footprints*/ = {})
+              override {
             if (!crashed2) {
               rt->crash(victim2);
               crashed2 = true;

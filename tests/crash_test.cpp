@@ -23,7 +23,8 @@ class CrashingDriver final : public ScheduleDriver {
   CrashingDriver(Runtime* rt, std::uint64_t seed, int victim, int after_steps)
       : rt_(rt), inner_(seed), victim_(victim), after_steps_(after_steps) {}
 
-  std::size_t pick(std::span<const int> enabled) override {
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> /*footprints*/ = {}) override {
     if (!crashed_ && rt_->steps_of(victim_) >= after_steps_) {
       rt_->crash(victim_);
       crashed_ = true;
@@ -208,7 +209,9 @@ TEST(CrashInjection, ExhaustiveCrashPointsForAlgorithm2) {
           ScheduleDriver* inner;
           Runtime* rt;
           bool decided_crash = false;
-          std::size_t pick(std::span<const int> enabled) override {
+          std::size_t pick(std::span<const int> enabled,
+                           std::span<const Access> /*footprints*/ = {})
+              override {
             if (!decided_crash) {
               decided_crash = true;
               if (inner->choose(2) == 1) {

@@ -13,26 +13,39 @@
 namespace subc {
 namespace {
 
+// Raw-enumeration count tests pin `reduction = kNone`: they assert the exact
+// interleaving counts of the unreduced tree, which is precisely what the
+// partial-order reduction exists to shrink (reduction_test.cpp covers the
+// reduced counts and the none-vs-sleep-sets verdict equivalence).
+Explorer::Options unreduced() {
+  Explorer::Options opts;
+  opts.reduction = Reduction::kNone;
+  return opts;
+}
+
 // Two processes with 1 step each: exactly C(2,1) = 2 interleavings.
 TEST(Explorer, EnumeratesAllInterleavingsTwoProcessesOneStep) {
   std::set<std::vector<Value>> outcomes;
-  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
-    Runtime rt;
-    Register<> reg(kBottom);
-    std::vector<Value> reads(2, kBottom);
-    for (int p = 0; p < 2; ++p) {
-      rt.add_process([&, p](Context& ctx) {
-        reads[static_cast<std::size_t>(p)] = reg.read(ctx);
-        reg.write(ctx, p);
-      });
-    }
-    rt.run(driver);
-    outcomes.insert(reads);
-  });
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(kBottom);
+        std::vector<Value> reads(2, kBottom);
+        for (int p = 0; p < 2; ++p) {
+          rt.add_process([&, p](Context& ctx) {
+            reads[static_cast<std::size_t>(p)] = reg.read(ctx);
+            reg.write(ctx, p);
+          });
+        }
+        rt.run(driver);
+        outcomes.insert(reads);
+      },
+      unreduced());
   EXPECT_TRUE(result.ok());
   EXPECT_TRUE(result.complete);
   // Interleavings of (r0 w0) with (r1 w1): 4!/(2!2!) = 6 schedules.
   EXPECT_EQ(result.executions, 6);
+  EXPECT_EQ(result.reduced_subtrees, 0);
   // Observable outcomes: each process reads ⊥ or the other's write.
   EXPECT_TRUE(outcomes.contains(std::vector<Value>{kBottom, kBottom}));
   EXPECT_TRUE(outcomes.contains(std::vector<Value>{kBottom, 0}));
@@ -41,6 +54,27 @@ TEST(Explorer, EnumeratesAllInterleavingsTwoProcessesOneStep) {
 
 TEST(Explorer, CountsMultinomialSchedules) {
   // 3 processes x 2 steps: 6!/(2!2!2!) = 90 schedules.
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        for (int p = 0; p < 3; ++p) {
+          rt.add_process([&](Context& ctx) {
+            reg.read(ctx);
+            reg.read(ctx);
+          });
+        }
+        rt.run(driver);
+      },
+      unreduced());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.executions, 90);
+}
+
+TEST(Explorer, SleepSetsCollapseCommutingReadsToOneExecution) {
+  // The same all-reads world under the default reduction: every pair of
+  // pending steps commutes (read∥read on one register), so sleep sets leave
+  // exactly one representative of the single Mazurkiewicz class.
   const auto result = Explorer::explore([&](ScheduleDriver& driver) {
     Runtime rt;
     Register<> reg(0);
@@ -52,8 +86,10 @@ TEST(Explorer, CountsMultinomialSchedules) {
     }
     rt.run(driver);
   });
+  EXPECT_TRUE(result.ok());
   EXPECT_TRUE(result.complete);
-  EXPECT_EQ(result.executions, 90);
+  EXPECT_EQ(result.executions, 1);
+  EXPECT_GT(result.reduced_subtrees, 0);
 }
 
 TEST(Explorer, EnumeratesObjectNondeterminism) {
@@ -96,7 +132,7 @@ TEST(Explorer, ReportsViolationWithReplayableTrace) {
 }
 
 TEST(Explorer, RespectsExecutionBudget) {
-  Explorer::Options opts;
+  Explorer::Options opts = unreduced();
   opts.max_executions = 10;
   const auto result = Explorer::explore(
       [&](ScheduleDriver& driver) {
@@ -164,7 +200,7 @@ TEST(Explorer, BudgetExhaustionOnViolationFreeBodyReportsIncomplete) {
   // A violation-free tree strictly larger than the budget: the result must
   // carry no violation, exactly `max_executions` executions, and
   // complete == false so callers cannot mistake the truncation for a proof.
-  Explorer::Options opts;
+  Explorer::Options opts = unreduced();
   opts.max_executions = 37;
   const auto result = Explorer::explore(
       [&](ScheduleDriver& driver) {
@@ -239,7 +275,7 @@ TEST(Explorer, Arity1DecisionsAreElidedFromTraces) {
 TEST(Explorer, PruneHookCutsSubtreesAndCountsThem) {
   // Prune everything after the first recorded decision takes option != 0:
   // only the schedules where process 0 moves first survive.
-  Explorer::Options opts;
+  Explorer::Options opts = unreduced();
   opts.prune = [](std::span<const ReplayDriver::Decision> prefix) {
     return prefix.size() == 1 && prefix[0].chosen != 0;
   };
@@ -266,19 +302,73 @@ TEST(Explorer, PruneHookCutsSubtreesAndCountsThem) {
 
 TEST(Explorer, HungProcessesDoNotStallExploration) {
   // A process that hangs leaves the others enumerable.
-  const auto result = Explorer::explore([&](ScheduleDriver& driver) {
-    Runtime rt;
-    Register<> reg(0);
-    rt.add_process([&](Context& ctx) {
-      reg.read(ctx);
-      ctx.hang();
-    });
-    rt.add_process([&](Context& ctx) { reg.read(ctx); });
-    rt.run(driver);
-  });
+  const auto result = Explorer::explore(
+      [&](ScheduleDriver& driver) {
+        Runtime rt;
+        Register<> reg(0);
+        rt.add_process([&](Context& ctx) {
+          reg.read(ctx);
+          ctx.hang();
+        });
+        rt.add_process([&](Context& ctx) { reg.read(ctx); });
+        rt.run(driver);
+      },
+      unreduced());
   EXPECT_TRUE(result.ok());
   EXPECT_TRUE(result.complete);
   EXPECT_GT(result.executions, 1);
+}
+
+TEST(Explorer, RejectsInvalidOptions) {
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    rt.add_process([](Context&) {});
+    rt.run(driver);
+  };
+  Explorer::Options opts;
+  opts.max_executions = 0;
+  EXPECT_THROW(Explorer::explore(body, opts), SimError);
+  opts.max_executions = -5;
+  EXPECT_THROW(Explorer::explore(body, opts), SimError);
+  opts = Explorer::Options{};
+  opts.frontier_depth = -1;
+  EXPECT_THROW(Explorer::explore(body, opts), SimError);
+  opts.threads = 4;  // validation applies regardless of the mode picked
+  EXPECT_THROW(Explorer::explore(body, opts), SimError);
+}
+
+TEST(Explorer, BudgetExactlyEqualToTreeSizeReportsComplete) {
+  // Boundary: the tree has exactly 6 executions. A budget of 6 exhausts the
+  // tree with the last reservation, so the search is complete; 5 is not.
+  // Serial and parallel must agree on both sides of the boundary.
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> a(0);
+    Register<> b(0);
+    rt.add_process([&](Context& ctx) {
+      a.write(ctx, 1);
+      b.write(ctx, 1);
+    });
+    rt.add_process([&](Context& ctx) {
+      b.write(ctx, 2);
+      a.write(ctx, 2);
+    });
+    rt.run(driver);
+  };
+  for (const int threads : {1, 4}) {
+    Explorer::Options opts = unreduced();
+    opts.threads = threads;
+    opts.max_executions = 6;
+    const auto exact = Explorer::explore(body, opts);
+    EXPECT_TRUE(exact.ok());
+    EXPECT_TRUE(exact.complete) << "threads=" << threads;
+    EXPECT_EQ(exact.executions, 6);
+    opts.max_executions = 5;
+    const auto short_one = Explorer::explore(body, opts);
+    EXPECT_TRUE(short_one.ok());
+    EXPECT_FALSE(short_one.complete) << "threads=" << threads;
+    EXPECT_EQ(short_one.executions, 5);
+  }
 }
 
 }  // namespace

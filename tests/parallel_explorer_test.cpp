@@ -68,13 +68,23 @@ ExecutionBody deep_violation_world(int procs, int steps) {
   };
 }
 
+// Count-asserting tests pin `reduction = kNone`: they check the raw
+// enumeration and partition machinery on known interleaving counts. The
+// sleep-set composition with threading is covered separately below and in
+// reduction_test.cpp.
+Explorer::Options unreduced() {
+  Explorer::Options opts;
+  opts.reduction = Reduction::kNone;
+  return opts;
+}
+
 TEST(ParallelExplorer, MatchesSerialCountsAtEveryThreadCount) {
   const ExecutionBody body = grid_world(3, 3);
-  const auto serial = Explorer::explore(body);
+  const auto serial = Explorer::explore(body, unreduced());
   ASSERT_TRUE(serial.complete);
   ASSERT_EQ(serial.executions, 1680);  // 9!/(3!3!3!)
   for (const int threads : {2, 3, 4, 8}) {
-    Explorer::Options opts;
+    Explorer::Options opts = unreduced();
     opts.threads = threads;
     const auto parallel = Explorer::explore(body, opts);
     EXPECT_TRUE(parallel.complete) << "threads=" << threads;
@@ -85,16 +95,55 @@ TEST(ParallelExplorer, MatchesSerialCountsAtEveryThreadCount) {
 
 TEST(ParallelExplorer, MatchesSerialCountsAtEveryFrontierDepth) {
   const ExecutionBody body = grid_world(2, 4);
-  const auto serial = Explorer::explore(body);
+  const auto serial = Explorer::explore(body, unreduced());
   ASSERT_TRUE(serial.complete);
   ASSERT_EQ(serial.executions, 70);  // 8!/(4!4!)
   for (const int depth : {1, 2, 3, 5, 7, 20}) {
-    Explorer::Options opts;
+    Explorer::Options opts = unreduced();
     opts.threads = 4;
     opts.frontier_depth = depth;
     const auto parallel = Explorer::explore(body, opts);
     EXPECT_TRUE(parallel.complete) << "depth=" << depth;
     EXPECT_EQ(parallel.executions, serial.executions) << "depth=" << depth;
+  }
+}
+
+TEST(ParallelExplorer, SleepSetCountsBitIdenticalAcrossThreadsAndDepths) {
+  // A mixed read/write world with no violation: the reduced search must
+  // report identical executions/reduced_subtrees/complete at every thread
+  // count and frontier depth, and strictly fewer executions than raw
+  // enumeration.
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(3, kBottom);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        regs[p].write(ctx, p);
+        regs[(p + 1) % 3].read(ctx);
+        regs[p].write(ctx, p + 10);
+      });
+    }
+    rt.run(driver);
+  };
+  const auto raw = Explorer::explore(body, unreduced());
+  ASSERT_TRUE(raw.complete);
+  const auto serial = Explorer::explore(body);
+  ASSERT_TRUE(serial.complete);
+  EXPECT_LT(serial.executions, raw.executions);
+  EXPECT_GT(serial.reduced_subtrees, 0);
+  for (const int threads : {2, 4, 8}) {
+    for (const int depth : {0, 2, 5}) {
+      Explorer::Options opts;
+      opts.threads = threads;
+      opts.frontier_depth = depth;
+      const auto parallel = Explorer::explore(body, opts);
+      EXPECT_TRUE(parallel.complete)
+          << "threads=" << threads << " depth=" << depth;
+      EXPECT_EQ(parallel.executions, serial.executions)
+          << "threads=" << threads << " depth=" << depth;
+      EXPECT_EQ(parallel.reduced_subtrees, serial.reduced_subtrees)
+          << "threads=" << threads << " depth=" << depth;
+    }
   }
 }
 
@@ -134,8 +183,12 @@ TEST(ParallelExplorer, ReportsCanonicallyLeastViolationAtAnyThreadCount) {
           << "threads=" << threads << " depth=" << depth;
       EXPECT_EQ(*parallel.violation, *serial.violation);
       // The canonically least trace is independent of thread timing, so
-      // executions-before-violation is bit-identical to the serial count.
+      // executions-before-violation is bit-identical to the serial count —
+      // and so is the reduction-skip tally (this runs under the default
+      // sleep-set reduction).
       EXPECT_EQ(parallel.executions, serial.executions)
+          << "threads=" << threads << " depth=" << depth;
+      EXPECT_EQ(parallel.reduced_subtrees, serial.reduced_subtrees)
           << "threads=" << threads << " depth=" << depth;
       EXPECT_EQ(format_trace(parallel.violating_trace),
                 format_trace(serial.violating_trace))
@@ -154,7 +207,7 @@ TEST(ParallelExplorer, ViolatingTraceFromParallelRunReplays) {
 }
 
 TEST(ParallelExplorer, SharedBudgetStopsAtExactlyMaxExecutions) {
-  Explorer::Options opts;
+  Explorer::Options opts = unreduced();
   opts.threads = 4;
   opts.max_executions = 100;
   const auto result = Explorer::explore(grid_world(4, 3), opts);
@@ -194,7 +247,7 @@ TEST(ParallelExplorer, OutcomeSetsMatchSerialWithSynchronizedBody) {
   const auto run = [](int threads) {
     std::mutex mu;
     std::set<std::vector<Value>> outcomes;
-    Explorer::Options opts;
+    Explorer::Options opts = unreduced();
     opts.threads = threads;
     const auto result = Explorer::explore(
         [&](ScheduleDriver& driver) {
@@ -279,7 +332,7 @@ TEST(ViolationLog, KeepsLeastIndexUnderConcurrentReports) {
 }
 
 TEST(ParallelExplorer, ThreadsZeroUsesHardwareConcurrency) {
-  Explorer::Options opts;
+  Explorer::Options opts = unreduced();
   opts.threads = 0;
   const auto result = Explorer::explore(grid_world(2, 2), opts);
   EXPECT_TRUE(result.complete);

@@ -125,7 +125,8 @@ TEST(SafeAgreement, CrashInWindowBlocksResolution) {
   class CrashDriver final : public ScheduleDriver {
    public:
     explicit CrashDriver(Runtime* rt) : rt_(rt) {}
-    std::size_t pick(std::span<const int> enabled) override {
+    std::size_t pick(std::span<const int> enabled,
+                     std::span<const Access> /*footprints*/ = {}) override {
       if (steps_for_p0_ < 2) {
         ++steps_for_p0_;
         return 0;  // p0 first twice (it is enabled first)

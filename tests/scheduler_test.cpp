@@ -88,6 +88,79 @@ TEST(Replay, RejectsOutOfRangeChosen) {
   EXPECT_THROW(driver.pick(three), SimError);
 }
 
+TEST(Replay, EmptyEnabledSetIsALoudError) {
+  // A pick with nothing enabled can only come from a kernel bug or a driver
+  // misuse; it must throw SimError, never index into an empty span.
+  ReplayDriver driver;
+  EXPECT_THROW(driver.pick(std::span<const int>{}), SimError);
+}
+
+TEST(Replay, ChooseArityZeroIsALoudError) {
+  ReplayDriver driver;
+  EXPECT_THROW(driver.choose(0), SimError);
+  // The guard must not corrupt the driver: a legal choice still works.
+  EXPECT_EQ(driver.choose(2), 0u);
+  EXPECT_EQ(driver.trace().size(), 1u);
+}
+
+TEST(Replay, SleepSetSkipsCommutingOptionOnAdvance) {
+  // Two enabled processes whose pending steps are reads of the same object:
+  // after exploring pid 0 first, pid 1's branch is equivalent (read∥read
+  // commutes) — replaying the recorded decision keeps the stored metadata so
+  // the explorer's advance() can prove the sibling redundant.
+  ReplayDriver driver;
+  driver.set_reduction(true);
+  const std::array<int, 2> enabled{0, 1};
+  const std::array<Access, 2> fps{Access{7, AccessKind::kRead},
+                                  Access{7, AccessKind::kRead}};
+  EXPECT_EQ(driver.pick(enabled, fps), 0u);
+  ASSERT_EQ(driver.trace().size(), 1u);
+  const ReplayDriver::Decision d = driver.trace()[0];
+  EXPECT_EQ(d.enabled, 0b11u);
+  EXPECT_EQ(d.sleep, 0u);
+  EXPECT_EQ(driver.reduced(), 0);
+}
+
+TEST(Replay, DependentFootprintsRecordNoSleepers) {
+  // A write∥write conflict on one object: granting pid 1 second does NOT put
+  // the earlier sibling pid 0 to sleep, because the two steps do not commute
+  // — its subtree may reach schedules the pid-0-first branch cannot.
+  std::vector<ReplayDriver::Decision> prefix{{1, 2, 0b11, 0}};
+  ReplayDriver driver(std::move(prefix));
+  driver.set_reduction(true);
+  const std::array<int, 2> enabled{0, 1};
+  const std::array<Access, 2> fps{Access{3, AccessKind::kWrite},
+                                  Access{3, AccessKind::kWrite}};
+  EXPECT_EQ(driver.pick(enabled, fps), 1u);
+  // Fresh decision below: pid 0 is awake, so it is explored, not skipped.
+  EXPECT_EQ(driver.pick(enabled, fps), 0u);
+  EXPECT_EQ(driver.trace()[1].sleep, 0u);
+  EXPECT_EQ(driver.reduced(), 0);
+}
+
+TEST(Replay, IndependentSiblingFallsAsleepBelowTheGrantedStep) {
+  // Replaying a bumped decision {chosen=1}: pid 0's subtree was explored by
+  // the earlier sibling branch, and its pending step (write obj 3) commutes
+  // with the granted one (write obj 9) — so pid 0 sleeps below this node and
+  // the next fresh decision skips straight past it.
+  std::vector<ReplayDriver::Decision> prefix{{1, 2, 0b11, 0}};
+  ReplayDriver driver(std::move(prefix));
+  driver.set_reduction(true);
+  const std::array<int, 2> enabled{0, 1};
+  const std::array<Access, 2> fps{Access{3, AccessKind::kWrite},
+                                  Access{9, AccessKind::kWrite}};
+  EXPECT_EQ(driver.pick(enabled, fps), 1u);
+  // pid 0 (the earlier sibling, independent of the granted step) now sleeps:
+  // a fresh decision with both enabled and pid 0 still independent skips
+  // straight to pid 1.
+  const std::array<Access, 2> next{Access{3, AccessKind::kWrite},
+                                   Access{9, AccessKind::kRead}};
+  EXPECT_EQ(driver.pick(enabled, next), 1u);
+  EXPECT_EQ(driver.reduced(), 1);
+  ASSERT_EQ(driver.trace().size(), 2u);
+  EXPECT_EQ(driver.trace()[1].sleep, 0b01u);
+}
+
 TEST(Random, SameSeedSameDecisions) {
   RandomDriver a(99);
   RandomDriver b(99);
