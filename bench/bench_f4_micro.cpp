@@ -223,6 +223,7 @@ void write_results_json() {
       .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
   subc_bench::set_reduction_fields(out, reduced.reduced_subtrees,
                                    reduced.executions);
+  subc_bench::set_policy_fields(out);
   subc_bench::write_json("BENCH_F4.json", out);
 }
 

@@ -307,6 +307,7 @@ int main() {
       .set("pass", ok);
   subc_bench::set_reduction_fields(out, total_reduced_subtrees,
                                    total_executions_reduced);
+  subc_bench::set_policy_fields(out);
   subc_bench::write_json("BENCH_F5.json", out);
 
   std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");

@@ -176,6 +176,7 @@ int main() {
       .set("synthesis", synthesis_rows)
       .set("pass", ok);
   subc_bench::set_reduction_fields(out, total_reduced, total_executions);
+  subc_bench::set_policy_fields(out);
   subc_bench::write_json("BENCH_T5.json", out);
 
   std::printf("\nT5 %s\n", ok ? "PASS" : "FAIL");

@@ -18,6 +18,11 @@
 #include <utility>
 #include <vector>
 
+#include "subc/objects/register.hpp"
+#include "subc/runtime/explorer.hpp"
+#include "subc/runtime/observer.hpp"
+#include "subc/runtime/policy.hpp"
+
 namespace subc_bench {
 
 class Json {
@@ -124,6 +129,72 @@ inline void set_reduction_fields(Json& json, std::int64_t reduced_subtrees,
                ? static_cast<double>(executions + reduced_subtrees) /
                      static_cast<double>(executions)
                : 1.0);
+}
+
+/// Per-policy smoke cells stamped into every BENCH_<ID>.json: one PCT run
+/// and one crash-adversary run over a small canonical world, each watched
+/// by an `AccessCounters` observer. The cells prove the adversarial policy
+/// layer and the observer plumbing are alive in the bench stage, and give
+/// every artifact a `schedule_policy` field plus observer-counter totals so
+/// the perf trajectory records which policies each binary was built against.
+inline void set_policy_fields(Json& json) {
+  const subc::ExecutionBody body = [](subc::ScheduleDriver& driver) {
+    subc::Runtime rt;
+    subc::RegisterArray<> regs(3, subc::kBottom);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&regs, p](subc::Context& ctx) {
+        regs[static_cast<std::size_t>(p)].write(ctx, p);
+        (void)regs[static_cast<std::size_t>((p + 1) % 3)].read(ctx);
+        (void)ctx.choose(2);
+      });
+    }
+    rt.run(driver);
+  };
+
+  std::vector<Json> cells;
+  std::int64_t steps = 0;
+  std::int64_t chooses = 0;
+  std::int64_t crashes = 0;
+
+  {
+    subc::AccessCounters counters;
+    subc::PctPolicy policy(/*seed=*/1, /*depth=*/2, /*horizon=*/64);
+    const auto violation = subc::run_one(body, policy, &counters);
+    Json cell;
+    cell.set("policy", "pct(seed=1,depth=2,horizon=64)");
+    cell.set("steps", counters.steps());
+    cell.set("chooses", counters.chooses());
+    cell.set("crashes", counters.crashes());
+    cell.set("ok", !violation.has_value());
+    cells.push_back(cell);
+    steps += counters.steps();
+    chooses += counters.chooses();
+    crashes += counters.crashes();
+  }
+  {
+    subc::AccessCounters counters;
+    subc::RandomDriver inner(/*seed=*/1);
+    subc::CrashAdversary adversary(
+        inner, {subc::CrashAdversary::CrashPoint{/*victim=*/1,
+                                                 /*after_steps=*/1}});
+    const auto violation = subc::run_one(body, adversary, &counters);
+    Json cell;
+    cell.set("policy", "crash_adversary(plan=[p1@1],inner=random(seed=1))");
+    cell.set("steps", counters.steps());
+    cell.set("chooses", counters.chooses());
+    cell.set("crashes", counters.crashes());
+    cell.set("ok", !violation.has_value());
+    cells.push_back(cell);
+    steps += counters.steps();
+    chooses += counters.chooses();
+    crashes += counters.crashes();
+  }
+
+  json.set("schedule_policy", "pct(depth=2,horizon=64)+crash_adversary(f=1)");
+  json.set("observer_steps", steps);
+  json.set("observer_chooses", chooses);
+  json.set("observer_crashes", crashes);
+  json.set("policy_smoke", cells);
 }
 
 /// Writes `json` to `path` (+ trailing newline). Returns false on IO error.

@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
 # Full verification pass: configure, build, run the test suite, run the
-# UndefinedBehaviorSanitizer and ThreadSanitizer configurations, then run
-# every experiment binary from a Release build. Exits non-zero on the first
-# failure. This is what CI would run. Every ctest invocation carries a
-# per-test timeout so a hung exploration fails loudly instead of stalling
-# the whole pass.
+# AddressSanitizer, UndefinedBehaviorSanitizer and ThreadSanitizer
+# configurations, then run every experiment binary from a Release build.
+# Exits non-zero on the first failure. This is what CI would run. Every
+# ctest invocation carries a per-test timeout so a hung exploration fails
+# loudly instead of stalling the whole pass.
+#
+#   scripts/check.sh           full pass (tier-1 + sanitizers + benches)
+#   scripts/check.sh --quick   tier-1 only: build + test suite, nothing else
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 # Per-test wall-clock budget (seconds). Generous: the slowest tier-1 test
 # finishes in well under a minute on a laptop.
@@ -17,6 +31,23 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build --output-on-failure --timeout "${CTEST_TIMEOUT}"
+
+if [[ "${QUICK}" == "1" ]]; then
+  echo "QUICK CHECKS PASSED (tier-1 only; sanitizers and benches skipped)"
+  exit 0
+fi
+
+# --- AddressSanitizer: the whole suite. The fiber layer hand-switches ----
+# stacks with swapcontext, which ASan can only follow through the
+# __sanitizer_*_switch_fiber annotations in src/runtime/fiber.cpp — this
+# stage is what keeps those annotations honest, and catches stack misuse /
+# lifetime bugs everywhere else.
+cmake -B build-asan -G Ninja \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+cmake --build build-asan
+
+ctest --test-dir build-asan --output-on-failure --timeout "${CTEST_TIMEOUT}"
 
 # --- UndefinedBehaviorSanitizer: the whole suite. The footprint/sleep-set -
 # layer leans on bit shifts over 64-bit masks and on mixed-radix counter

@@ -22,6 +22,13 @@
 // For larger instances `RandomSweep` runs many seeded-random executions —
 // the standard randomized analogue — with the same seed-range partitioning
 // and deterministic least-seed failure reporting when parallelized.
+//
+// Every search — exhaustive, random, and the consensus-check helpers built
+// on them — executes individual runs through `run_one(body, policy,
+// observer)`: one place where a world, a schedule policy (scheduler.hpp,
+// policy.hpp) and an event sink (observer.hpp) meet. Found violations can
+// be delta-debugged to a locally-minimal decision string with
+// `Explorer::shrink` (or automatically via `Options::shrink_violations`).
 #pragma once
 
 #include <cstdint>
@@ -33,10 +40,24 @@
 
 namespace subc {
 
+class TraceObserver;
+
 /// Runs one complete execution of a freshly built world under `driver`.
 /// Build everything inside (runtime, objects, processes), run it, then
 /// validate — throw `SpecViolation` (or any exception) to flag a violation.
 using ExecutionBody = std::function<void(ScheduleDriver& driver)>;
+
+/// The one entry point every search funnels through: runs a single complete
+/// execution of `body` under `policy`, with `observer` installed as the
+/// thread-default for the duration (so every Runtime the body constructs
+/// reports its events there; nullptr = unobserved). Returns the violation
+/// message when the body threw, nullopt on a clean execution. `observer`
+/// also receives the violation as an `on_violation` event. The explorer's
+/// control-flow cuts (`FrontierCut`/`PruneCut`/`SleepCut`) are not
+/// violations and propagate to the caller.
+std::optional<std::string> run_one(const ExecutionBody& body,
+                                   SchedulePolicy& policy,
+                                   TraceObserver* observer = nullptr);
 
 /// Partial-order reduction strategy for the exhaustive search.
 enum class Reduction : std::uint8_t {
@@ -82,6 +103,18 @@ class Explorer {
     /// skips the whole subtree below it. Pruned subtrees are counted in
     /// `Result::pruned_subtrees` and do not consume `max_executions` budget.
     PruneFn prune;
+
+    /// Optional event sink (observer.hpp) receiving every execution's
+    /// kernel events; `run_one` installs it per execution. Observers are
+    /// pure sinks — verdicts, counts, and traces are identical with or
+    /// without one — and must be thread-safe when threads != 1.
+    TraceObserver* observer = nullptr;
+
+    /// When true, a found violation's decision string is delta-debugged to
+    /// a locally-minimal reproducer (see `Explorer::shrink`) before being
+    /// returned in `Result::violating_trace`. Off by default: shrinking
+    /// re-runs the body many times, which matters for expensive worlds.
+    bool shrink_violations = false;
   };
 
   struct Result {
@@ -115,6 +148,16 @@ class Explorer {
   static void replay(const ExecutionBody& body,
                      std::vector<ReplayDriver::Decision> trace);
 
+  /// Delta-debugs a violating decision string to a *locally-minimal*
+  /// reproducer: no single prefix truncation and no single lowering of one
+  /// decision (with the suffix dropped) yields a lexicographically smaller
+  /// decision string that still violates. Candidates are replayed without
+  /// reduction and zero-extended canonically by the ReplayDriver, so the
+  /// returned trace replays deterministically (`replay` throws on it). If
+  /// `trace` does not reproduce a violation it is returned unchanged.
+  static std::vector<ReplayDriver::Decision> shrink(
+      const ExecutionBody& body, std::vector<ReplayDriver::Decision> trace);
+
   /// Resolves an `Options::threads` value: 0 becomes the hardware thread
   /// count, everything else is returned as-is (minimum 1).
   static int resolve_threads(int threads) noexcept;
@@ -134,8 +177,11 @@ struct RandomSweep {
     [[nodiscard]] bool ok() const noexcept { return !failing_seed.has_value(); }
   };
 
+  /// `observer`, when given, sees every execution's events (`run_one`
+  /// semantics); it must be thread-safe when threads != 1.
   static Result run(const ExecutionBody& body, std::int64_t runs,
-                    std::uint64_t first_seed = 1, int threads = 1);
+                    std::uint64_t first_seed = 1, int threads = 1,
+                    TraceObserver* observer = nullptr);
 };
 
 }  // namespace subc

@@ -17,6 +17,8 @@
 
 namespace subc {
 
+class TraceObserver;
+
 /// One completed (or pending) high-level operation. `op` and `response` are
 /// small value tuples; their meaning is fixed by the sequential spec the
 /// history is checked against.
@@ -49,9 +51,28 @@ class History {
   /// Human-readable dump (one line per entry) for failure diagnostics.
   [[nodiscard]] std::string dump() const;
 
+  /// Streams every subsequent invoke/respond to `sink` (observer.hpp) as
+  /// on_invoke/on_respond events; nullptr disconnects. Wiring is explicit —
+  /// a History never adopts the thread-default observer, so observer-owned
+  /// mirrors (HistoryRecorder) cannot feed back into themselves.
+  void set_sink(TraceObserver* sink) noexcept { sink_ = sink; }
+
+  /// Appends a fully-formed entry with its original timestamps, advancing
+  /// the clock past them. For reconstructing a history from an exported
+  /// trace (checking/trace_jsonl.hpp); not forwarded to the sink. Returns
+  /// the entry's handle.
+  std::size_t restore(HistoryEntry entry);
+
+  /// Replaces the entry at `handle` (same trace-reconstruction use as
+  /// `restore`, for completing a previously restored pending entry). Also
+  /// advances the clock past the entry's timestamps; not forwarded to the
+  /// sink.
+  void amend(std::size_t handle, HistoryEntry entry);
+
  private:
   std::vector<HistoryEntry> entries_;
   std::int64_t clock_ = 0;
+  TraceObserver* sink_ = nullptr;
 };
 
 }  // namespace subc

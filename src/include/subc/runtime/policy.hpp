@@ -1,0 +1,160 @@
+// Adversarial schedule policies beyond the basics in scheduler.hpp.
+//
+//  * `PctPolicy` — the randomized-priority scheduler of Burckhardt et al.
+//    ("A Randomized Scheduler with Probabilistic Guarantees of Finding
+//    Bugs", ASPLOS 2010). For a run of length at most k with at most n
+//    processes and a bug of depth d, one seeded run finds the bug with
+//    probability >= 1/(n * k^(d-1)) — far better than uniform random
+//    scheduling at flushing rare interleavings, which needs the adversary
+//    to win a coin flip at *every* step rather than at d-1 of them.
+//  * `CrashAdversary` — a decorator composing a crash-failure model over
+//    any policy: up to f processes die at adversary-chosen points, either
+//    from an explicit plan ("kill pid 2 after its 5th step") or at seeded-
+//    random decision points. Replaces the one-off crash harness that tests
+//    previously hand-rolled against the kernel.
+//  * `RecordingPolicy` — a transparent decorator journaling every decision
+//    (grants, object choices, crashes) so two runs can be compared for
+//    bit-identical behaviour; this is how the seed-determinism tests pin
+//    RandomDriver and PctPolicy.
+//
+// docs/adversaries.md catalogues every policy with its guarantees.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subc/runtime/scheduler.hpp"
+
+namespace subc {
+
+/// PCT: each process gets a random distinct priority; the highest-priority
+/// enabled process always runs. At `depth - 1` step indices drawn uniformly
+/// from [0, horizon), the currently running process's priority drops below
+/// every initial priority — those are the "priority change points" that give
+/// the depth-d probabilistic guarantee. Object choices are uniform from the
+/// same seeded PRNG. Fully deterministic given (seed, depth, horizon);
+/// `begin_run` re-derives everything from the seed, so one policy object
+/// replays the identical schedule across consecutive runs.
+class PctPolicy final : public SchedulePolicy {
+ public:
+  /// `depth >= 1` (d=1 is pure priority scheduling, no change points);
+  /// `horizon` is the assumed maximum run length k used to place change
+  /// points — runs longer than `horizon` see no further changes.
+  PctPolicy(std::uint64_t seed, int depth, std::int64_t horizon);
+
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+  void begin_run() override;
+
+ private:
+  [[nodiscard]] std::int64_t priority_of(int pid);
+
+  std::uint64_t seed_;
+  int depth_;
+  std::int64_t horizon_;
+  std::mt19937_64 rng_;
+  /// pid -> priority; higher runs first. Initial priorities are drawn
+  /// lazily (the policy does not know the process count up front) from
+  /// [depth, 2^62); change point i lowers the running process to i.
+  std::vector<std::int64_t> priorities_;
+  std::vector<std::int64_t> change_points_;  ///< sorted step indices
+  std::int64_t step_ = 0;
+  int next_change_ = 0;
+};
+
+/// Crash-failure adversary over an arbitrary inner policy. Scheduling and
+/// object choices are delegated; the decorator only answers
+/// `crash_requests`, injecting at most `f` crashes per run.
+///
+/// Two fault models:
+///  * a targeted plan — `CrashPoint{victim, after_steps}` kills `victim`
+///    once it has been granted `after_steps` steps (the decorator counts
+///    grants itself by watching which pid its forwarded `pick` selects);
+///  * seeded random — at every decision point each enabled process is
+///    killed with probability `crash_prob`, until `f` crashes have landed.
+/// The two compose: plan entries fire first, random crashes use whatever
+/// budget remains.
+class CrashAdversary final : public SchedulePolicy {
+ public:
+  struct CrashPoint {
+    int victim = -1;
+    std::int64_t after_steps = 0;  ///< crash once victim has taken this many
+  };
+
+  /// Plan-only adversary: crashes exactly the planned points (bounded by f =
+  /// plan size).
+  CrashAdversary(SchedulePolicy& inner, std::vector<CrashPoint> plan);
+
+  /// Random adversary: up to `f` crashes, each enabled process dying with
+  /// probability `crash_prob` at each decision point.
+  CrashAdversary(SchedulePolicy& inner, std::uint64_t seed, int f,
+                 double crash_prob);
+
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+  std::uint64_t crash_requests(std::span<const int> enabled) override;
+  void begin_run() override;
+
+  /// Crashes injected in the current (or last) run.
+  [[nodiscard]] int crashes_injected() const noexcept { return injected_; }
+
+ private:
+  SchedulePolicy* inner_;
+  std::vector<CrashPoint> plan_;
+  std::vector<bool> fired_;      ///< per plan entry
+  std::vector<std::int64_t> grants_;  ///< pid -> steps granted so far
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 rng_;
+  int budget_ = 0;  ///< f
+  double crash_prob_ = 0.0;
+  bool random_mode_ = false;
+  int injected_ = 0;
+};
+
+/// Transparent decorator journaling every decision the inner policy makes.
+/// Attaching it never changes behaviour; `journal()` is the evidence. Used
+/// by the seed-determinism tests ("same seed => bit-identical decisions").
+class RecordingPolicy final : public SchedulePolicy {
+ public:
+  struct Event {
+    enum class Kind : std::uint8_t { kGrant, kChoose, kCrash };
+    Kind kind = Kind::kGrant;
+    /// kGrant: the granted pid. kChoose: the chosen option. kCrash: the
+    /// crashed pid.
+    std::int64_t a = 0;
+    /// kGrant: number of enabled pids. kChoose: the arity. kCrash: 0.
+    std::int64_t b = 0;
+
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+
+  explicit RecordingPolicy(SchedulePolicy& inner) : inner_(&inner) {}
+
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+  std::uint64_t crash_requests(std::span<const int> enabled) override;
+  void begin_run() override;
+
+  [[nodiscard]] const std::vector<Event>& journal() const noexcept {
+    return journal_;
+  }
+  /// Clears the journal (e.g. between the two runs of a determinism test).
+  /// Deliberately not done by `begin_run`: one execution body may drive
+  /// several consecutive runtimes, and the journal must span them all.
+  void reset() { journal_.clear(); }
+  /// Renders the journal as one line ("g0/3 c1/2 x2 ...") for diagnostics
+  /// and golden comparisons.
+  [[nodiscard]] std::string format_journal() const;
+
+ private:
+  SchedulePolicy* inner_;
+  std::vector<Event> journal_;
+};
+
+}  // namespace subc

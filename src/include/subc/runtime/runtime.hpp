@@ -1,12 +1,18 @@
 // The asynchronous shared-memory simulation kernel.
 //
 // A `Runtime` owns a set of simulated processes (fibers) and drives them one
-// atomic step at a time under the control of a `ScheduleDriver`. Shared
+// atomic step at a time under the control of a `SchedulePolicy`. Shared
 // objects (src/objects/) mark the boundary of each atomic operation by
 // calling `Context::sched_point()` immediately before the operation body;
 // since exactly one fiber runs at a time, the body executes atomically and
 // the interleaving granularity is exactly one shared-memory step, as in the
 // papers' model (DESIGN.md §3).
+//
+// The kernel sits between two orthogonal layers: the policy (scheduler.hpp,
+// policy.hpp) *decides* — which process steps, what nondeterministic objects
+// return, who crashes — and the observer (observer.hpp) *records* — one
+// event per grant, choice, crash and run boundary. Neither layer can see or
+// influence the other except through the kernel.
 //
 // Progress/termination semantics:
 //  * `done`    — the process function returned.
@@ -31,6 +37,7 @@ namespace subc {
 
 class Runtime;
 class Fiber;
+class TraceObserver;
 
 /// Kernel-assigned identity of one shared object, used only for access
 /// footprints (scheduler.hpp). Ids are assigned lazily — per runtime, in
@@ -164,6 +171,14 @@ class Runtime {
   /// Final state of `pid` (valid during and after `run`).
   [[nodiscard]] ProcState state_of(int pid) const;
 
+  /// Wires an event sink for this world's run (observer.hpp); nullptr
+  /// disconnects. The constructor already adopts the thread-default
+  /// observer installed by `run_one`/`ScopedObserver`, so explicit wiring
+  /// is only needed for runtimes driven outside that funnel. Observers are
+  /// pure sinks — attaching one never changes execution.
+  void set_observer(TraceObserver* obs) noexcept { observer_ = obs; }
+  [[nodiscard]] TraceObserver* observer() const noexcept { return observer_; }
+
  private:
   friend class Context;
 
@@ -173,6 +188,7 @@ class Runtime {
   void collect_enabled(std::vector<int>& enabled,
                        std::vector<Access>& footprints) const;
   ScheduleDriver* driver_ = nullptr;
+  TraceObserver* observer_ = nullptr;
 
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Value> decisions_;

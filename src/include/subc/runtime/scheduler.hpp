@@ -1,14 +1,23 @@
-// Schedule drivers: the adversary.
+// Schedule policies: the adversary.
 //
-// A driver makes two kinds of decisions during a simulated execution:
-//  * scheduling — which enabled process takes the next atomic step, and
+// A `SchedulePolicy` makes three kinds of adversarial decisions during a
+// simulated execution:
+//  * scheduling — which enabled process takes the next atomic step,
 //  * object nondeterminism — the choice a nondeterministic base object makes
 //    inside a step (e.g. which element of its value set an (n,k)-set-
-//    consensus object returns).
-// Both are adversarial in the papers' model, so one driver object supplies
-// both. The exhaustive explorer (explorer.hpp) enumerates every decision
-// string; the drivers here provide round-robin, seeded-random and scripted
-// strategies for larger instances.
+//    consensus object returns), and
+//  * fault injection — which processes crash, and when (`crash_requests`;
+//    most policies have no fault model and inherit the no-crash default —
+//    the crash-adversary decorator in policy.hpp composes one over any
+//    policy).
+// All three are adversarial in the papers' model, so one policy object
+// supplies them all. The exhaustive explorer (explorer.hpp) enumerates every
+// decision string; this header provides the round-robin, seeded-random,
+// scripted and replay policies, and policy.hpp adds the PCT randomized-
+// priority and crash adversaries. Policies are pure deciders: what gets
+// *recorded* about a run is the separate TraceObserver layer (observer.hpp),
+// and `run_one` (explorer.hpp) is the entry point that wires a world, a
+// policy and an observer chain together.
 //
 // Scheduling decisions carry *access footprints*: alongside the enabled pid
 // list, the runtime passes the footprint of each enabled process's pending
@@ -56,14 +65,14 @@ struct Access {
 
 /// Supplies adversarial decisions. `pick` selects an index into the enabled
 /// set (never empty); `choose` resolves object nondeterminism with an
-/// arbitrary arity.
-class ScheduleDriver {
+/// arbitrary arity; `crash_requests` injects failures.
+class SchedulePolicy {
  public:
-  virtual ~ScheduleDriver() = default;
+  virtual ~SchedulePolicy() = default;
 
   /// Returns an index into `enabled` (the pids currently able to step, in
   /// increasing pid order). `footprints`, when non-empty, is index-aligned
-  /// with `enabled` and holds each pending step's access footprint; drivers
+  /// with `enabled` and holds each pending step's access footprint; policies
   /// that do not inspect footprints simply ignore it.
   virtual std::size_t pick(std::span<const int> enabled,
                            std::span<const Access> footprints = {}) = 0;
@@ -71,15 +80,32 @@ class ScheduleDriver {
   /// Returns a value in [0, arity). `arity >= 1`.
   virtual std::uint32_t choose(std::uint32_t arity) = 0;
 
-  /// Called by `Runtime::run` before the first step of a world. Drivers that
-  /// keep per-world state (e.g. the replay driver's sleep sets) reset it
-  /// here so one driver can soundly span several runtimes in one execution.
+  /// Fault injection: consulted by the kernel once per decision point,
+  /// before `pick`, with the currently enabled pids. Returns a bitmask of
+  /// pids to crash at this point (bit p = pid p; pids >= 64 cannot be
+  /// targeted through this hook). Crashed pids are retired before the pick;
+  /// crashing every enabled process simply ends the run. The default
+  /// injects nothing — `CrashAdversary` (policy.hpp) composes a fault model
+  /// over any policy.
+  [[nodiscard]] virtual std::uint64_t crash_requests(
+      std::span<const int> /*enabled*/) {
+    return 0;
+  }
+
+  /// Called by `Runtime::run` before the first step of a world. Policies
+  /// that keep per-world state (e.g. the replay policy's sleep sets) reset
+  /// it here so one policy can soundly span several runtimes in one
+  /// execution.
   virtual void begin_run() {}
 };
 
+/// Historical name for `SchedulePolicy`, kept so existing worlds and tests
+/// read naturally; the two are the same type.
+using ScheduleDriver = SchedulePolicy;
+
 /// Cycles through processes in pid order; object choices always take
 /// option 0. Deterministic; useful for smoke tests and benchmarks.
-class RoundRobinDriver final : public ScheduleDriver {
+class RoundRobinDriver final : public SchedulePolicy {
  public:
   std::size_t pick(std::span<const int> enabled,
                    std::span<const Access> footprints = {}) override;
@@ -92,7 +118,7 @@ class RoundRobinDriver final : public ScheduleDriver {
 /// Uniformly random scheduling and object choices from a seeded PRNG.
 /// Identical seeds replay identical executions (given a deterministic
 /// world), so failures are reproducible from the seed alone.
-class RandomDriver final : public ScheduleDriver {
+class RandomDriver final : public SchedulePolicy {
  public:
   explicit RandomDriver(std::uint64_t seed) : rng_(seed) {}
 
@@ -108,7 +134,7 @@ class RandomDriver final : public ScheduleDriver {
 /// the script is exhausted) falls back to the lowest enabled pid. Object
 /// choices take option 0. Used to drive the hand-constructed executions in
 /// the papers' proofs (e.g. the w1/w2/w3 scenario before Algorithm 5).
-class ScriptedDriver final : public ScheduleDriver {
+class ScriptedDriver final : public SchedulePolicy {
  public:
   explicit ScriptedDriver(std::vector<int> pids) : pids_(std::move(pids)) {}
 
@@ -157,7 +183,7 @@ struct SleepCut {};
 /// and partial executions with every enabled process asleep throw `SleepCut`.
 /// The skip metadata (`Decision::enabled`, `Decision::sleep`) is recorded in
 /// the trace so the explorer's backtracking applies identical skips.
-class ReplayDriver final : public ScheduleDriver {
+class ReplayDriver final : public SchedulePolicy {
  public:
   struct Decision {
     std::uint32_t chosen = 0;

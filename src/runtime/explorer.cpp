@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "subc/checking/violation_log.hpp"
+#include "subc/runtime/observer.hpp"
 #include "subc/runtime/value.hpp"
 
 namespace subc {
@@ -124,20 +125,21 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
     driver.set_prune(prune ? &prune : nullptr);
     driver.set_reduction(opts.reduction == Reduction::kSleepSets);
     try {
-      body(driver);
+      if (std::optional<std::string> violation =
+              run_one(body, driver, opts.observer)) {
+        ++stats.executions;
+        stats.violation = std::move(violation);
+        stats.reduced += driver.reduced();
+        stats.trace = driver.take_trace();
+        stats.finished = true;
+        return stats;
+      }
       ++stats.executions;
     } catch (const PruneCut&) {
       ++stats.pruned;
       state.refund();
     } catch (const SleepCut&) {
       state.refund();  // redundant subtree, not an execution
-    } catch (const std::exception& e) {
-      ++stats.executions;
-      stats.violation = e.what();
-      stats.reduced += driver.reduced();
-      stats.trace = driver.take_trace();
-      stats.finished = true;
-      return stats;
     }
     stats.reduced += driver.reduced();
     std::vector<Decision> trace = driver.take_trace();
@@ -187,7 +189,14 @@ std::vector<Event> enumerate_frontier(const ExecutionBody& body,
     bool pruned_here = false;
     bool skipped_here = false;
     try {
-      body(driver);
+      if (std::optional<std::string> violation =
+              run_one(body, driver, opts.observer)) {
+        Event ev{Event::Kind::kExecution, driver.take_trace(),
+                 std::move(violation)};
+        ev.reduced = driver.reduced();
+        events.push_back(std::move(ev));
+        return events;
+      }
     } catch (const FrontierCut&) {
       cut = true;
       state.refund();  // the unit's worker re-runs this subtree from scratch
@@ -197,11 +206,6 @@ std::vector<Event> enumerate_frontier(const ExecutionBody& body,
     } catch (const SleepCut&) {
       skipped_here = true;
       state.refund();
-    } catch (const std::exception& e) {
-      Event ev{Event::Kind::kExecution, driver.take_trace(), e.what()};
-      ev.reduced = driver.reduced();
-      events.push_back(std::move(ev));
-      return events;
     }
     std::vector<Decision> trace = driver.take_trace();
     Event ev{Event::Kind::kExecution, {}, std::nullopt};
@@ -360,7 +364,115 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
   return result;
 }
 
+// Lexicographic order on decision strings (chosen values; a proper prefix
+// precedes its extensions). The shrinker's notion of "smaller reproducer".
+bool lex_less(const std::vector<Decision>& a, const std::vector<Decision>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].chosen != b[i].chosen) {
+      return a[i].chosen < b[i].chosen;
+    }
+  }
+  return a.size() < b.size();
+}
+
+// One shrink probe: replays `prefix` (reduction off, so recorded sleep-set
+// metadata is ignored and every skip the original search made is re-opened)
+// and lets the ReplayDriver zero-extend it to a complete execution. Returns
+// the violation, if any, plus the canonical full decision string.
+struct ShrinkProbe {
+  std::optional<std::string> violation;
+  std::vector<Decision> trace;
+};
+
+ShrinkProbe probe(const ExecutionBody& body, std::vector<Decision> prefix) {
+  for (Decision& d : prefix) {
+    d.enabled = 0;  // stale reduction metadata from the recording search
+    d.sleep = 0;
+  }
+  ReplayDriver driver(std::move(prefix));
+  ShrinkProbe out;
+  try {
+    body(driver);
+  } catch (const std::exception& e) {
+    out.violation = e.what();
+  }
+  out.trace = driver.take_trace();
+  return out;
+}
+
 }  // namespace
+
+std::optional<std::string> run_one(const ExecutionBody& body,
+                                   SchedulePolicy& policy,
+                                   TraceObserver* observer) {
+  // Thread-default installation is what lets the observer see runtimes the
+  // body constructs internally; nullptr deliberately masks any outer scope
+  // so unobserved searches stay unobserved.
+  const ScopedObserver scope(observer);
+  try {
+    body(policy);
+  } catch (const std::exception& e) {
+    if (observer != nullptr) {
+      observer->on_violation(e.what());
+    }
+    return std::string(e.what());
+  }
+  return std::nullopt;
+}
+
+std::vector<ReplayDriver::Decision> Explorer::shrink(
+    const ExecutionBody& body, std::vector<ReplayDriver::Decision> trace) {
+  ShrinkProbe current = probe(body, std::move(trace));
+  if (!current.violation) {
+    return current.trace;  // not a reproducer; hand back the canonical form
+  }
+  // Greedy descent: adopt any strictly lex-smaller failing candidate and
+  // restart. Strictness is what terminates the loop — a truncation whose
+  // zero-extension reproduces the identical string is not an improvement.
+  // Termination: candidate strings for a fixed world have bounded length
+  // (the run's decision count) and bounded values (arities), and every
+  // adoption strictly decreases in a total order on that finite set.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Pass 1 — prefix truncations, shortest first: the biggest wins come
+    // from chopping the whole tail.
+    for (std::size_t len = 0; len < current.trace.size() && !improved;
+         ++len) {
+      ShrinkProbe cand = probe(
+          body, std::vector<Decision>(current.trace.begin(),
+                                      current.trace.begin() +
+                                          static_cast<std::ptrdiff_t>(len)));
+      if (cand.violation && lex_less(cand.trace, current.trace)) {
+        current = std::move(cand);
+        improved = true;
+      }
+    }
+    if (improved) {
+      continue;
+    }
+    // Pass 2 — lower one decision and drop the suffix. Lowering position p
+    // keeps the prefix intact, so the candidate is lex-smaller by
+    // construction whenever it still fails.
+    for (std::size_t pos = 0; pos < current.trace.size() && !improved;
+         ++pos) {
+      for (std::uint32_t v = 0; v < current.trace[pos].chosen && !improved;
+           ++v) {
+        std::vector<Decision> prefix(
+            current.trace.begin(),
+            current.trace.begin() + static_cast<std::ptrdiff_t>(pos) + 1);
+        prefix[pos].chosen = v;
+        ShrinkProbe cand = probe(body, std::move(prefix));
+        if (cand.violation && lex_less(cand.trace, current.trace)) {
+          current = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+  }
+  return current.trace;
+}
 
 int Explorer::resolve_threads(int threads) noexcept {
   if (threads > 0) {
@@ -381,14 +493,20 @@ Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
         std::to_string(opts.frontier_depth));
   }
   const int threads = resolve_threads(opts.threads);
+  Result result;
   if (threads <= 1) {
     SearchState state;
     state.max_executions = opts.max_executions;
     SubtreeStats stats =
         explore_subtree(body, {}, 0, opts, state, /*my_index=*/0);
-    return finish_serial(std::move(stats), state);
+    result = finish_serial(std::move(stats), state);
+  } else {
+    result = explore_parallel(body, opts, threads);
   }
-  return explore_parallel(body, opts, threads);
+  if (opts.shrink_violations && result.violation) {
+    result.violating_trace = shrink(body, std::move(result.violating_trace));
+  }
+  return result;
 }
 
 void Explorer::replay(const ExecutionBody& body,
@@ -399,7 +517,8 @@ void Explorer::replay(const ExecutionBody& body,
 
 RandomSweep::Result RandomSweep::run(const ExecutionBody& body,
                                      std::int64_t runs,
-                                     std::uint64_t first_seed, int threads) {
+                                     std::uint64_t first_seed, int threads,
+                                     TraceObserver* observer) {
   Result result;
   if (runs <= 0) {
     return result;
@@ -411,11 +530,10 @@ RandomSweep::Result RandomSweep::run(const ExecutionBody& body,
       const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
       RandomDriver driver(seed);
       ++result.runs;
-      try {
-        body(driver);
-      } catch (const std::exception& e) {
+      if (std::optional<std::string> violation =
+              run_one(body, driver, observer)) {
         result.failing_seed = seed;
-        result.violation = e.what();
+        result.violation = std::move(violation);
         return result;
       }
     }
@@ -446,10 +564,9 @@ RandomSweep::Result RandomSweep::run(const ExecutionBody& body,
             break;
           }
           RandomDriver driver(first_seed + static_cast<std::uint64_t>(i));
-          try {
-            body(driver);
-          } catch (const std::exception& e) {
-            log.report(static_cast<std::uint64_t>(i), e.what(), {});
+          if (std::optional<std::string> violation =
+                  run_one(body, driver, observer)) {
+            log.report(static_cast<std::uint64_t>(i), *violation, {});
             break;  // later seeds in this block cannot beat index i
           }
         }

@@ -26,6 +26,24 @@
 #include <sanitizer/tsan_interface.h>
 #endif
 
+// AddressSanitizer has the analogous problem: its fake-stack bookkeeping is
+// tied to the stack the thread entered on, so an unannounced swapcontext
+// leaves ASan poisoning and unpoisoning the wrong region — spurious
+// stack-buffer-overflow / stack-use-after-return reports the moment a fiber
+// runs. The __sanitizer_{start,finish}_switch_fiber pair brackets every
+// switch below (mirroring the TSan calls).
+#if defined(__SANITIZE_ADDRESS__)
+#define SUBC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SUBC_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef SUBC_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace subc {
 
 namespace {
@@ -76,6 +94,12 @@ struct Fiber::Impl {
   void* tsan_fiber = nullptr;   // this fiber's TSan context
   void* tsan_caller = nullptr;  // where to switch back to on yield/finish
 #endif
+#ifdef SUBC_ASAN_FIBERS
+  void* asan_caller_fake = nullptr;  // caller's fake stack, saved in resume()
+  void* asan_fiber_fake = nullptr;   // fiber's fake stack, saved in yield()
+  const void* asan_caller_bottom = nullptr;  // caller stack, learned on entry
+  std::size_t asan_caller_size = 0;
+#endif
 };
 
 Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
@@ -116,6 +140,12 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   const auto bits =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
   auto* self = reinterpret_cast<Fiber*>(bits);
+#ifdef SUBC_ASAN_FIBERS
+  // First entry onto this stack: no fake stack to restore yet; record the
+  // caller's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->impl_->asan_caller_bottom,
+                                  &self->impl_->asan_caller_size);
+#endif
   try {
     self->impl_->entry();
   } catch (const FiberKilled&) {
@@ -136,6 +166,12 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 #ifdef SUBC_TSAN_FIBERS
     __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
 #endif
+#ifdef SUBC_ASAN_FIBERS
+    // nullptr fake-stack save: the fiber is done for good, so ASan may
+    // release its fake frames instead of keeping them restorable.
+    __sanitizer_start_switch_fiber(nullptr, self->impl_->asan_caller_bottom,
+                                   self->impl_->asan_caller_size);
+#endif
     swapcontext(&self->impl_->ctx, &self->impl_->caller);
   }
 }
@@ -151,7 +187,14 @@ void Fiber::resume() {
   impl_->tsan_caller = __tsan_get_current_fiber();
   __tsan_switch_to_fiber(impl_->tsan_fiber, 0);
 #endif
+#ifdef SUBC_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&impl_->asan_caller_fake, impl_->stack.get(),
+                                 impl_->stack_bytes);
+#endif
   swapcontext(&impl_->caller, &impl_->ctx);
+#ifdef SUBC_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(impl_->asan_caller_fake, nullptr, nullptr);
+#endif
   tl_current = prev;
   if (impl_->error) {
     std::exception_ptr error = std::exchange(impl_->error, nullptr);
@@ -187,7 +230,19 @@ void Fiber::yield() {
 #ifdef SUBC_TSAN_FIBERS
   __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
 #endif
+#ifdef SUBC_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&self->impl_->asan_fiber_fake,
+                                 self->impl_->asan_caller_bottom,
+                                 self->impl_->asan_caller_size);
+#endif
   swapcontext(&self->impl_->ctx, &self->impl_->caller);
+#ifdef SUBC_ASAN_FIBERS
+  // Re-learn the caller's bounds: the next resume() may come from another
+  // kernel stack (the parallel explorer moves work between threads).
+  __sanitizer_finish_switch_fiber(self->impl_->asan_fiber_fake,
+                                  &self->impl_->asan_caller_bottom,
+                                  &self->impl_->asan_caller_size);
+#endif
   if (self->impl_->killing) {
     throw FiberKilled{};
   }

@@ -1,6 +1,9 @@
 #include "subc/runtime/history.hpp"
 
+#include <algorithm>
 #include <sstream>
+
+#include "subc/runtime/observer.hpp"
 
 namespace subc {
 
@@ -10,7 +13,12 @@ std::size_t History::invoke(int pid, std::vector<Value> op) {
   e.op = std::move(op);
   e.invoked_at = clock_++;
   entries_.push_back(std::move(e));
-  return entries_.size() - 1;
+  const std::size_t handle = entries_.size() - 1;
+  if (sink_ != nullptr) {
+    const HistoryEntry& recorded = entries_[handle];
+    sink_->on_invoke(recorded.pid, handle, recorded.invoked_at, recorded.op);
+  }
+  return handle;
 }
 
 void History::respond(std::size_t handle, std::vector<Value> response) {
@@ -23,6 +31,23 @@ void History::respond(std::size_t handle, std::vector<Value> response) {
   }
   e.response = std::move(response);
   e.responded_at = clock_++;
+  if (sink_ != nullptr) {
+    sink_->on_respond(e.pid, handle, e.responded_at, e.response);
+  }
+}
+
+std::size_t History::restore(HistoryEntry entry) {
+  clock_ = std::max({clock_, entry.invoked_at + 1, entry.responded_at + 1});
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+void History::amend(std::size_t handle, HistoryEntry entry) {
+  if (handle >= entries_.size()) {
+    throw SimError("amend: bad history handle");
+  }
+  clock_ = std::max({clock_, entry.invoked_at + 1, entry.responded_at + 1});
+  entries_[handle] = std::move(entry);
 }
 
 std::size_t History::completed() const noexcept {

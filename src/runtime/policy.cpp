@@ -1,0 +1,217 @@
+#include "subc/runtime/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace subc {
+
+PctPolicy::PctPolicy(std::uint64_t seed, int depth, std::int64_t horizon)
+    : seed_(seed), depth_(depth), horizon_(horizon), rng_(seed) {
+  if (depth < 1) {
+    throw SimError("PctPolicy: depth must be >= 1");
+  }
+  if (horizon < 1) {
+    throw SimError("PctPolicy: horizon must be >= 1");
+  }
+  begin_run();
+}
+
+void PctPolicy::begin_run() {
+  rng_.seed(seed_);
+  priorities_.clear();
+  step_ = 0;
+  next_change_ = 0;
+  change_points_.clear();
+  std::uniform_int_distribution<std::int64_t> dist(0, horizon_ - 1);
+  for (int i = 0; i < depth_ - 1; ++i) {
+    change_points_.push_back(dist(rng_));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+std::int64_t PctPolicy::priority_of(int pid) {
+  const auto idx = static_cast<std::size_t>(pid);
+  if (priorities_.size() <= idx) {
+    priorities_.resize(idx + 1, -1);
+  }
+  if (priorities_[idx] < 0) {
+    // Lazily drawn on first sight (the policy never learns the process
+    // count up front). 62 random bits make collisions negligible; the
+    // lowest-pid tiebreak in pick() keeps any collision deterministic.
+    std::uniform_int_distribution<std::int64_t> dist(
+        depth_, std::int64_t{1} << 62);
+    priorities_[idx] = dist(rng_);
+  }
+  return priorities_[idx];
+}
+
+std::size_t PctPolicy::pick(std::span<const int> enabled,
+                            std::span<const Access> /*footprints*/) {
+  std::size_t best = 0;
+  std::int64_t best_prio = -1;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    const std::int64_t prio = priority_of(enabled[i]);
+    if (prio > best_prio) {  // strict: ties resolve to the lowest pid
+      best_prio = prio;
+      best = i;
+    }
+  }
+  // Priority change points: when the global step counter crosses one, the
+  // process granted that step falls below every initial priority.
+  while (next_change_ < static_cast<int>(change_points_.size()) &&
+         change_points_[static_cast<std::size_t>(next_change_)] <= step_) {
+    priorities_[static_cast<std::size_t>(enabled[best])] = next_change_;
+    ++next_change_;
+  }
+  ++step_;
+  return best;
+}
+
+std::uint32_t PctPolicy::choose(std::uint32_t arity) {
+  std::uniform_int_distribution<std::uint32_t> dist(0, arity - 1);
+  return dist(rng_);
+}
+
+CrashAdversary::CrashAdversary(SchedulePolicy& inner,
+                               std::vector<CrashPoint> plan)
+    : inner_(&inner), plan_(std::move(plan)) {
+  for (const CrashPoint& cp : plan_) {
+    if (cp.victim < 0 || cp.victim >= 64) {
+      throw SimError("CrashAdversary: plan victim out of [0, 64)");
+    }
+    if (cp.after_steps < 0) {
+      throw SimError("CrashAdversary: negative after_steps");
+    }
+  }
+  fired_.assign(plan_.size(), false);
+}
+
+CrashAdversary::CrashAdversary(SchedulePolicy& inner, std::uint64_t seed,
+                               int f, double crash_prob)
+    : inner_(&inner),
+      seed_(seed),
+      rng_(seed),
+      budget_(f),
+      crash_prob_(crash_prob),
+      random_mode_(true) {
+  if (f < 0) {
+    throw SimError("CrashAdversary: f must be >= 0");
+  }
+  if (crash_prob < 0.0 || crash_prob > 1.0) {
+    throw SimError("CrashAdversary: crash_prob must be in [0, 1]");
+  }
+}
+
+void CrashAdversary::begin_run() {
+  inner_->begin_run();
+  fired_.assign(plan_.size(), false);
+  grants_.clear();
+  injected_ = 0;
+  if (random_mode_) {
+    rng_.seed(seed_);
+  }
+}
+
+std::size_t CrashAdversary::pick(std::span<const int> enabled,
+                                 std::span<const Access> footprints) {
+  const std::size_t idx = inner_->pick(enabled, footprints);
+  const auto pid = static_cast<std::size_t>(enabled[idx]);
+  if (grants_.size() <= pid) {
+    grants_.resize(pid + 1, 0);
+  }
+  ++grants_[pid];
+  return idx;
+}
+
+std::uint32_t CrashAdversary::choose(std::uint32_t arity) {
+  return inner_->choose(arity);
+}
+
+std::uint64_t CrashAdversary::crash_requests(std::span<const int> enabled) {
+  // Compose with any fault model the inner policy carries.
+  std::uint64_t mask = inner_->crash_requests(enabled);
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    if (fired_[i]) {
+      continue;
+    }
+    const CrashPoint& cp = plan_[i];
+    const auto victim = static_cast<std::size_t>(cp.victim);
+    const std::int64_t taken = victim < grants_.size() ? grants_[victim] : 0;
+    if (taken < cp.after_steps) {
+      continue;
+    }
+    if (std::find(enabled.begin(), enabled.end(), cp.victim) ==
+        enabled.end()) {
+      continue;  // already done/hung/crashed; the plan entry stays armed
+    }
+    mask |= std::uint64_t{1} << victim;
+    fired_[i] = true;
+    ++injected_;
+  }
+  if (random_mode_) {
+    for (const int pid : enabled) {
+      if (pid >= 64 || injected_ >= budget_) {
+        break;
+      }
+      const std::uint64_t bit = std::uint64_t{1} << pid;
+      if ((mask & bit) != 0) {
+        continue;
+      }
+      if (std::bernoulli_distribution(crash_prob_)(rng_)) {
+        mask |= bit;
+        ++injected_;
+      }
+    }
+  }
+  return mask;
+}
+
+std::size_t RecordingPolicy::pick(std::span<const int> enabled,
+                                  std::span<const Access> footprints) {
+  const std::size_t idx = inner_->pick(enabled, footprints);
+  journal_.push_back({Event::Kind::kGrant, enabled[idx],
+                      static_cast<std::int64_t>(enabled.size())});
+  return idx;
+}
+
+std::uint32_t RecordingPolicy::choose(std::uint32_t arity) {
+  const std::uint32_t c = inner_->choose(arity);
+  journal_.push_back({Event::Kind::kChoose, c, arity});
+  return c;
+}
+
+std::uint64_t RecordingPolicy::crash_requests(std::span<const int> enabled) {
+  const std::uint64_t mask = inner_->crash_requests(enabled);
+  for (int pid = 0; pid < 64; ++pid) {
+    if ((mask >> pid) & 1) {
+      journal_.push_back({Event::Kind::kCrash, pid, 0});
+    }
+  }
+  return mask;
+}
+
+void RecordingPolicy::begin_run() { inner_->begin_run(); }
+
+std::string RecordingPolicy::format_journal() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < journal_.size(); ++i) {
+    const Event& e = journal_[i];
+    if (i) {
+      os << ' ';
+    }
+    switch (e.kind) {
+      case Event::Kind::kGrant:
+        os << 'g' << e.a << '/' << e.b;
+        break;
+      case Event::Kind::kChoose:
+        os << 'c' << e.a << '/' << e.b;
+        break;
+      case Event::Kind::kCrash:
+        os << 'x' << e.a;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace subc

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "subc/runtime/fiber.hpp"
+#include "subc/runtime/observer.hpp"
 
 namespace subc {
 
@@ -33,7 +34,7 @@ struct Runtime::Proc {
   Proc(Runtime* rt, int pid) : ctx(rt, pid) {}
 };
 
-Runtime::Runtime() = default;
+Runtime::Runtime() : observer_(thread_default_observer()) {}
 Runtime::~Runtime() = default;
 
 int Runtime::add_process(ProcessFn fn) {
@@ -79,6 +80,9 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   started_ = true;
   driver_ = &driver;
   driver.begin_run();
+  if (observer_ != nullptr) {
+    observer_->on_run_begin(num_processes());
+  }
 
   // Prime every fiber: run its process-local prologue up to the first
   // shared-memory operation (the first sched_point). Priming executes no
@@ -109,6 +113,23 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
       throw SimError("step bound exceeded with processes still runnable (" +
                      std::to_string(max_steps) + " steps)");
     }
+    // Fault injection: consult the policy before the pick. Crashed pids are
+    // retired here, so the pick below only ever sees survivors. Bits for
+    // pids that are not enabled are ignored (guards against a policy that
+    // re-requests an already-crashed pid forever).
+    if (const std::uint64_t doomed = driver.crash_requests(enabled);
+        doomed != 0) {
+      bool any = false;
+      for (const int pid : enabled) {
+        if (pid < 64 && ((doomed >> pid) & 1) != 0) {
+          crash(pid);
+          any = true;
+        }
+      }
+      if (any) {
+        continue;  // recompute the enabled set (it may now be empty)
+      }
+    }
     const std::size_t idx = driver.pick(enabled, footprints);
     SUBC_ASSERT(idx < enabled.size());
     const int pid = enabled[idx];
@@ -117,6 +138,9 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
       // The driver crashed processes during pick(); its answer may be
       // stale. Recompute the enabled set and ask again.
       continue;
+    }
+    if (observer_ != nullptr) {
+      observer_->on_step(StepEvent{pid, total_steps_, footprints[idx]});
     }
     ++total_steps_;
     ++proc.steps;
@@ -137,6 +161,9 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     }
   }
   result.total_steps = total_steps_;
+  if (observer_ != nullptr) {
+    observer_->on_run_end(result.total_steps, result.quiescent);
+  }
   return result;
 }
 
@@ -145,6 +172,9 @@ void Runtime::crash(int pid) {
   Proc& proc = *procs_[pid];
   if (proc.state == ProcState::kRunning) {
     proc.state = ProcState::kCrashed;
+    if (observer_ != nullptr) {
+      observer_->on_crash(pid, total_steps_);
+    }
   }
 }
 
@@ -178,6 +208,9 @@ std::uint32_t Context::choose(std::uint32_t arity) {
   }
   const std::uint32_t c = runtime_->driver_->choose(arity);
   SUBC_ASSERT(c < arity);
+  if (runtime_->observer_ != nullptr) {
+    runtime_->observer_->on_choose(pid_, arity, c);
+  }
   return c;
 }
 

@@ -1,7 +1,9 @@
 // Failure-injection sweeps: crash processes at random points mid-algorithm
 // and verify that (a) safety (validity / agreement / linearizability) still
 // holds among survivors and (b) survivors terminate — the wait-freedom the
-// papers' model demands.
+// papers' model demands. Crashes are injected through the CrashAdversary
+// policy decorator (runtime/policy.hpp); the exhaustive variant folds the
+// crash decision into the explored nondeterminism via `crash_requests`.
 #include <gtest/gtest.h>
 
 #include "subc/algorithms/partition_set_consensus.hpp"
@@ -12,50 +14,16 @@
 #include "subc/core/tasks.hpp"
 #include "subc/objects/wrn.hpp"
 #include "subc/runtime/explorer.hpp"
+#include "subc/runtime/policy.hpp"
 
 namespace subc {
 namespace {
-
-/// A driver that schedules randomly and crashes `victim` after it has taken
-/// `after_steps` of its own steps.
-class CrashingDriver final : public ScheduleDriver {
- public:
-  CrashingDriver(Runtime* rt, std::uint64_t seed, int victim, int after_steps)
-      : rt_(rt), inner_(seed), victim_(victim), after_steps_(after_steps) {}
-
-  std::size_t pick(std::span<const int> enabled,
-                   std::span<const Access> /*footprints*/ = {}) override {
-    if (!crashed_ && rt_->steps_of(victim_) >= after_steps_) {
-      rt_->crash(victim_);
-      crashed_ = true;
-      // The enabled list was computed before the crash; avoid the victim.
-      for (std::size_t i = 0; i < enabled.size(); ++i) {
-        if (enabled[i] != victim_) {
-          return i;
-        }
-      }
-      return 0;
-    }
-    return inner_.pick(enabled);
-  }
-
-  std::uint32_t choose(std::uint32_t arity) override {
-    return inner_.choose(arity);
-  }
-
- private:
-  Runtime* rt_;
-  RandomDriver inner_;
-  int victim_;
-  int after_steps_;
-  bool crashed_ = false;
-};
 
 TEST(CrashInjection, Algorithm2SafetyAndProgressSurviveCrashes) {
   const int k = 4;
   std::vector<Value> inputs{10, 20, 30, 40};
   for (int victim = 0; victim < k; ++victim) {
-    for (int after = 0; after <= 1; ++after) {
+    for (std::int64_t after = 0; after <= 1; ++after) {
       for (std::uint64_t seed = 1; seed <= 50; ++seed) {
         Runtime rt;
         WrnSetConsensus algorithm(k);
@@ -65,7 +33,9 @@ TEST(CrashInjection, Algorithm2SafetyAndProgressSurviveCrashes) {
                 ctx, p, inputs[static_cast<std::size_t>(p)]));
           });
         }
-        CrashingDriver driver(&rt, seed, victim, after);
+        RandomDriver inner(seed);
+        CrashAdversary driver(inner,
+                              {CrashAdversary::CrashPoint{victim, after}});
         const auto result = rt.run(driver);
         check_decided_if_done(result);
         check_validity(inputs, result.decisions);
@@ -87,7 +57,7 @@ TEST(CrashInjection, Algorithm5LinearizableDespiteCrashes) {
   // still be linearizable (pending ops may be linearized or dropped).
   const int k = 3;
   for (int victim = 0; victim < k; ++victim) {
-    for (int after = 1; after <= 5; ++after) {
+    for (std::int64_t after = 1; after <= 5; ++after) {
       for (std::uint64_t seed = 1; seed <= 25; ++seed) {
         Runtime rt;
         WrnFromSse object(k);
@@ -97,7 +67,9 @@ TEST(CrashInjection, Algorithm5LinearizableDespiteCrashes) {
             object.one_shot_wrn(ctx, p, 100 + p, &history);
           });
         }
-        CrashingDriver driver(&rt, seed, victim, after);
+        RandomDriver inner(seed);
+        CrashAdversary driver(inner,
+                              {CrashAdversary::CrashPoint{victim, after}});
         const auto result = rt.run(driver);
         for (int p = 0; p < k; ++p) {
           if (p != victim) {
@@ -124,7 +96,8 @@ TEST(CrashInjection, PartitionSetConsensusToleratesCrashes) {
               algorithm.propose(ctx, p, inputs[static_cast<std::size_t>(p)]));
         });
       }
-      CrashingDriver driver(&rt, seed, victim, 0);
+      RandomDriver inner(seed);
+      CrashAdversary driver(inner, {CrashAdversary::CrashPoint{victim, 0}});
       const auto result = rt.run(driver);
       check_decided_if_done(result);
       check_validity(inputs, result.decisions);
@@ -160,7 +133,7 @@ TEST(CrashInjection, UniversalObjectSurvivorsStayLinearizable) {
   };
   const int n = 3;
   for (int victim = 0; victim < n; ++victim) {
-    for (int after = 1; after <= 5; after += 2) {
+    for (std::int64_t after = 1; after <= 5; after += 2) {
       for (std::uint64_t seed = 1; seed <= 20; ++seed) {
         Runtime rt;
         UniversalObject<CounterSpec> counter(CounterSpec{}, n, 24);
@@ -173,7 +146,9 @@ TEST(CrashInjection, UniversalObjectSurvivorsStayLinearizable) {
             history.respond(h, r);
           });
         }
-        CrashingDriver driver(&rt, seed, victim, after);
+        RandomDriver inner(seed);
+        CrashAdversary driver(inner,
+                              {CrashAdversary::CrashPoint{victim, after}});
         const auto result = rt.run(driver);
         for (int p = 0; p < n; ++p) {
           if (p != victim) {
@@ -189,8 +164,8 @@ TEST(CrashInjection, UniversalObjectSurvivorsStayLinearizable) {
 
 TEST(CrashInjection, ExhaustiveCrashPointsForAlgorithm2) {
   // Exhaustive over schedules *and* crash points: fold the crash decision
-  // into the explored nondeterminism by crashing the victim at a
-  // choose()-selected step count.
+  // into the explored nondeterminism with a `crash_requests` override that
+  // consults the explorer's own choose().
   const int k = 3;
   std::vector<Value> inputs{7, 8, 9};
   const auto result = Explorer::explore(
@@ -205,25 +180,21 @@ TEST(CrashInjection, ExhaustiveCrashPointsForAlgorithm2) {
         }
         // Victim 0 crashes before taking its single step in half the
         // branches.
-        struct Wrapper final : ScheduleDriver {
-          ScheduleDriver* inner;
-          Runtime* rt;
+        struct Wrapper final : SchedulePolicy {
+          SchedulePolicy* inner;
           bool decided_crash = false;
-          std::size_t pick(std::span<const int> enabled,
-                           std::span<const Access> /*footprints*/ = {})
-              override {
+          std::uint64_t crash_requests(std::span<const int> enabled) override {
             if (!decided_crash) {
               decided_crash = true;
               if (inner->choose(2) == 1) {
-                rt->crash(0);
-                for (std::size_t i = 0; i < enabled.size(); ++i) {
-                  if (enabled[i] != 0) {
-                    return i;
-                  }
-                }
+                return 1ULL << 0;
               }
             }
-            return inner->pick(enabled);
+            return inner->crash_requests(enabled);
+          }
+          std::size_t pick(std::span<const int> enabled,
+                           std::span<const Access> footprints = {}) override {
+            return inner->pick(enabled, footprints);
           }
           std::uint32_t choose(std::uint32_t arity) override {
             return inner->choose(arity);
@@ -231,7 +202,6 @@ TEST(CrashInjection, ExhaustiveCrashPointsForAlgorithm2) {
         };
         Wrapper wrapper;
         wrapper.inner = &driver;
-        wrapper.rt = &rt;
         const auto run = rt.run(wrapper);
         check_decided_if_done(run);
         check_validity(inputs, run.decisions);

@@ -1,0 +1,147 @@
+// Pins the exhaustive explorer's exact result grid on the reduction_test
+// worlds (register, GAC, WRN, classic consensus): verdict, execution count
+// and reduced_subtrees at fixed {reduction, threads}. The numbers were
+// captured from the pre-policy-refactor explorer; any drift means the
+// re-architecture changed exhaustive-search semantics, which it must not.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "subc/algorithms/classic_consensus.hpp"
+#include "subc/core/tasks.hpp"
+#include "subc/objects/onk.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/swap.hpp"
+#include "subc/objects/wrn.hpp"
+#include "subc/runtime/explorer.hpp"
+
+namespace subc {
+namespace {
+
+struct Pin {
+  const char* world;
+  std::int64_t executions_none;
+  std::int64_t executions_sleep;
+  std::int64_t reduced_sleep;
+};
+
+ExecutionBody register_world() {
+  return [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(3, kBottom);
+    std::array<Value, 3> seen{kBottom, kBottom, kBottom};
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        regs[p].write(ctx, 10 + p);
+        seen[static_cast<std::size_t>(p)] = regs[(p + 1) % 3].read(ctx);
+      });
+    }
+    rt.run(driver);
+    for (int p = 0; p < 3; ++p) {
+      const Value v = seen[static_cast<std::size_t>(p)];
+      if (v != kBottom && v != 10 + (p + 1) % 3) {
+        throw SpecViolation("read a value nobody wrote to that cell");
+      }
+    }
+  };
+}
+
+ExecutionBody gac_world() {
+  static const std::vector<Value> inputs{200, 201, 202};
+  return [](ScheduleDriver& driver) {
+    Runtime rt;
+    GacObject gac(1, 1);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        ctx.decide(gac.propose(ctx, inputs[static_cast<std::size_t>(p)]));
+      });
+    }
+    const auto run = rt.run(driver);
+    check_all_done_and_decided(run);
+    check_set_consensus(run, inputs, 2);
+  };
+}
+
+ExecutionBody wrn_world() {
+  return [](ScheduleDriver& driver) {
+    Runtime rt;
+    OneShotWrnObject wrn(3);
+    std::array<Value, 3> got{kBottom, kBottom, kBottom};
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        got[static_cast<std::size_t>(p)] = wrn.wrn(ctx, p, 10 + p);
+      });
+    }
+    rt.run(driver);
+    for (const Value v : got) {
+      if (v != kBottom && (v < 10 || v > 12)) {
+        throw SpecViolation("1sWRN returned a never-written value");
+      }
+    }
+  };
+}
+
+ExecutionBody consensus_world() {
+  static const std::vector<Value> inputs{3, 9};
+  return [](ScheduleDriver& driver) {
+    Runtime rt;
+    TwoConsensusShared shared;
+    SwapRegister swap(kBottom);
+    for (int p = 0; p < 2; ++p) {
+      rt.add_process([&, p](Context& ctx) {
+        ctx.decide(consensus2_from_swap(
+            ctx, shared, swap, p, inputs[static_cast<std::size_t>(p)]));
+      });
+    }
+    const auto run = rt.run(driver);
+    check_all_done_and_decided(run);
+    check_validity(inputs, run.decisions);
+    check_agreement(run.decisions);
+  };
+}
+
+void expect_pinned(const ExecutionBody& body, const Pin& pin) {
+  for (const int threads : {1, 4}) {
+    Explorer::Options none;
+    none.reduction = Reduction::kNone;
+    none.threads = threads;
+    const auto raw = Explorer::explore(body, none);
+    EXPECT_TRUE(raw.ok()) << pin.world << ": " << *raw.violation;
+    EXPECT_TRUE(raw.complete) << pin.world;
+    EXPECT_EQ(raw.executions, pin.executions_none)
+        << pin.world << " threads=" << threads;
+    EXPECT_EQ(raw.reduced_subtrees, 0) << pin.world << " threads=" << threads;
+
+    Explorer::Options sleep;
+    sleep.reduction = Reduction::kSleepSets;
+    sleep.threads = threads;
+    const auto red = Explorer::explore(body, sleep);
+    EXPECT_TRUE(red.ok()) << pin.world << ": " << *red.violation;
+    EXPECT_TRUE(red.complete) << pin.world;
+    EXPECT_EQ(red.executions, pin.executions_sleep)
+        << pin.world << " threads=" << threads;
+    EXPECT_EQ(red.reduced_subtrees, pin.reduced_sleep)
+        << pin.world << " threads=" << threads;
+  }
+}
+
+// Captured from the pre-refactor explorer (PR 2 head): the policy/observer
+// re-architecture must not move any of these.
+TEST(ExplorerEquivalencePin, RegisterWorld) {
+  expect_pinned(register_world(), {"register", 90, 7, 28});
+}
+
+TEST(ExplorerEquivalencePin, GacWorld) {
+  expect_pinned(gac_world(), {"gac", 6, 6, 0});
+}
+
+TEST(ExplorerEquivalencePin, WrnWorld) {
+  expect_pinned(wrn_world(), {"wrn", 6, 6, 0});
+}
+
+TEST(ExplorerEquivalencePin, ClassicConsensusWorld) {
+  expect_pinned(consensus_world(), {"consensus", 6, 2, 3});
+}
+
+}  // namespace
+}  // namespace subc

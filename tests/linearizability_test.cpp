@@ -151,15 +151,31 @@ TEST(Linearizability, WrnSpecRejectsIndexReuseAsCompletedOps) {
   EXPECT_FALSE(r.linearizable);
 }
 
-TEST(Linearizability, HistoryBeyond64OpsRejectedGracefully) {
-  History h;
-  for (int i = 0; i < 65; ++i) {
-    const auto w = h.invoke(0, {0, i});
-    h.respond(w, {});
+TEST(Linearizability, SixtyFourOpsIsTheExactCapacityBoundary) {
+  // 64 sequential writes+reads: exactly at the bitmask capacity, checked
+  // normally (and linearizable — each read sees the preceding write).
+  History h64;
+  for (int i = 0; i < 32; ++i) {
+    const auto w = h64.invoke(0, {0, i});
+    h64.respond(w, {});
+    const auto rd = h64.invoke(1, {1});
+    h64.respond(rd, {i});
   }
-  const auto r = check_linearizable(RegisterSpec{}, h.entries());
-  EXPECT_FALSE(r.linearizable);
-  EXPECT_NE(r.message.find("too long"), std::string::npos);
+  ASSERT_EQ(h64.entries().size(), 64u);
+  const auto r64 = check_linearizable(RegisterSpec{}, h64.entries());
+  EXPECT_TRUE(r64.linearizable);
+  EXPECT_EQ(r64.order.size(), 64u);
+
+  // 65 ops: beyond the representation, the checker must refuse loudly
+  // (SimError) instead of returning a bogus "not linearizable" verdict that
+  // would corrupt ∀-run claims built on top of it.
+  History h65;
+  for (int i = 0; i < 65; ++i) {
+    const auto w = h65.invoke(0, {0, i});
+    h65.respond(w, {});
+  }
+  EXPECT_THROW(check_linearizable(RegisterSpec{}, h65.entries()), SimError);
+  EXPECT_THROW(require_linearizable(RegisterSpec{}, h65), SimError);
 }
 
 TEST(Linearizability, RequireHelperThrowsWithDump) {

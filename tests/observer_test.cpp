@@ -1,0 +1,326 @@
+// TraceObserver layer: event streams from the kernel, observer composition,
+// access counters, history mirroring, JSONL export/import, and the run_one
+// funnel's thread-default installation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "subc/checking/trace_jsonl.hpp"
+#include "subc/checking/trace_viz.hpp"
+#include "subc/objects/register.hpp"
+#include "subc/objects/set_consensus_object.hpp"
+#include "subc/runtime/explorer.hpp"
+#include "subc/runtime/history.hpp"
+#include "subc/runtime/observer.hpp"
+#include "subc/runtime/policy.hpp"
+
+namespace subc {
+namespace {
+
+// Collects raw events for structural assertions.
+struct EventLog final : TraceObserver {
+  std::vector<std::string> lines;
+
+  void on_run_begin(int num_processes) override {
+    lines.push_back("begin " + std::to_string(num_processes));
+  }
+  void on_step(const StepEvent& e) override {
+    lines.push_back("step p" + std::to_string(e.pid) + " @" +
+                    std::to_string(e.step));
+  }
+  void on_choose(int pid, std::uint32_t arity, std::uint32_t chosen) override {
+    lines.push_back("choose p" + std::to_string(pid) + " " +
+                    std::to_string(chosen) + "/" + std::to_string(arity));
+  }
+  void on_crash(int pid, std::int64_t step) override {
+    lines.push_back("crash p" + std::to_string(pid) + " @" +
+                    std::to_string(step));
+  }
+  void on_violation(std::string_view message) override {
+    lines.push_back("violation " + std::string(message));
+  }
+  void on_run_end(std::int64_t total_steps, bool quiescent) override {
+    lines.push_back("end " + std::to_string(total_steps) +
+                    (quiescent ? " quiescent" : " stuck"));
+  }
+};
+
+TEST(Observer, KernelEmitsBeginStepsEnd) {
+  EventLog log;
+  Runtime rt;
+  rt.set_observer(&log);
+  RegisterArray<> regs(2, kBottom);
+  for (int p = 0; p < 2; ++p) {
+    rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+  }
+  RoundRobinDriver rr;
+  const auto result = rt.run(rr);
+  ASSERT_FALSE(log.lines.empty());
+  EXPECT_EQ(log.lines.front(), "begin 2");
+  EXPECT_EQ(log.lines.back(),
+            "end " + std::to_string(result.total_steps) + " quiescent");
+  std::int64_t steps = 0;
+  for (const auto& l : log.lines) {
+    if (l.rfind("step ", 0) == 0) {
+      ++steps;
+    }
+  }
+  EXPECT_EQ(steps, result.total_steps);
+}
+
+TEST(Observer, ChooseAndCrashEventsArrive) {
+  EventLog log;
+  Runtime rt;
+  rt.set_observer(&log);
+  SetConsensusObject onk(3, 2);  // nondeterministic: propose() calls choose()
+  rt.add_process([&](Context& ctx) { onk.propose(ctx, 5); });
+  rt.add_process([&](Context& ctx) { onk.propose(ctx, 6); });
+  RoundRobinDriver rr;
+  rt.crash(1);  // before run: pid 1 never steps
+  rt.run(rr);
+  bool saw_choose = false;
+  bool saw_crash = false;
+  for (const auto& l : log.lines) {
+    saw_choose = saw_choose || l.rfind("choose ", 0) == 0;
+    saw_crash = saw_crash || l == "crash p1 @0";
+  }
+  EXPECT_TRUE(saw_choose);
+  EXPECT_TRUE(saw_crash);
+}
+
+TEST(Observer, ChainFansOutInOrder) {
+  EventLog a;
+  EventLog b;
+  ObserverChain chain;
+  chain.add(a);
+  chain.add(b);
+  Runtime rt;
+  rt.set_observer(&chain);
+  RegisterArray<> regs(2, kBottom);
+  for (int p = 0; p < 2; ++p) {
+    rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+  }
+  RoundRobinDriver rr;
+  rt.run(rr);
+  EXPECT_EQ(a.lines, b.lines);
+  EXPECT_FALSE(a.lines.empty());
+}
+
+TEST(Observer, AccessCountersTally) {
+  AccessCounters counters;
+  Runtime rt;
+  rt.set_observer(&counters);
+  RegisterArray<> regs(2, kBottom);
+  std::array<Value, 2> seen{};
+  for (int p = 0; p < 2; ++p) {
+    rt.add_process([&, p](Context& ctx) {
+      regs[p].write(ctx, 10 + p);
+      seen[static_cast<std::size_t>(p)] = regs[(p + 1) % 2].read(ctx);
+    });
+  }
+  RoundRobinDriver rr;
+  const auto result = rt.run(rr);
+  EXPECT_EQ(counters.runs(), 1);
+  EXPECT_EQ(counters.steps(), result.total_steps);
+  EXPECT_EQ(counters.steps_of_kind(AccessKind::kWrite), 2);
+  EXPECT_EQ(counters.steps_of_kind(AccessKind::kRead), 2);
+  EXPECT_EQ(counters.objects_touched(), 2);
+  EXPECT_EQ(counters.steps_on_object(1) + counters.steps_on_object(2),
+            counters.steps());
+  EXPECT_EQ(counters.crashes(), 0);
+  EXPECT_EQ(counters.violations(), 0);
+}
+
+TEST(Observer, HistorySinkStreamsAndRecorderMirrors) {
+  HistoryRecorder recorder;
+  History source;
+  source.set_sink(&recorder);
+  const auto h0 = source.invoke(0, {1, 100});
+  const auto h1 = source.invoke(1, {2, 200});
+  source.respond(h1, {7});
+  source.respond(h0, {});
+  EXPECT_EQ(recorder.history().dump(), source.dump());
+  EXPECT_EQ(recorder.history().completed(), 2u);
+  recorder.reset();
+  EXPECT_TRUE(recorder.history().entries().empty());
+}
+
+TEST(Observer, RunOneInstallsThreadDefaultForBodyConstructedRuntimes) {
+  // The body builds its own Runtime; the observer still sees its events
+  // because run_one installs it as the thread default.
+  AccessCounters counters;
+  RoundRobinDriver rr;
+  const auto violation = run_one(
+      [](ScheduleDriver& driver) {
+        Runtime rt;
+        RegisterArray<> regs(2, kBottom);
+        for (int p = 0; p < 2; ++p) {
+          rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+        }
+        rt.run(driver);
+      },
+      rr, &counters);
+  EXPECT_FALSE(violation.has_value());
+  EXPECT_EQ(counters.runs(), 1);
+  EXPECT_GT(counters.steps(), 0);
+}
+
+TEST(Observer, RunOneReportsViolationsToObserverAndCaller) {
+  ViolationCollector collector;
+  RoundRobinDriver rr;
+  const auto violation = run_one(
+      [](ScheduleDriver&) { throw SpecViolation("seeded failure"); }, rr,
+      &collector);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(*violation, "seeded failure");
+  EXPECT_EQ(collector.count(), 1);
+  EXPECT_EQ(collector.messages().front(), "seeded failure");
+}
+
+TEST(Observer, ScopedObserverNestsAndRestores) {
+  EventLog outer;
+  EventLog inner;
+  EXPECT_EQ(thread_default_observer(), nullptr);
+  {
+    ScopedObserver a(&outer);
+    EXPECT_EQ(thread_default_observer(), &outer);
+    {
+      ScopedObserver b(&inner);
+      EXPECT_EQ(thread_default_observer(), &inner);
+      ScopedObserver mask(nullptr);
+      EXPECT_EQ(thread_default_observer(), nullptr);
+    }
+    EXPECT_EQ(thread_default_observer(), &outer);
+  }
+  EXPECT_EQ(thread_default_observer(), nullptr);
+}
+
+// The observer must be a pure sink: attaching one to an exhaustive search
+// changes none of the result fields.
+TEST(Observer, ExplorerResultsIdenticalWithAndWithoutObserver) {
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(3, kBottom);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+    }
+    rt.run(driver);
+  };
+  for (const auto reduction : {Reduction::kNone, Reduction::kSleepSets}) {
+    for (const int threads : {1, 4}) {
+      Explorer::Options plain;
+      plain.reduction = reduction;
+      plain.threads = threads;
+      const auto base = Explorer::explore(body, plain);
+
+      AccessCounters counters;
+      Explorer::Options observed = plain;
+      observed.observer = &counters;
+      const auto with = Explorer::explore(body, observed);
+
+      EXPECT_EQ(base.executions, with.executions);
+      EXPECT_EQ(base.reduced_subtrees, with.reduced_subtrees);
+      EXPECT_EQ(base.complete, with.complete);
+      EXPECT_EQ(base.ok(), with.ok());
+      // Every completed execution begins a run; cut attempts (sleep-set
+      // skips, frontier cuts) begin runs too, so >= in general and == only
+      // for the serial unreduced search.
+      EXPECT_GE(counters.runs(), with.executions);
+      if (reduction == Reduction::kNone && threads == 1) {
+        EXPECT_EQ(counters.runs(), with.executions);
+      }
+      EXPECT_EQ(counters.violations(), 0);
+    }
+  }
+}
+
+TEST(Observer, RandomSweepFeedsObserver) {
+  AccessCounters counters;
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(2, kBottom);
+    for (int p = 0; p < 2; ++p) {
+      rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+    }
+    rt.run(driver);
+  };
+  const auto sweep = RandomSweep::run(body, 25, 1, /*threads=*/1, &counters);
+  EXPECT_TRUE(sweep.ok());
+  EXPECT_EQ(counters.runs(), 25);
+}
+
+TEST(TraceJsonl, RoundTripsHistoryIntoTraceViz) {
+  std::ostringstream sink;
+  JsonlTraceWriter writer(sink);
+  RoundRobinDriver rr;
+  std::string original_dump;
+  const auto violation = run_one(
+      [&original_dump](ScheduleDriver& driver) {
+        Runtime rt;
+        RegisterArray<> regs(2, kBottom);
+        History history;
+        history.set_sink(thread_default_observer());
+        for (int p = 0; p < 2; ++p) {
+          rt.add_process([&, p](Context& ctx) {
+            const auto h = history.invoke(p, {p, 100 + p});
+            regs[p].write(ctx, 100 + p);
+            const Value seen = regs[(p + 1) % 2].read(ctx);
+            history.respond(h, {seen});
+          });
+        }
+        rt.run(driver);
+        original_dump = history.dump();
+      },
+      rr, &writer);
+  EXPECT_FALSE(violation.has_value());
+
+  const ParsedTrace parsed = parse_trace_jsonl(sink.str());
+  EXPECT_EQ(parsed.runs, 1);
+  EXPECT_GT(parsed.steps, 0);
+  EXPECT_EQ(parsed.total_steps, parsed.steps);
+  EXPECT_TRUE(parsed.quiescent);
+  EXPECT_TRUE(parsed.violations.empty());
+  // The reconstructed history is entry-for-entry identical...
+  EXPECT_EQ(parsed.history.dump(), original_dump);
+  // ...and renders into the space-time diagram without further plumbing.
+  const std::string diagram = render_history(parsed.history);
+  EXPECT_NE(diagram.find("p0"), std::string::npos);
+  EXPECT_NE(diagram.find("p1"), std::string::npos);
+}
+
+TEST(TraceJsonl, ViolationMessagesSurviveEscaping) {
+  std::ostringstream sink;
+  JsonlTraceWriter writer(sink);
+  RoundRobinDriver rr;
+  const std::string nasty = "line1\nline2\t\"quoted\" back\\slash";
+  const auto violation = run_one(
+      [&](ScheduleDriver&) { throw SpecViolation(nasty); }, rr, &writer);
+  ASSERT_TRUE(violation.has_value());
+  const ParsedTrace parsed = parse_trace_jsonl(sink.str());
+  ASSERT_EQ(parsed.violations.size(), 1u);
+  EXPECT_EQ(parsed.violations.front(), nasty);
+}
+
+TEST(TraceJsonl, BottomValuesRoundTrip) {
+  std::ostringstream sink;
+  JsonlTraceWriter writer(sink);
+  History history;
+  history.set_sink(&writer);
+  const auto h = history.invoke(0, {0, 7});
+  history.respond(h, {kBottom});
+  const ParsedTrace parsed = parse_trace_jsonl(sink.str());
+  ASSERT_EQ(parsed.history.entries().size(), 1u);
+  EXPECT_EQ(parsed.history.entries()[0].response.front(), kBottom);
+  EXPECT_EQ(parsed.history.dump(), history.dump());
+}
+
+TEST(TraceJsonl, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_trace_jsonl("{\"ev\":\"mystery\"}"), SimError);
+  EXPECT_THROW(parse_trace_jsonl("{\"ev\":\"respond\",\"pid\":0,\"handle\":3,"
+                                 "\"t\":1,\"resp\":[]}"),
+               SimError);
+}
+
+}  // namespace
+}  // namespace subc
