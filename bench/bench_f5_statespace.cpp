@@ -287,8 +287,48 @@ int main() {
       "WRN histories because state keys collapse equivalent\nlinearization "
       "prefixes.\n");
 
+  // Headline throughput cell — the acceptance number the perf trajectory
+  // tracks across PRs: the unreduced serial "reads, 4 procs × 3 steps" grid
+  // point re-measured in isolation, with a ProgressTicker attached (huge
+  // period: snapshot telemetry only, no stderr lines) so the observer-side
+  // rate lands in the artifact alongside the stopwatch one.
+  const ExecutionBody headline_body = grid_body(World::kReads, 4, 3);
+  Explorer::Options hopts;
+  hopts.max_executions = 5'000'000;
+  hopts.reduction = Reduction::kNone;
+  ProgressTicker ticker(/*period_seconds=*/1e9);
+  hopts.observer = &ticker;
+  const subc_bench::Stopwatch headline_sw;
+  const auto headline = Explorer::explore(headline_body, hopts);
+  const double headline_ms = headline_sw.ms();
+  const auto ticker_snap = ticker.snapshot();
+  // Measured on this cell immediately before the allocation-free-hot-path
+  // overhaul landed; kept so the artifact records the before/after pair.
+  const double pre_overhaul_rate = 110310.0;
+  subc_bench::Json headline_cell;
+  headline_cell.set("world", "reads").set("procs", 4).set("steps", 3);
+  subc_bench::set_rate_fields(headline_cell, headline.executions,
+                              headline_ms);
+  const double headline_rate =
+      headline_ms > 0
+          ? 1000.0 * static_cast<double>(headline.executions) / headline_ms
+          : 0.0;
+  headline_cell.set("executions_per_sec_pre_overhaul", pre_overhaul_rate)
+      .set("speedup_vs_pre_overhaul", headline_rate / pre_overhaul_rate)
+      .set("ticker_executions_per_sec", ticker_snap.executions_per_sec)
+      .set("ticker_reduction_factor", ticker_snap.reduction_factor)
+      .set("ticker_violations", ticker_snap.violations);
+  ok = ok && headline.complete && ticker_snap.executions == headline.executions;
+  std::printf("\nheadline cell (reads, 4 procs x 3 steps, unreduced serial): "
+              "%lld executions in %.1f ms = %.0f exec/s (pre-overhaul "
+              "%.0f exec/s, %.2fx)\n",
+              static_cast<long long>(headline.executions), headline_ms,
+              headline_rate,
+              pre_overhaul_rate, headline_rate / pre_overhaul_rate);
+
   subc_bench::Json out;
   out.set("bench", "F5")
+      .set("headline", headline_cell)
       .set("threads", threads)
       .set("hardware_concurrency",
            static_cast<int>(std::thread::hardware_concurrency()))

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "subc/objects/register.hpp"
+#include "subc/runtime/arena.hpp"
 #include "subc/runtime/explorer.hpp"
 #include "subc/runtime/observer.hpp"
 #include "subc/runtime/policy.hpp"
@@ -197,14 +198,49 @@ inline void set_policy_fields(Json& json) {
   json.set("policy_smoke", cells);
 }
 
-/// Writes `json` to `path` (+ trailing newline). Returns false on IO error.
+/// Stamps a throughput cell: `executions` completed in `elapsed_ms` of wall
+/// clock → `executions_per_sec` (0 when nothing ran or no time passed).
+/// This is the headline number the perf trajectory tracks across PRs.
+inline void set_rate_fields(Json& json, std::int64_t executions,
+                            double elapsed_ms) {
+  json.set("executions", executions);
+  json.set("elapsed_ms", elapsed_ms);
+  json.set("executions_per_sec",
+           elapsed_ms > 0.0
+               ? static_cast<double>(executions) / (elapsed_ms / 1000.0)
+               : 0.0);
+}
+
+/// Allocation-counter snapshot (`subc::alloc_counters()`): arena growth and
+/// reuse plus fiber-stack pool hits across everything the bench ran so far.
+/// Reuse counters climbing while chunk/alloc counters stay flat is the
+/// allocation-free hot path working as designed.
+inline Json alloc_counter_cell() {
+  const subc::AllocCounters c = subc::alloc_counters();
+  Json cell;
+  cell.set("arena_chunks", static_cast<std::int64_t>(c.arena_chunks));
+  cell.set("arena_bytes", static_cast<std::int64_t>(c.arena_bytes));
+  cell.set("arena_reuses", static_cast<std::int64_t>(c.arena_reuses));
+  cell.set("fiber_stack_reuses",
+           static_cast<std::int64_t>(c.fiber_stack_reuses));
+  cell.set("fiber_stack_allocs",
+           static_cast<std::int64_t>(c.fiber_stack_allocs));
+  return cell;
+}
+
+/// Writes `json` to `path` (+ trailing newline), stamping the process-wide
+/// allocation counters into an `alloc_counters` cell first so every
+/// BENCH_<ID>.json carries the allocator telemetry without per-bench
+/// plumbing. Returns false on IO error.
 inline bool write_json(const std::string& path, const Json& json) {
+  Json stamped = json;
+  stamped.set("alloc_counters", alloc_counter_cell());
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return false;
   }
-  const std::string body = json.str() + "\n";
+  const std::string body = stamped.str() + "\n";
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   std::fclose(f);
   return ok;

@@ -6,21 +6,68 @@
 # ctest invocation carries a per-test timeout so a hung exploration fails
 # loudly instead of stalling the whole pass.
 #
-#   scripts/check.sh           full pass (tier-1 + sanitizers + benches)
-#   scripts/check.sh --quick   tier-1 only: build + test suite, nothing else
+#   scripts/check.sh              full pass (tier-1 + sanitizers + benches)
+#   scripts/check.sh --quick      tier-1 only: build + test suite, nothing else
+#   scripts/check.sh --perf-smoke throughput gate only: Release bench_f4
+#                                 (JSON measurement, microbenches skipped),
+#                                 best of 3 runs, fail on >30% regression of
+#                                 serial_executions_per_sec against the
+#                                 checked-in scripts/perf_baseline/BENCH_F4.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+PERF_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
+    --perf-smoke) PERF_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke]" >&2
       exit 2
       ;;
   esac
 done
+
+# --- Perf smoke: a fast standalone throughput gate -----------------------
+# Catches "the refactor quietly halved the explorer" before the expensive
+# sanitizer stages run. 30% headroom absorbs machine noise; real regressions
+# from allocation creep on the hot path are integer factors, not percents.
+if [[ "${PERF_SMOKE}" == "1" ]]; then
+  BASELINE="scripts/perf_baseline/BENCH_F4.json"
+  if [[ ! -f "${BASELINE}" ]]; then
+    echo "perf-smoke: missing baseline ${BASELINE}" >&2
+    exit 2
+  fi
+  cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release --target bench_f4_micro
+  mkdir -p bench-results
+  extract_rate() {
+    # Pull the serial_executions_per_sec number out of a flat JSON line
+    # (values may be printed in scientific notation).
+    sed -n 's/.*"serial_executions_per_sec": \([-0-9.eE+]*\).*/\1/p' "$1"
+  }
+  BEST=0
+  for i in 1 2 3; do
+    # stdout/stderr silenced (google-benchmark notes it matched nothing);
+    # a non-zero exit still aborts via set -e.
+    (cd bench-results && ../build-release/bench/bench_f4_micro \
+        --benchmark_filter='^$' >/dev/null 2>&1)
+    RATE="$(extract_rate bench-results/BENCH_F4.json)"
+    echo "perf-smoke: run ${i}: ${RATE} exec/s"
+    BEST="$(awk -v a="${BEST}" -v b="${RATE}" \
+        'BEGIN { print (a + 0 > b + 0) ? a + 0 : b + 0 }')"
+  done
+  BASE_RATE="$(extract_rate "${BASELINE}")"
+  echo "perf-smoke: best ${BEST} exec/s vs baseline ${BASE_RATE} exec/s"
+  if ! awk -v c="${BEST}" -v b="${BASE_RATE}" \
+      'BEGIN { exit (c + 0 >= 0.7 * (b + 0)) ? 0 : 1 }'; then
+    echo "perf-smoke: FAIL — serial explorer throughput regressed >30%" >&2
+    exit 1
+  fi
+  echo "PERF SMOKE PASSED"
+  exit 0
+fi
 
 # Per-test wall-clock budget (seconds). Generous: the slowest tier-1 test
 # finishes in well under a minute on a laptop.

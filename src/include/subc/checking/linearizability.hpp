@@ -12,7 +12,21 @@
 //     bool apply(State&, const std::vector<Value>& op,
 //                std::vector<Value>& response) const;  // false = illegal
 //     std::string key(const State&) const;            // memoization key
+//     std::uint64_t hash(const State&) const;         // OPTIONAL (see below)
 //   };
+//
+// Memoization: the DFS memoizes failed (linearized-set, spec-state) pairs.
+// The default memo is an open-addressing set of 64-bit fingerprints
+// (`MemoKind::kHashed`): the state is hashed via the spec's `hash(State)`
+// hook when it has one, falling back to hashing the `key()` string, and
+// mixed with the linearized-set bitmask. This avoids materializing a
+// `std::string` per DFS node and the per-node unordered_set overhead that
+// dominated checker time. Fingerprints are lossy in principle (a 64-bit
+// collision could suppress exploration of a state that would have
+// succeeded); at the checker's ≤64-op scale the collision probability is
+// ~N²/2⁶⁵ and the string-keyed reference memo (`MemoKind::kStringReference`)
+// is kept behind a flag purely so tests can differentially validate the
+// hashed path (tests/linearizability_memo_test.cpp).
 //
 // Semantics follow the papers' §2 definition of linearizability: a legal
 // sequential ordering of all *completed* operations plus a (possibly empty)
@@ -26,6 +40,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "subc/runtime/hashing.hpp"
 #include "subc/runtime/history.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -40,12 +55,166 @@ struct LinearizationResult {
   std::string message;
 };
 
+/// Which memo the checker's DFS uses for failed (done-set, state) pairs.
+enum class MemoKind {
+  /// Open-addressing uint64 fingerprint set (the default, and the fast
+  /// path): hash(done, state) probed linearly in a power-of-two table.
+  kHashed,
+  /// Exact string-keyed memo (`to_string(done) + "#" + key(state)`); the
+  /// pre-fingerprint implementation, kept only as a differential-testing
+  /// reference. Test-only — not intended for production checking.
+  kStringReference,
+};
+
 namespace detail {
 
 /// Real-time precedence: a must linearize before b.
 inline bool precedes(const HistoryEntry& a, const HistoryEntry& b) {
   return !a.pending() && a.responded_at < b.invoked_at;
 }
+
+/// State fingerprint: the spec's own `hash(State)` when it provides one,
+/// otherwise FNV-1a of its `key()` string (correct for any spec, but pays
+/// for the string materialization the hook exists to avoid).
+template <class Spec>
+std::uint64_t state_fingerprint(const Spec& spec,
+                                const typename Spec::State& state) {
+  if constexpr (requires {
+                  {
+                    spec.hash(state)
+                  } -> std::convertible_to<std::uint64_t>;
+                }) {
+    return static_cast<std::uint64_t>(spec.hash(state));
+  } else {
+    return fnv1a64(spec.key(state));
+  }
+}
+
+/// Open-addressing set of 64-bit fingerprints. Linear probing over a
+/// power-of-two table; 0 is the empty-slot sentinel (fingerprint 0 is
+/// remapped to 1 — the mixer makes that indistinguishable from any other
+/// collision). Grows at ~70% load. Insert-only, which is all the memo needs.
+class FingerprintSet {
+ public:
+  FingerprintSet() : slots_(kInitialSlots, 0) {}
+
+  [[nodiscard]] bool contains(std::uint64_t fp) const noexcept {
+    fp += (fp == 0);
+    const std::uint64_t mask = slots_.size() - 1;
+    for (std::uint64_t i = fp & mask;; i = (i + 1) & mask) {
+      if (slots_[i] == fp) {
+        return true;
+      }
+      if (slots_[i] == 0) {
+        return false;
+      }
+    }
+  }
+
+  void insert(std::uint64_t fp) {
+    fp += (fp == 0);
+    if ((size_ + 1) * 10 >= slots_.size() * 7) {
+      grow();
+    }
+    insert_raw(fp);
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  void insert_raw(std::uint64_t fp) {
+    const std::uint64_t mask = slots_.size() - 1;
+    for (std::uint64_t i = fp & mask;; i = (i + 1) & mask) {
+      if (slots_[i] == fp) {
+        return;
+      }
+      if (slots_[i] == 0) {
+        slots_[i] = fp;
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    size_ = 0;
+    for (const std::uint64_t fp : old) {
+      if (fp != 0) {
+        insert_raw(fp);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+/// The DFS, templated on the memo so the hashed hot path compiles with no
+/// string machinery in it. Both variants explore nodes in identical order —
+/// the memo only ever suppresses *failed* subtrees — so verdict and
+/// linearization order match between them (up to fingerprint collisions,
+/// which the differential test hunts for).
+template <class Spec, bool kHashedMemo>
+struct LinearizeFrame {
+  const Spec& spec;
+  const std::vector<HistoryEntry>& h;
+  std::uint64_t completed_mask;
+  const std::vector<std::uint64_t>& pred;
+  FingerprintSet& fp_failed;
+  std::unordered_set<std::string>& str_failed;
+  std::vector<std::size_t>& order;
+
+  bool dfs(std::uint64_t done, const typename Spec::State& state) {
+    if ((done & completed_mask) == completed_mask) {
+      return true;  // all completed ops linearized; rest may be dropped
+    }
+    std::uint64_t fp = 0;
+    std::string memo_key;
+    if constexpr (kHashedMemo) {
+      fp = mix64(state_fingerprint(spec, state) ^ mix64(done));
+      if (fp_failed.contains(fp)) {
+        return false;
+      }
+    } else {
+      memo_key = std::to_string(done) + "#" + spec.key(state);
+      if (str_failed.contains(memo_key)) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const std::uint64_t bit = 1ULL << i;
+      if (done & bit) {
+        continue;
+      }
+      // i must not be preceded (in real time) by any not-yet-linearized
+      // op: every real-time predecessor must already be in `done`.
+      if ((pred[i] & ~done) != 0) {
+        continue;
+      }
+      typename Spec::State next = state;
+      std::vector<Value> response;
+      if (!spec.apply(next, h[i].op, response)) {
+        continue;  // op illegal here; try other linearization points
+      }
+      if (!h[i].pending() && response != h[i].response) {
+        continue;  // completed op must return exactly what it returned
+      }
+      order.push_back(i);
+      if (dfs(done | bit, next)) {
+        return true;
+      }
+      order.pop_back();
+    }
+    if constexpr (kHashedMemo) {
+      fp_failed.insert(fp);
+    } else {
+      str_failed.insert(memo_key);
+    }
+    return false;
+  }
+};
 
 }  // namespace detail
 
@@ -57,14 +226,14 @@ inline bool precedes(const HistoryEntry& a, const HistoryEntry& b) {
 /// claims built on top).
 template <class Spec>
 LinearizationResult check_linearizable(const Spec& spec,
-                                       const std::vector<HistoryEntry>& h) {
+                                       const std::vector<HistoryEntry>& h,
+                                       MemoKind memo = MemoKind::kHashed) {
   LinearizationResult result;
   const std::size_t n = h.size();
   if (n > 64) {
     throw SimError("check_linearizable: history has " + std::to_string(n) +
                    " operations; the bitmask checker supports at most 64");
   }
-  const std::uint64_t all = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
   std::uint64_t completed_mask = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!h[i].pending()) {
@@ -83,60 +252,21 @@ LinearizationResult check_linearizable(const Spec& spec,
     }
   }
 
-  // DFS over (linearized-set, spec state); memoize failed states.
-  std::unordered_set<std::string> failed;
+  detail::FingerprintSet fp_failed;
+  std::unordered_set<std::string> str_failed;
   std::vector<std::size_t> order;
 
-  // Recursive lambda via explicit stack-free recursion.
-  struct Frame {
-    const Spec& spec;
-    const std::vector<HistoryEntry>& h;
-    std::uint64_t all;
-    std::uint64_t completed_mask;
-    const std::vector<std::uint64_t>& pred;
-    std::unordered_set<std::string>& failed;
-    std::vector<std::size_t>& order;
-
-    bool dfs(std::uint64_t done, const typename Spec::State& state) {
-      if ((done & completed_mask) == completed_mask) {
-        return true;  // all completed ops linearized; rest may be dropped
-      }
-      const std::string memo_key =
-          std::to_string(done) + "#" + spec.key(state);
-      if (failed.contains(memo_key)) {
-        return false;
-      }
-      for (std::size_t i = 0; i < h.size(); ++i) {
-        const std::uint64_t bit = 1ULL << i;
-        if (done & bit) {
-          continue;
-        }
-        // i must not be preceded (in real time) by any not-yet-linearized
-        // op: every real-time predecessor must already be in `done`.
-        if ((pred[i] & ~done) != 0) {
-          continue;
-        }
-        typename Spec::State next = state;
-        std::vector<Value> response;
-        if (!spec.apply(next, h[i].op, response)) {
-          continue;  // op illegal here; try other linearization points
-        }
-        if (!h[i].pending() && response != h[i].response) {
-          continue;  // completed op must return exactly what it returned
-        }
-        order.push_back(i);
-        if (dfs(done | bit, next)) {
-          return true;
-        }
-        order.pop_back();
-      }
-      failed.insert(memo_key);
-      return false;
-    }
-  };
-
-  Frame frame{spec, h, all, completed_mask, pred, failed, order};
-  if (frame.dfs(0, spec.initial())) {
+  bool ok = false;
+  if (memo == MemoKind::kHashed) {
+    detail::LinearizeFrame<Spec, true> frame{
+        spec, h, completed_mask, pred, fp_failed, str_failed, order};
+    ok = frame.dfs(0, spec.initial());
+  } else {
+    detail::LinearizeFrame<Spec, false> frame{
+        spec, h, completed_mask, pred, fp_failed, str_failed, order};
+    ok = frame.dfs(0, spec.initial());
+  }
+  if (ok) {
     result.linearizable = true;
     result.order = order;
   } else {

@@ -13,9 +13,11 @@
 // the witness objects for the sub-consensus hierarchy.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "subc/runtime/hashing.hpp"
 #include "subc/runtime/runtime.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -100,6 +102,18 @@ struct OneShotWrnSpec {
       s += '|';
     }
     return s;
+  }
+
+  /// Memoization fingerprint for the checker's hashed memo: mixes each slot
+  /// (value + used bit) without building the `key()` string.
+  [[nodiscard]] std::uint64_t hash(const State& state) const {
+    std::uint64_t h = 0x6a09e667f3bcc909ULL;
+    for (int i = 0; i < k; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto v = static_cast<std::uint64_t>(state.slots[idx]);
+      h = detail::mix64(h ^ v ^ (state.used[idx] ? 0x8000000000000000ULL : 0));
+    }
+    return h;
   }
 };
 

@@ -1,7 +1,7 @@
 // Cooperative fibers: the execution vehicle for simulated processes.
 //
-// Each simulated process runs on its own fiber (a ucontext with a private
-// stack). Exactly one fiber runs at a time; the simulation kernel resumes a
+// Each simulated process runs on its own fiber (a private stack switched to
+// in userspace). Exactly one fiber runs at a time; the simulation kernel resumes a
 // fiber to let it take one atomic step and the fiber yields back before its
 // next shared-memory operation (DESIGN.md §3). Abandoned fibers (crashed or
 // hung processes, or explorer backtracking) are kill-unwound so that RAII
@@ -11,6 +11,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+
+// Internal: first-entry point for the userspace context switch on x86-64
+// (defined in fiber.cpp; never called directly).
+extern "C" void subc_fiber_asm_entry(void* fiber);
 
 namespace subc {
 
@@ -32,6 +36,13 @@ class Fiber {
 
   explicit Fiber(std::function<void()> entry,
                  std::size_t stack_bytes = kDefaultStackBytes);
+
+  /// Allocation-free entry variant for hot callers (the kernel constructs
+  /// one fiber per simulated process per execution): a plain function
+  /// pointer plus context, no `std::function` wrapper to heap-allocate.
+  Fiber(void (*entry)(void*), void* arg,
+        std::size_t stack_bytes = kDefaultStackBytes);
+
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -60,6 +71,7 @@ class Fiber {
  private:
   struct Impl;
   static void trampoline(unsigned hi, unsigned lo);
+  friend void ::subc_fiber_asm_entry(void* fiber);
 
   std::unique_ptr<Impl> impl_;
 };

@@ -1,0 +1,29 @@
+// Small non-cryptographic hashing primitives shared by the checker's
+// fingerprint memo and by spec `hash(State)` hooks (objects layer). Kept in
+// the runtime layer so both may include them without a layering inversion.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace subc::detail {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64→64 mixer.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes, for hashing string memo keys.
+inline constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace subc::detail

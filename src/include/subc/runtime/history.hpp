@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,13 +35,35 @@ struct HistoryEntry {
 };
 
 /// Append-only record of high-level operations.
+///
+/// Entry op/response buffers are recycled through a thread-local pool (the
+/// destructor and `clear()` return them), so a history that is filled and
+/// torn down once per execution stops allocating in steady state.
 class History {
  public:
-  /// Opens an operation; returns its handle.
-  std::size_t invoke(int pid, std::vector<Value> op);
+  History() = default;
+  ~History();
 
-  /// Closes operation `handle` with its response.
-  void respond(std::size_t handle, std::vector<Value> response);
+  History(const History&) = default;
+  History& operator=(const History&) = default;
+  History(History&&) = default;
+  History& operator=(History&&) = default;
+
+  /// Opens an operation; returns its handle. The values are copied.
+  std::size_t invoke(int pid, std::span<const Value> op);
+  std::size_t invoke(int pid, std::initializer_list<Value> op) {
+    return invoke(pid, std::span<const Value>(op.begin(), op.size()));
+  }
+
+  /// Closes operation `handle` with its response. The values are copied.
+  void respond(std::size_t handle, std::span<const Value> response);
+  void respond(std::size_t handle, std::initializer_list<Value> response) {
+    respond(handle, std::span<const Value>(response.begin(), response.size()));
+  }
+
+  /// Forgets all entries (returning their buffers to the pool) and rewinds
+  /// the clock — the recycling alternative to destroying the History.
+  void clear();
 
   [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept {
     return entries_;

@@ -20,7 +20,9 @@
 // `set_observer`.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -81,6 +83,11 @@ class TraceObserver {
   /// The world reached quiescence (or its step bound) and `Runtime::run`
   /// is about to return.
   virtual void on_run_end(std::int64_t /*total_steps*/, bool /*quiescent*/) {}
+
+  /// The search skipped `subtrees` redundant subtrees since the previous
+  /// event (partial-order reduction / pruning metadata; emitted by the
+  /// explorer, not by individual runs). Telemetry only.
+  virtual void on_reduced(std::int64_t /*subtrees*/) {}
 };
 
 /// Fans every event out to a list of observers, in registration order. The
@@ -103,6 +110,7 @@ class ObserverChain final : public TraceObserver {
                   std::span<const Value> response) override;
   void on_violation(std::string_view message) override;
   void on_run_end(std::int64_t total_steps, bool quiescent) override;
+  void on_reduced(std::int64_t subtrees) override;
 
  private:
   std::vector<TraceObserver*> sinks_;
@@ -177,6 +185,54 @@ class HistoryRecorder final : public TraceObserver {
   std::unique_ptr<History> history_;
   /// Source handle -> mirror handle (sources interleave handles freely).
   std::vector<std::size_t> handle_map_;
+};
+
+/// Periodic progress telemetry for long-running searches: counts completed
+/// executions (runs reaching on_run_end plus violating runs, which throw
+/// before run end but still count as executions), reduction skips and
+/// violations, and once `period_seconds` of
+/// wall clock have passed since the previous line prints one
+/// `[progress] execs=... exec/s=... reduced=... violations=...` line to
+/// `out` (stderr by default). Verdict-neutral by construction — a pure
+/// sink, never consulted by the search — and off by default: nothing
+/// attaches one unless a bench or caller wires it in explicitly
+/// (Explorer::Options::observer or an ObserverChain). Thread-safe; benches
+/// stamp `snapshot()` into BENCH_<ID>.json.
+class ProgressTicker final : public TraceObserver {
+ public:
+  struct Snapshot {
+    std::int64_t executions = 0;
+    std::int64_t reduced = 0;
+    std::int64_t violations = 0;
+    double elapsed_seconds = 0.0;
+    double executions_per_sec = 0.0;
+    /// (executions + reduced skips) / executions; 1.0 when nothing was
+    /// skipped (or nothing ran). A coarse "how much tree did the reduction
+    /// save" figure.
+    double reduction_factor = 1.0;
+  };
+
+  explicit ProgressTicker(double period_seconds = 2.0,
+                          std::ostream* out = nullptr);
+
+  void on_run_end(std::int64_t total_steps, bool quiescent) override;
+  void on_violation(std::string_view message) override;
+  void on_reduced(std::int64_t subtrees) override;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  /// Emits a progress line when the period has elapsed. Caller holds mu_.
+  void maybe_tick_locked();
+
+  mutable std::mutex mu_;
+  double period_seconds_;
+  std::ostream* out_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_tick_;
+  std::int64_t executions_ = 0;
+  std::int64_t reduced_ = 0;
+  std::int64_t violations_ = 0;
 };
 
 /// Collects violation messages (on_violation events) in arrival order.

@@ -7,6 +7,12 @@
 //    probability >= 1/(n * k^(d-1)) — far better than uniform random
 //    scheduling at flushing rare interleavings, which needs the adversary
 //    to win a coin flip at *every* step rather than at d-1 of them.
+//  * `DelayBoundedPolicy` — the delay-bounded scheduler of Emmi, Qadeer
+//    and Rakamarić ("Delay-Bounded Scheduling", POPL 2011): a deterministic
+//    round-robin base schedule perturbed by at most d adversarial delays,
+//    each of which skips the process the base schedule would have run.
+//    The schedule space grows polynomially in d, so small delay budgets
+//    cover "almost-deterministic" bug patterns cheaply.
 //  * `CrashAdversary` — a decorator composing a crash-failure model over
 //    any policy: up to f processes die at adversary-chosen points, either
 //    from an explicit plan ("kill pid 2 after its 5th step") or at seeded-
@@ -64,6 +70,47 @@ class PctPolicy final : public SchedulePolicy {
   std::vector<std::int64_t> change_points_;  ///< sorted step indices
   std::int64_t step_ = 0;
   int next_change_ = 0;
+};
+
+/// Delay-bounded scheduling (Emmi et al., POPL 2011): the base schedule is
+/// round-robin over pids (the enabled process cyclically after the last
+/// granted one), and the adversary holds a budget of `delays` delay
+/// operations. Each delay fires at a seeded-random global step index in
+/// [0, horizon) and skips the process the base schedule was about to grant,
+/// advancing to the next enabled one in cyclic order (several delays can
+/// land on the same step, skipping several processes). With `delays == 0`
+/// this is exactly round-robin; every extra unit of budget multiplies the
+/// schedule space by O(horizon), so coverage grows polynomially rather than
+/// exponentially — the sweet spot between `RoundRobinDriver` determinism and
+/// PCT. Object choices are uniform from the same seeded PRNG. Fully
+/// deterministic given (seed, delays, horizon); `begin_run` re-derives
+/// everything from the seed, so one policy object replays the identical
+/// schedule across consecutive runs.
+class DelayBoundedPolicy final : public SchedulePolicy {
+ public:
+  /// `delays >= 0`; `horizon >= 1` is the assumed maximum run length used
+  /// to place delay points — runs longer than `horizon` see no further
+  /// delays.
+  DelayBoundedPolicy(std::uint64_t seed, int delays, std::int64_t horizon);
+
+  std::size_t pick(std::span<const int> enabled,
+                   std::span<const Access> footprints = {}) override;
+  std::uint32_t choose(std::uint32_t arity) override;
+  void begin_run() override;
+
+  /// Delays spent in the current (or last) run; <= the `delays` budget.
+  [[nodiscard]] int delays_used() const noexcept { return delays_used_; }
+
+ private:
+  std::uint64_t seed_;
+  int delays_;
+  std::int64_t horizon_;
+  std::mt19937_64 rng_;
+  std::vector<std::int64_t> delay_points_;  ///< sorted step indices
+  std::size_t next_delay_ = 0;
+  std::int64_t step_ = 0;
+  int last_pid_ = -1;  ///< pid granted the previous step (round-robin state)
+  int delays_used_ = 0;
 };
 
 /// Crash-failure adversary over an arbitrary inner policy. Scheduling and

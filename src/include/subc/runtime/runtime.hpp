@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "subc/runtime/arena.hpp"
 #include "subc/runtime/scheduler.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -131,7 +132,7 @@ class Runtime {
   int add_process(ProcessFn fn);
 
   [[nodiscard]] int num_processes() const noexcept {
-    return static_cast<int>(procs_.size());
+    return static_cast<int>(num_procs_);
   }
 
   /// Result of driving a world to quiescence.
@@ -185,12 +186,18 @@ class Runtime {
   struct Proc;
 
   void check_pid(int pid) const;
-  void collect_enabled(std::vector<int>& enabled,
-                       std::vector<Access>& footprints) const;
+  std::size_t collect_enabled(int* enabled, Access* footprints) const;
   ScheduleDriver* driver_ = nullptr;
   TraceObserver* observer_ = nullptr;
 
-  std::vector<std::unique_ptr<Proc>> procs_;
+  /// World construction is arena-backed: every Proc (and the proc table
+  /// itself) lives in a leased monotonic arena that is reset and recycled
+  /// when the world dies, so building the next execution's world reuses the
+  /// same memory instead of round-tripping the global allocator.
+  ArenaLease arena_;
+  Proc** procs_ = nullptr;
+  std::size_t num_procs_ = 0;
+  std::size_t procs_cap_ = 0;
   std::vector<Value> decisions_;
   std::int64_t total_steps_ = 0;
   std::uint32_t next_object_id_ = 1;

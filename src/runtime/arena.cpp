@@ -1,0 +1,56 @@
+#include "subc/runtime/arena.hpp"
+
+namespace subc {
+
+namespace detail {
+AllocCounterCells& alloc_counter_cells() noexcept {
+  static AllocCounterCells cells;
+  return cells;
+}
+}  // namespace detail
+
+AllocCounters alloc_counters() noexcept {
+  const detail::AllocCounterCells& c = detail::alloc_counter_cells();
+  AllocCounters out;
+  out.arena_chunks = c.arena_chunks.load(std::memory_order_relaxed);
+  out.arena_bytes = c.arena_bytes.load(std::memory_order_relaxed);
+  out.arena_reuses = c.arena_reuses.load(std::memory_order_relaxed);
+  out.fiber_stack_reuses = c.fiber_stack_reuses.load(std::memory_order_relaxed);
+  out.fiber_stack_allocs = c.fiber_stack_allocs.load(std::memory_order_relaxed);
+  return out;
+}
+
+namespace {
+// Arenas retained per thread for reuse across worlds. Bounded so a burst of
+// nested Runtimes cannot pin memory forever; excess arenas are simply freed.
+constexpr std::size_t kMaxPooledArenas = 8;
+
+struct ArenaPool {
+  std::vector<std::unique_ptr<MonotonicArena>> free;
+};
+thread_local ArenaPool tl_arena_pool;
+}  // namespace
+
+ArenaLease::ArenaLease() {
+  ArenaPool& pool = tl_arena_pool;
+  if (!pool.free.empty()) {
+    arena_ = pool.free.back().release();
+    pool.free.pop_back();
+    detail::alloc_counter_cells().arena_reuses.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    arena_ = new MonotonicArena();
+  }
+}
+
+ArenaLease::~ArenaLease() {
+  arena_->reset();
+  ArenaPool& pool = tl_arena_pool;
+  if (pool.free.size() < kMaxPooledArenas) {
+    pool.free.emplace_back(arena_);
+  } else {
+    delete arena_;
+  }
+}
+
+}  // namespace subc

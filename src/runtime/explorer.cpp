@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <span>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "subc/checking/violation_log.hpp"
+#include "subc/runtime/bounded_queue.hpp"
 #include "subc/runtime/observer.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -19,27 +22,116 @@ namespace {
 
 using Decision = ReplayDriver::Decision;
 
+// Executions claimed from the shared budget per batch. Participants grab a
+// block, consume from it locally (no shared traffic per execution), and
+// return what they did not use — the shared state is touched
+// O(executions / kBudgetBatch) times instead of once per execution.
+constexpr std::int64_t kBudgetBatch = 64;
+
+// Ring capacity of the frontier work-unit queue (prefixes in flight).
+constexpr std::size_t kQueueCapacity = 256;
+
 // State shared by every participant of one exploration (the frontier
-// enumerator and all subtree workers). The budget is reserved *before* an
-// execution runs and refunded when the attempt turns out not to be a real
-// execution (frontier cut, pruned subtree), so a completed exploration
-// reports exactly `min(tree size, max_executions)` executions.
+// enumerator and all subtree workers).
+//
+// Budget protocol (see BudgetScope): `granted` counts budget handed out in
+// batches and not yet returned; completed executions consume from a
+// participant's local batch, probes cut short (frontier cut, prune, sleep
+// skip) consume nothing. A participant that is denied budget *parks* (waits
+// on `cv`) instead of abandoning its subtree: as long as some other
+// participant still holds an unconsumed grant, a refund may arrive and the
+// parked work continues. Only when the pool is empty AND nobody holds a
+// grant is the search finally exhausted (`exhausted_final`) — this is what
+// makes a completed exploration report exactly `min(tree size,
+// max_executions)` executions: no unit ever gives up while budget it could
+// have used sits (or will be refunded) elsewhere.
 struct SearchState {
   std::int64_t max_executions = 0;
-  std::atomic<std::int64_t> budget_used{0};
-  std::atomic<bool> exhausted{false};
   ViolationLog log;
 
-  bool reserve() {
-    if (budget_used.fetch_add(1, std::memory_order_relaxed) >=
-        max_executions) {
-      budget_used.fetch_sub(1, std::memory_order_relaxed);
-      exhausted.store(true, std::memory_order_relaxed);
-      return false;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::int64_t granted = 0;  // claimed minus refunded (never > max)
+  int holders = 0;           // participants holding an unreturned grant
+  bool exhausted_final = false;
+};
+
+// One participant's view of the shared budget: a locally held block of
+// executions, claimed batch-wise and consumed without synchronization.
+class BudgetScope {
+ public:
+  explicit BudgetScope(SearchState& s) : s_(s) {}
+  ~BudgetScope() { release(); }
+
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  /// Ensures at least one execution's worth of budget is held, parking
+  /// until budget is granted or the search is finally exhausted (returns
+  /// false — the caller abandons with its unit marked unfinished).
+  bool ensure() {
+    if (held_ > 0) {
+      return true;
     }
-    return true;
+    std::unique_lock<std::mutex> lk(s_.mu);
+    drop_locked();
+    for (;;) {
+      const std::int64_t avail = s_.max_executions - s_.granted;
+      if (avail > 0) {
+        held_ = std::min(kBudgetBatch, avail);
+        s_.granted += held_;
+        ++s_.holders;
+        holder_ = true;
+        return true;
+      }
+      if (s_.exhausted_final) {
+        return false;
+      }
+      if (s_.holders == 0) {
+        // Pool empty and nobody left to refund: the denier is also the
+        // last drainer, so exhaustion is final. Wake every parked peer.
+        s_.exhausted_final = true;
+        s_.cv.notify_all();
+        return false;
+      }
+      s_.cv.wait(lk);
+    }
   }
-  void refund() { budget_used.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Consumes one held execution (call after each completed run).
+  void consume() noexcept { --held_; }
+
+  /// Returns the unconsumed remainder to the pool.
+  void release() {
+    if (!holder_) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lk(s_.mu);
+    drop_locked();
+  }
+
+ private:
+  // Refund `held_` and drop holder status; wake peers that can now claim,
+  // or finalize exhaustion when this was the last holder of an empty pool.
+  void drop_locked() {
+    if (!holder_) {
+      return;
+    }
+    s_.granted -= held_;
+    held_ = 0;
+    --s_.holders;
+    holder_ = false;
+    if (s_.granted < s_.max_executions) {
+      s_.cv.notify_all();
+    } else if (s_.holders == 0 && !s_.exhausted_final) {
+      s_.exhausted_final = true;
+      s_.cv.notify_all();
+    }
+  }
+
+  SearchState& s_;
+  std::int64_t held_ = 0;
+  bool holder_ = false;
 };
 
 // Tallies of one subtree work unit, merged in canonical order afterwards.
@@ -113,14 +205,16 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
                              const Explorer::Options& opts, SearchState& state,
                              std::uint64_t my_index) {
   SubtreeStats stats;
+  BudgetScope budget(state);
   const Explorer::PruneFn& prune = opts.prune;
   for (;;) {
     if (state.log.best_index() < my_index) {
       return stats;  // cancelled; these tallies will be discarded
     }
-    if (!state.reserve()) {
-      return stats;  // budget exhausted
+    if (!budget.ensure()) {
+      return stats;  // budget finally exhausted (`finished` stays false)
     }
+    const std::int64_t reduced_before = stats.reduced;
     ReplayDriver driver(std::move(prefix));
     driver.set_prune(prune ? &prune : nullptr);
     driver.set_reduction(opts.reduction == Reduction::kSleepSets);
@@ -128,6 +222,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       if (std::optional<std::string> violation =
               run_one(body, driver, opts.observer)) {
         ++stats.executions;
+        budget.consume();
         stats.violation = std::move(violation);
         stats.reduced += driver.reduced();
         stats.trace = driver.take_trace();
@@ -135,15 +230,20 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
         return stats;
       }
       ++stats.executions;
+      budget.consume();
     } catch (const PruneCut&) {
-      ++stats.pruned;
-      state.refund();
+      ++stats.pruned;  // cut probes consume no budget
     } catch (const SleepCut&) {
-      state.refund();  // redundant subtree, not an execution
+      // Redundant subtree, not an execution — consumes no budget.
     }
     stats.reduced += driver.reduced();
     std::vector<Decision> trace = driver.take_trace();
-    if (!advance(trace, floor, prune, stats.pruned, stats.reduced)) {
+    const bool more =
+        advance(trace, floor, prune, stats.pruned, stats.reduced);
+    if (opts.observer != nullptr && stats.reduced > reduced_before) {
+      opts.observer->on_reduced(stats.reduced - reduced_before);
+    }
+    if (!more) {
       stats.finished = true;
       return stats;
     }
@@ -156,89 +256,24 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
 // reduction-skipped subtree, or a frontier work unit (a depth-d prefix whose
 // subtree a worker explores). Every event additionally carries the
 // reduction skips that occurred at (and while advancing past) it, so that
-// tallies truncated at a winning violation stay exact.
-struct Event {
+// tallies truncated at a winning violation stay exact. Payload-free: unit
+// prefixes travel in WorkItems and are freed as soon as the unit completes,
+// so frontier memory is O(events) small entries + O(queue) prefixes rather
+// than O(subtrees × depth).
+struct EventMeta {
   enum class Kind { kExecution, kPruned, kSkip, kUnit };
-  Kind kind;
-  std::vector<Decision> payload;  // kUnit: the prefix; violating kExecution:
-                                  // the trace
-  std::optional<std::string> violation;
+  Kind kind = Kind::kExecution;
   std::int64_t reduced = 0;
 };
 
-// Enumerates the decision tree down to `depth` recorded decisions, in serial
-// DFS order. Stops early at the first violating shallow execution (every
-// later event is canonically greater, so it wins outright) or when the
-// budget is exhausted.
-std::vector<Event> enumerate_frontier(const ExecutionBody& body,
-                                      std::size_t depth,
-                                      const Explorer::Options& opts,
-                                      SearchState& state) {
-  const Explorer::PruneFn& prune = opts.prune;
-  std::vector<Event> events;
+// One frontier work unit streamed from the enumerator to a worker. The
+// stats slot is a stable pointer into the producer-owned deque; the event
+// index orders the unit canonically for cancellation and aggregation.
+struct WorkItem {
+  std::uint64_t event_index = 0;
+  SubtreeStats* stats = nullptr;
   std::vector<Decision> prefix;
-  for (;;) {
-    if (!state.reserve()) {
-      return events;
-    }
-    ReplayDriver driver(std::move(prefix));
-    driver.set_decision_limit(depth);
-    driver.set_prune(prune ? &prune : nullptr);
-    driver.set_reduction(opts.reduction == Reduction::kSleepSets);
-    bool cut = false;
-    bool pruned_here = false;
-    bool skipped_here = false;
-    try {
-      if (std::optional<std::string> violation =
-              run_one(body, driver, opts.observer)) {
-        Event ev{Event::Kind::kExecution, driver.take_trace(),
-                 std::move(violation)};
-        ev.reduced = driver.reduced();
-        events.push_back(std::move(ev));
-        return events;
-      }
-    } catch (const FrontierCut&) {
-      cut = true;
-      state.refund();  // the unit's worker re-runs this subtree from scratch
-    } catch (const PruneCut&) {
-      pruned_here = true;
-      state.refund();
-    } catch (const SleepCut&) {
-      skipped_here = true;
-      state.refund();
-    }
-    std::vector<Decision> trace = driver.take_trace();
-    Event ev{Event::Kind::kExecution, {}, std::nullopt};
-    if (cut) {
-      ev.kind = Event::Kind::kUnit;
-      ev.payload = trace;
-    } else if (pruned_here) {
-      ev.kind = Event::Kind::kPruned;
-    } else if (skipped_here) {
-      ev.kind = Event::Kind::kSkip;
-    }
-    ev.reduced = driver.reduced();
-    events.push_back(std::move(ev));
-    std::int64_t advance_prunes = 0;
-    std::int64_t advance_reduced = 0;
-    const bool more = advance(trace, 0, prune, advance_prunes, advance_reduced);
-    // Subtrees pruned or reduction-skipped while advancing sit between this
-    // event and the next in canonical order (in particular *after* a unit's
-    // whole subtree); record them separately so truncated tallies stay exact.
-    for (std::int64_t i = 0; i < advance_prunes; ++i) {
-      events.push_back(Event{Event::Kind::kPruned, {}, std::nullopt});
-    }
-    if (advance_reduced > 0) {
-      Event skip{Event::Kind::kSkip, {}, std::nullopt};
-      skip.reduced = advance_reduced;
-      events.push_back(std::move(skip));
-    }
-    if (!more) {
-      return events;
-    }
-    prefix = std::move(trace);
-  }
-}
+};
 
 // Picks a frontier depth giving roughly 16+ work items per worker (assuming
 // the minimum branching factor of 2), so the pool load-balances even when
@@ -252,7 +287,7 @@ std::size_t auto_frontier_depth(int threads) {
   return depth;
 }
 
-Explorer::Result finish_serial(SubtreeStats stats, const SearchState& state) {
+Explorer::Result finish_serial(SubtreeStats stats) {
   Explorer::Result result;
   result.executions = stats.executions;
   result.pruned_subtrees = stats.pruned;
@@ -261,11 +296,19 @@ Explorer::Result finish_serial(SubtreeStats stats, const SearchState& state) {
     result.violation = std::move(stats.violation);
     result.violating_trace = std::move(stats.trace);
   } else {
-    result.complete = stats.finished && !state.exhausted.load();
+    // Budget exhaustion leaves `finished` false, so no separate flag needed.
+    result.complete = stats.finished;
   }
   return result;
 }
 
+// Streaming parallel exploration: the calling thread enumerates the decision
+// tree down to the frontier depth in serial DFS order, pushing each work
+// unit through a bounded ring to `threads - 1` workers as it is discovered
+// (and draining units itself when the ring backs up, or after enumeration
+// completes). Canonical aggregation afterwards walks the emission sequence
+// in order, truncating at the winning violation, so every reported tally is
+// bit-identical to the serial explorer's regardless of thread timing.
 Explorer::Result explore_parallel(const ExecutionBody& body,
                                   const Explorer::Options& opts, int threads) {
   SearchState state;
@@ -273,56 +316,150 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
   const std::size_t depth = opts.frontier_depth > 0
                                 ? static_cast<std::size_t>(opts.frontier_depth)
                                 : auto_frontier_depth(threads);
-  const std::vector<Event> events =
-      enumerate_frontier(body, depth, opts, state);
 
-  // A violating shallow execution terminates enumeration; it is the last
-  // event and canonically beats everything that would have followed.
-  if (!events.empty() && events.back().violation) {
-    state.log.report(events.size() - 1, *events.back().violation,
-                     events.back().payload);
-  }
+  std::vector<EventMeta> events;        // producer-only until workers join
+  std::deque<SubtreeStats> unit_stats;  // deque: grows with stable addresses
+  BoundedQueue<WorkItem> queue(kQueueCapacity);
+  std::mutex qmu;
+  std::condition_variable qcv;
+  bool producer_done = false;        // guarded by qmu
+  bool producer_finished_tree = false;
 
-  std::vector<std::size_t> unit_events;  // event index per unit, ascending
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].kind == Event::Kind::kUnit) {
-      unit_events.push_back(i);
+  const auto process_item = [&](WorkItem item) {
+    // Units arrive in canonical order; once a violation beats this unit it
+    // beats every later one too, so skip without exploring (the zeroed
+    // stats slot sits beyond the winner during aggregation anyway).
+    if (state.log.best_index() >= item.event_index) {
+      *item.stats = explore_subtree(body, std::move(item.prefix), depth, opts,
+                                    state, item.event_index);
+      if (item.stats->violation) {
+        state.log.report(item.event_index, *item.stats->violation,
+                         item.stats->trace);
+      }
     }
-  }
-  std::vector<SubtreeStats> unit_stats(unit_events.size());
+  };
 
-  if (!unit_events.empty() && !state.exhausted.load()) {
-    const int workers = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(threads), unit_events.size()));
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
-        for (;;) {
-          const std::size_t u = next.fetch_add(1, std::memory_order_relaxed);
-          if (u >= unit_events.size()) {
-            return;
-          }
-          const std::uint64_t ev = unit_events[u];
-          // Units are claimed in canonical order, so once a violation beats
-          // this unit it beats every later one too: stop, don't skip.
-          if (state.log.best_index() < ev ||
-              state.exhausted.load(std::memory_order_relaxed)) {
-            return;
-          }
-          unit_stats[u] = explore_subtree(body, events[ev].payload, depth,
-                                          opts, state, ev);
-          if (unit_stats[u].violation) {
-            state.log.report(ev, *unit_stats[u].violation,
-                             unit_stats[u].trace);
+  const auto worker_loop = [&]() {
+    WorkItem item;
+    for (;;) {
+      if (!queue.try_pop(item)) {
+        std::unique_lock<std::mutex> lk(qmu);
+        // Re-check under the lock: a push that raced our failed pop is
+        // visible here, and the producer notifies only after taking qmu,
+        // so a wakeup between the re-check and wait() cannot be missed.
+        if (queue.try_pop(item)) {
+          lk.unlock();
+        } else if (producer_done) {
+          return;
+        } else {
+          qcv.wait(lk);
+          continue;
+        }
+      }
+      process_item(std::move(item));
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 0; w < threads - 1; ++w) {
+    pool.emplace_back(worker_loop);
+  }
+
+  // Producer: serial-DFS frontier enumeration, streaming units out.
+  {
+    BudgetScope budget(state);
+    const Explorer::PruneFn& prune = opts.prune;
+    std::vector<Decision> prefix;
+    for (;;) {
+      if (state.log.best_index() < events.size()) {
+        break;  // a reported violation canonically precedes the next event
+      }
+      if (!budget.ensure()) {
+        break;  // budget finally exhausted mid-frontier
+      }
+      ReplayDriver driver(std::move(prefix));
+      driver.set_decision_limit(depth);
+      driver.set_prune(prune ? &prune : nullptr);
+      driver.set_reduction(opts.reduction == Reduction::kSleepSets);
+      EventMeta ev;
+      bool is_unit = false;
+      try {
+        if (std::optional<std::string> violation =
+                run_one(body, driver, opts.observer)) {
+          // A violating shallow execution beats everything that would have
+          // followed; report it and stop enumerating.
+          budget.consume();
+          ev.reduced = driver.reduced();
+          events.push_back(ev);
+          state.log.report(events.size() - 1, *violation,
+                           driver.take_trace());
+          break;
+        }
+        budget.consume();
+      } catch (const FrontierCut&) {
+        is_unit = true;  // the unit's worker re-runs this subtree and pays
+        ev.kind = EventMeta::Kind::kUnit;
+      } catch (const PruneCut&) {
+        ev.kind = EventMeta::Kind::kPruned;
+      } catch (const SleepCut&) {
+        ev.kind = EventMeta::Kind::kSkip;
+      }
+      std::vector<Decision> trace = driver.take_trace();
+      ev.reduced = driver.reduced();
+      events.push_back(ev);
+      if (is_unit) {
+        unit_stats.emplace_back();
+        WorkItem item{events.size() - 1, &unit_stats.back(), trace};
+        while (!queue.try_push(std::move(item))) {
+          // Ring full: drain one unit here (natural backpressure). Drop our
+          // budget hold first — the drained subtree claims its own, and a
+          // grant held across a blocking drain could starve parked peers
+          // into deadlock.
+          budget.release();
+          WorkItem mine;
+          if (queue.try_pop(mine)) {
+            process_item(std::move(mine));
           }
         }
-      });
+        {
+          const std::lock_guard<std::mutex> lk(qmu);
+        }
+        qcv.notify_one();
+      }
+      std::int64_t advance_prunes = 0;
+      std::int64_t advance_reduced = 0;
+      const bool more =
+          advance(trace, 0, prune, advance_prunes, advance_reduced);
+      // Subtrees pruned or reduction-skipped while advancing sit between
+      // this event and the next in canonical order (in particular *after* a
+      // unit's whole subtree); record them separately so truncated tallies
+      // stay exact.
+      for (std::int64_t i = 0; i < advance_prunes; ++i) {
+        events.push_back(EventMeta{EventMeta::Kind::kPruned, 0});
+      }
+      if (advance_reduced > 0) {
+        events.push_back(EventMeta{EventMeta::Kind::kSkip, advance_reduced});
+      }
+      if (opts.observer != nullptr && ev.reduced + advance_reduced > 0) {
+        opts.observer->on_reduced(ev.reduced + advance_reduced);
+      }
+      if (!more) {
+        producer_finished_tree = true;
+        break;
+      }
+      prefix = std::move(trace);
     }
-    for (std::thread& t : pool) {
-      t.join();
-    }
+  }  // producer's budget hold refunded here
+
+  {
+    const std::lock_guard<std::mutex> lk(qmu);
+    producer_done = true;
+  }
+  qcv.notify_all();
+  worker_loop();  // help drain whatever is still queued
+  for (std::thread& t : pool) {
+    t.join();
   }
 
   // Canonical aggregation: walk the emission sequence in order, stopping at
@@ -333,20 +470,20 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
   Explorer::Result result;
   const std::optional<ViolationLog::Entry> win = state.log.winner();
   const std::uint64_t winner_index = win ? win->index : ViolationLog::kNone;
-  bool all_finished = true;
+  bool all_finished = producer_finished_tree;
   std::size_t u = 0;
   for (std::size_t i = 0; i < events.size() && i <= winner_index; ++i) {
     result.reduced_subtrees += events[i].reduced;
     switch (events[i].kind) {
-      case Event::Kind::kExecution:
+      case EventMeta::Kind::kExecution:
         ++result.executions;
         break;
-      case Event::Kind::kPruned:
+      case EventMeta::Kind::kPruned:
         ++result.pruned_subtrees;
         break;
-      case Event::Kind::kSkip:
+      case EventMeta::Kind::kSkip:
         break;  // reduction skips carried in the `reduced` field above
-      case Event::Kind::kUnit:
+      case EventMeta::Kind::kUnit:
         result.executions += unit_stats[u].executions;
         result.pruned_subtrees += unit_stats[u].pruned;
         result.reduced_subtrees += unit_stats[u].reduced;
@@ -359,7 +496,10 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
     result.violation = win->message;
     result.violating_trace = win->trace;
   } else {
-    result.complete = all_finished && !state.exhausted.load();
+    // Exhaustion manifests as an unfinished unit or an unfinished frontier,
+    // so `complete` needs no separate exhaustion flag (and cannot be
+    // spuriously false when the budget exactly equals the tree size).
+    result.complete = all_finished;
   }
   return result;
 }
@@ -499,7 +639,7 @@ Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
     state.max_executions = opts.max_executions;
     SubtreeStats stats =
         explore_subtree(body, {}, 0, opts, state, /*my_index=*/0);
-    result = finish_serial(std::move(stats), state);
+    result = finish_serial(std::move(stats));
   } else {
     result = explore_parallel(body, opts, threads);
   }

@@ -1,17 +1,30 @@
 #include "subc/runtime/fiber.hpp"
 
-#include <ucontext.h>
-
 #include <cstdint>
 #include <exception>
 #include <utility>
 #include <vector>
 
+#include "subc/runtime/arena.hpp"
 #include "subc/runtime/value.hpp"
 
-// ThreadSanitizer cannot follow swapcontext stack switches on its own: it
-// would keep attributing execution to the old stack, producing false races
-// (and shadow-stack corruption) as soon as several simulator threads run
+// On x86-64 Linux fibers switch stacks with a ~20-instruction userspace
+// context switch (see the asm below); everywhere else they fall back to
+// ucontext. swapcontext is semantically perfect but POSIX requires it to
+// save and restore the signal mask, which costs an rt_sigprocmask syscall
+// per switch — measured at ~70% of total explorer CPU on the exhaustive
+// benchmarks. The simulator never touches signal masks from simulated code,
+// so the fast path saves only the SysV callee-saved registers and the FP
+// control words, exactly like boost.context's fcontext.
+#if defined(__x86_64__) && defined(__linux__) && !defined(SUBC_FIBER_UCONTEXT)
+#define SUBC_FIBER_FAST 1
+#else
+#include <ucontext.h>
+#endif
+
+// ThreadSanitizer cannot follow stack switches on its own: it would keep
+// attributing execution to the old stack, producing false races (and
+// shadow-stack corruption) as soon as several simulator threads run
 // fibers — exactly what the parallel explorer does. The fiber API below
 // tells TSan about every switch.
 #if defined(__SANITIZE_THREAD__)
@@ -27,7 +40,7 @@
 #endif
 
 // AddressSanitizer has the analogous problem: its fake-stack bookkeeping is
-// tied to the stack the thread entered on, so an unannounced swapcontext
+// tied to the stack the thread entered on, so an unannounced stack switch
 // leaves ASan poisoning and unpoisoning the wrong region — spurious
 // stack-buffer-overflow / stack-use-after-return reports the moment a fiber
 // runs. The __sanitizer_{start,finish}_switch_fiber pair brackets every
@@ -41,8 +54,68 @@
 #endif
 
 #ifdef SUBC_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
+
+#ifdef SUBC_FIBER_FAST
+// subc_ctx_switch(save_sp, target_sp): push the SysV callee-saved registers
+// and FP control words onto the current stack, store the resulting stack
+// pointer through save_sp, then adopt target_sp and pop the same layout.
+// Returning "ret"s to whatever address the target frame carries: either the
+// point that previously called subc_ctx_switch on that stack, or — for a
+// freshly built bootstrap frame — subc_ctx_entry_thunk, which forwards the
+// Fiber* planted in r12 to subc_fiber_asm_entry.
+//
+// The frame layout (top of stack downward) is:
+//   [return address][rbp][rbx][r12][r13][r14][r15][fcw:32|mxcsr:32]
+// and must match make_bootstrap_frame() below.
+asm(R"(
+.text
+.globl subc_ctx_switch
+.hidden subc_ctx_switch
+.type subc_ctx_switch,@function
+.align 16
+subc_ctx_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw 4(%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw 4(%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size subc_ctx_switch,.-subc_ctx_switch
+
+.globl subc_ctx_entry_thunk
+.hidden subc_ctx_entry_thunk
+.type subc_ctx_entry_thunk,@function
+.align 16
+subc_ctx_entry_thunk:
+  movq %r12, %rdi
+  call subc_fiber_asm_entry
+  ud2
+.size subc_ctx_entry_thunk,.-subc_ctx_entry_thunk
+)");
+
+extern "C" {
+void subc_ctx_switch(void** save_sp, void* target_sp) noexcept;
+void subc_ctx_entry_thunk() noexcept;
+}
+#endif  // SUBC_FIBER_FAST
 
 namespace subc {
 
@@ -67,8 +140,12 @@ std::unique_ptr<char[]> acquire_stack(std::size_t stack_bytes) {
   if (stack_bytes == Fiber::kDefaultStackBytes && !tl_stack_pool.empty()) {
     std::unique_ptr<char[]> stack = std::move(tl_stack_pool.back());
     tl_stack_pool.pop_back();
+    detail::alloc_counter_cells().fiber_stack_reuses.fetch_add(
+        1, std::memory_order_relaxed);
     return stack;
   }
+  detail::alloc_counter_cells().fiber_stack_allocs.fetch_add(
+      1, std::memory_order_relaxed);
   return std::make_unique<char[]>(stack_bytes);
 }
 
@@ -78,13 +155,76 @@ void release_stack(std::unique_ptr<char[]> stack, std::size_t stack_bytes) {
     tl_stack_pool.push_back(std::move(stack));
   }
 }
+
+// Fixed-size freelist for Fiber::Impl blocks: one Impl is allocated per
+// simulated process per execution, so this is a per-world-construction
+// malloc/free pair the explorer pays millions of times. All blocks have the
+// same size (one type), so reuse is a plain pop.
+struct ImplBlockPool {
+  std::vector<void*> free;
+  ~ImplBlockPool() {
+    for (void* p : free) {
+      ::operator delete(p);
+    }
+  }
+};
+thread_local ImplBlockPool tl_impl_pool;
+constexpr std::size_t kMaxPooledImpls = 64;
+
+#ifdef SUBC_FIBER_FAST
+// Builds the initial frame subc_ctx_switch pops on the first resume. The
+// first switch onto the stack "returns" into subc_ctx_entry_thunk with the
+// Fiber* in r12 and rsp 16-aligned, which is exactly the SysV alignment a
+// call instruction would have produced at the thunk's call site.
+void* make_bootstrap_frame(char* stack_base, std::size_t stack_bytes,
+                           void* fiber) {
+  const auto top =
+      reinterpret_cast<std::uintptr_t>(stack_base + stack_bytes) &
+      ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<std::uint64_t*>(top);
+  *--frame = reinterpret_cast<std::uint64_t>(&subc_ctx_entry_thunk);
+  *--frame = 0;                                        // rbp
+  *--frame = 0;                                        // rbx
+  *--frame = reinterpret_cast<std::uint64_t>(fiber);   // r12 -> Fiber*
+  *--frame = 0;                                        // r13
+  *--frame = 0;                                        // r14
+  *--frame = 0;                                        // r15
+  *--frame = (std::uint64_t{0x037f} << 32) | 0x1f80;   // x87 cw | mxcsr
+  return frame;
+}
+#endif
 }  // namespace
 
 struct Fiber::Impl {
+  static void* operator new(std::size_t size) {
+    if (!tl_impl_pool.free.empty()) {
+      void* p = tl_impl_pool.free.back();
+      tl_impl_pool.free.pop_back();
+      return p;
+    }
+    return ::operator new(size);
+  }
+  static void operator delete(void* p) {
+    if (tl_impl_pool.free.size() < kMaxPooledImpls) {
+      tl_impl_pool.free.push_back(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+#ifdef SUBC_FIBER_FAST
+  void* fiber_sp = nullptr;   // fiber-side suspended stack pointer
+  void* caller_sp = nullptr;  // kernel-side stack pointer during a resume
+#else
   ucontext_t ctx{};
   ucontext_t caller{};
+#endif
   std::unique_ptr<char[]> stack;
   std::size_t stack_bytes = 0;
+  /// Entry, in one of two forms: a raw function pointer + argument (hot
+  /// path, no allocation) or a std::function (general path).
+  void (*entry_fn)(void*) = nullptr;
+  void* entry_arg = nullptr;
   std::function<void()> entry;
   std::exception_ptr error;
   bool started = false;
@@ -100,6 +240,8 @@ struct Fiber::Impl {
   const void* asan_caller_bottom = nullptr;  // caller stack, learned on entry
   std::size_t asan_caller_size = 0;
 #endif
+
+  static void init_context(Fiber* self, std::size_t stack_bytes);
 };
 
 Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
@@ -108,23 +250,52 @@ Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
     throw SimError("Fiber requires a non-empty entry function");
   }
   impl_->entry = std::move(entry);
-  impl_->stack = acquire_stack(stack_bytes);
-  impl_->stack_bytes = stack_bytes;
-  if (getcontext(&impl_->ctx) != 0) {
+  Impl::init_context(this, stack_bytes);
+}
+
+Fiber::Fiber(void (*entry)(void*), void* arg, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()) {
+  if (entry == nullptr) {
+    throw SimError("Fiber requires a non-empty entry function");
+  }
+  impl_->entry_fn = entry;
+  impl_->entry_arg = arg;
+  Impl::init_context(this, stack_bytes);
+}
+
+// Shared tail of both constructors: stack acquisition and the initial
+// switch frame / ucontext setup.
+void Fiber::Impl::init_context(Fiber* self, std::size_t stack_bytes) {
+  Impl* const impl = self->impl_.get();
+  impl->stack = acquire_stack(stack_bytes);
+  impl->stack_bytes = stack_bytes;
+#ifdef SUBC_ASAN_FIBERS
+  // A pooled stack still carries the shadow poison of the frames its
+  // previous fiber never unwound (the last function switches away instead
+  // of returning, so its redzones are never cleared). Wipe it before
+  // building a fresh frame there.
+  __asan_unpoison_memory_region(impl->stack.get(), stack_bytes);
+#endif
+#ifdef SUBC_FIBER_FAST
+  impl->fiber_sp =
+      make_bootstrap_frame(impl->stack.get(), stack_bytes, self);
+#else
+  if (getcontext(&impl->ctx) != 0) {
     throw SimError("getcontext failed");
   }
-  impl_->ctx.uc_stack.ss_sp = impl_->stack.get();
-  impl_->ctx.uc_stack.ss_size = stack_bytes;
-  // Safety net only: the trampoline parks in an explicit swapcontext loop
-  // when the entry finishes (see trampoline()), so uc_link is never taken.
-  impl_->ctx.uc_link = &impl_->caller;
+  impl->ctx.uc_stack.ss_sp = impl->stack.get();
+  impl->ctx.uc_stack.ss_size = stack_bytes;
+  // Safety net only: the trampoline parks in an explicit switch loop when
+  // the entry finishes (see trampoline()), so uc_link is never taken.
+  impl->ctx.uc_link = &impl->caller;
   // makecontext only passes ints portably; split the pointer into two words.
-  const auto self = reinterpret_cast<std::uintptr_t>(this);
-  makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
-              2, static_cast<unsigned>(self >> 32),
-              static_cast<unsigned>(self & 0xffffffffu));
+  const auto bits = reinterpret_cast<std::uintptr_t>(self);
+  makecontext(&impl->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+              2, static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+#endif
 #ifdef SUBC_TSAN_FIBERS
-  impl_->tsan_fiber = __tsan_create_fiber(0);
+  impl->tsan_fiber = __tsan_create_fiber(0);
 #endif
 }
 
@@ -136,45 +307,13 @@ Fiber::~Fiber() {
   release_stack(std::move(impl_->stack), impl_->stack_bytes);
 }
 
+#ifndef SUBC_FIBER_FAST
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   const auto bits =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
-  auto* self = reinterpret_cast<Fiber*>(bits);
-#ifdef SUBC_ASAN_FIBERS
-  // First entry onto this stack: no fake stack to restore yet; record the
-  // caller's stack bounds for the switch back.
-  __sanitizer_finish_switch_fiber(nullptr, &self->impl_->asan_caller_bottom,
-                                  &self->impl_->asan_caller_size);
-#endif
-  try {
-    self->impl_->entry();
-  } catch (const FiberKilled&) {
-    // Expected during kill-unwinding: nothing to record.
-  } catch (...) {
-    self->impl_->error = std::current_exception();
-  }
-  self->impl_->finished = true;
-  // Hand control back with an explicit swapcontext rather than falling off
-  // the trampoline onto uc_link: the fall-off path runs the kernel-side
-  // context teardown with an unbalanced sanitizer shadow stack, which under
-  // ThreadSanitizer leaks one caller-side shadow frame per finished fiber
-  // until the shadow stack overflows (observed as libtsan SEGVs after a few
-  // tens of thousands of fibers). A finished fiber is never resumed
-  // (resume() throws), so the park loop below is effectively unreachable
-  // after the first switch.
-  for (;;) {
-#ifdef SUBC_TSAN_FIBERS
-    __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
-#endif
-#ifdef SUBC_ASAN_FIBERS
-    // nullptr fake-stack save: the fiber is done for good, so ASan may
-    // release its fake frames instead of keeping them restorable.
-    __sanitizer_start_switch_fiber(nullptr, self->impl_->asan_caller_bottom,
-                                   self->impl_->asan_caller_size);
-#endif
-    swapcontext(&self->impl_->ctx, &self->impl_->caller);
-  }
+  subc_fiber_asm_entry(reinterpret_cast<Fiber*>(bits));
 }
+#endif
 
 void Fiber::resume() {
   if (impl_->finished) {
@@ -191,7 +330,11 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&impl_->asan_caller_fake, impl_->stack.get(),
                                  impl_->stack_bytes);
 #endif
+#ifdef SUBC_FIBER_FAST
+  subc_ctx_switch(&impl_->caller_sp, impl_->fiber_sp);
+#else
   swapcontext(&impl_->caller, &impl_->ctx);
+#endif
 #ifdef SUBC_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(impl_->asan_caller_fake, nullptr, nullptr);
 #endif
@@ -235,7 +378,11 @@ void Fiber::yield() {
                                  self->impl_->asan_caller_bottom,
                                  self->impl_->asan_caller_size);
 #endif
+#ifdef SUBC_FIBER_FAST
+  subc_ctx_switch(&self->impl_->fiber_sp, self->impl_->caller_sp);
+#else
   swapcontext(&self->impl_->ctx, &self->impl_->caller);
+#endif
 #ifdef SUBC_ASAN_FIBERS
   // Re-learn the caller's bounds: the next resume() may come from another
   // kernel stack (the parallel explorer moves work between threads).
@@ -249,3 +396,50 @@ void Fiber::yield() {
 }
 
 }  // namespace subc
+
+// The body of every fiber, on both switch mechanisms. Runs the entry on the
+// fiber's own stack, records any escaped exception, then parks in an
+// explicit switch loop. Falling off the trampoline instead (ucontext's
+// uc_link, or simply returning from the asm thunk) would tear the context
+// down with an unbalanced sanitizer shadow stack, which under TSan leaks one
+// caller-side shadow frame per finished fiber until the shadow stack
+// overflows (observed as libtsan SEGVs after a few tens of thousands of
+// fibers). A finished fiber is never resumed (resume() throws), so the park
+// loop is effectively unreachable after the first switch back.
+extern "C" void subc_fiber_asm_entry(void* fiber) {
+  auto* self = static_cast<subc::Fiber*>(fiber);
+#ifdef SUBC_ASAN_FIBERS
+  // First entry onto this stack: no fake stack to restore yet; record the
+  // caller's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->impl_->asan_caller_bottom,
+                                  &self->impl_->asan_caller_size);
+#endif
+  try {
+    if (self->impl_->entry_fn != nullptr) {
+      self->impl_->entry_fn(self->impl_->entry_arg);
+    } else {
+      self->impl_->entry();
+    }
+  } catch (const subc::FiberKilled&) {
+    // Expected during kill-unwinding: nothing to record.
+  } catch (...) {
+    self->impl_->error = std::current_exception();
+  }
+  self->impl_->finished = true;
+  for (;;) {
+#ifdef SUBC_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->impl_->tsan_caller, 0);
+#endif
+#ifdef SUBC_ASAN_FIBERS
+    // nullptr fake-stack save: the fiber is done for good, so ASan may
+    // release its fake frames instead of keeping them restorable.
+    __sanitizer_start_switch_fiber(nullptr, self->impl_->asan_caller_bottom,
+                                   self->impl_->asan_caller_size);
+#endif
+#ifdef SUBC_FIBER_FAST
+    subc_ctx_switch(&self->impl_->fiber_sp, self->impl_->caller_sp);
+#else
+    swapcontext(&self->impl_->ctx, &self->impl_->caller);
+#endif
+  }
+}

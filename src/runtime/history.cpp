@@ -7,10 +7,59 @@
 
 namespace subc {
 
-std::size_t History::invoke(int pid, std::vector<Value> op) {
+namespace {
+// Thread-local recycling pool for entry op/response buffers. Bounded so a
+// one-off giant history cannot pin memory; beyond the cap buffers just free.
+constexpr std::size_t kMaxPooledValueBufs = 256;
+
+struct ValueBufPool {
+  std::vector<std::vector<Value>> free;
+};
+thread_local ValueBufPool tl_value_buf_pool;
+
+std::vector<Value> acquire_buf(std::span<const Value> init) {
+  std::vector<Value> buf;
+  ValueBufPool& pool = tl_value_buf_pool;
+  if (!pool.free.empty()) {
+    buf = std::move(pool.free.back());
+    pool.free.pop_back();
+  }
+  buf.assign(init.begin(), init.end());
+  return buf;
+}
+
+void release_buf(std::vector<Value>&& buf) {
+  if (buf.capacity() == 0) {
+    return;
+  }
+  ValueBufPool& pool = tl_value_buf_pool;
+  if (pool.free.size() < kMaxPooledValueBufs) {
+    buf.clear();
+    pool.free.push_back(std::move(buf));
+  }
+}
+}  // namespace
+
+History::~History() {
+  for (HistoryEntry& e : entries_) {
+    release_buf(std::move(e.op));
+    release_buf(std::move(e.response));
+  }
+}
+
+void History::clear() {
+  for (HistoryEntry& e : entries_) {
+    release_buf(std::move(e.op));
+    release_buf(std::move(e.response));
+  }
+  entries_.clear();
+  clock_ = 0;
+}
+
+std::size_t History::invoke(int pid, std::span<const Value> op) {
   HistoryEntry e;
   e.pid = pid;
-  e.op = std::move(op);
+  e.op = acquire_buf(op);
   e.invoked_at = clock_++;
   entries_.push_back(std::move(e));
   const std::size_t handle = entries_.size() - 1;
@@ -21,7 +70,7 @@ std::size_t History::invoke(int pid, std::vector<Value> op) {
   return handle;
 }
 
-void History::respond(std::size_t handle, std::vector<Value> response) {
+void History::respond(std::size_t handle, std::span<const Value> response) {
   if (handle >= entries_.size()) {
     throw SimError("respond: bad history handle");
   }
@@ -29,7 +78,7 @@ void History::respond(std::size_t handle, std::vector<Value> response) {
   if (!e.pending()) {
     throw SimError("respond: operation already completed");
   }
-  e.response = std::move(response);
+  e.response = acquire_buf(response);
   e.responded_at = clock_++;
   if (sink_ != nullptr) {
     sink_->on_respond(e.pid, handle, e.responded_at, e.response);

@@ -1,5 +1,8 @@
 #include "subc/runtime/observer.hpp"
 
+#include <iostream>
+#include <ostream>
+
 #include "subc/runtime/history.hpp"
 
 namespace subc {
@@ -40,6 +43,12 @@ void ObserverChain::on_respond(int pid, std::size_t handle, std::int64_t time,
                                std::span<const Value> response) {
   for (TraceObserver* s : sinks_) {
     s->on_respond(pid, handle, time, response);
+  }
+}
+
+void ObserverChain::on_reduced(std::int64_t subtrees) {
+  for (TraceObserver* s : sinks_) {
+    s->on_reduced(subtrees);
   }
 }
 
@@ -168,8 +177,7 @@ HistoryRecorder::~HistoryRecorder() = default;
 void HistoryRecorder::on_invoke(int pid, std::size_t handle,
                                 std::int64_t /*time*/,
                                 std::span<const Value> op) {
-  const std::size_t mirror =
-      history_->invoke(pid, std::vector<Value>(op.begin(), op.end()));
+  const std::size_t mirror = history_->invoke(pid, op);
   if (handle_map_.size() <= handle) {
     handle_map_.resize(handle + 1, static_cast<std::size_t>(-1));
   }
@@ -185,13 +193,81 @@ void HistoryRecorder::on_respond(int /*pid*/, std::size_t handle,
     // nothing to mirror it onto.
     return;
   }
-  history_->respond(handle_map_[handle],
-                    std::vector<Value>(response.begin(), response.end()));
+  history_->respond(handle_map_[handle], response);
 }
 
 void HistoryRecorder::reset() {
-  history_ = std::make_unique<History>();
+  // Reuse the same History (and its pooled buffers) instead of reallocating
+  // one per run; handle_map_ keeps its capacity too.
+  history_->clear();
   handle_map_.clear();
+}
+
+ProgressTicker::ProgressTicker(double period_seconds, std::ostream* out)
+    : period_seconds_(period_seconds),
+      out_(out != nullptr ? out : &std::cerr),
+      start_(std::chrono::steady_clock::now()),
+      last_tick_(start_) {}
+
+void ProgressTicker::on_run_end(std::int64_t /*total_steps*/,
+                                bool /*quiescent*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++executions_;
+  maybe_tick_locked();
+}
+
+void ProgressTicker::on_violation(std::string_view /*message*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++violations_;
+  // A violating run never reaches on_run_end (the body threw), but the
+  // search counts it as a completed execution — the counterexample run.
+  ++executions_;
+  maybe_tick_locked();
+}
+
+void ProgressTicker::on_reduced(std::int64_t subtrees) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  reduced_ += subtrees;
+}
+
+void ProgressTicker::maybe_tick_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> since_tick = now - last_tick_;
+  if (since_tick.count() < period_seconds_) {
+    return;
+  }
+  last_tick_ = now;
+  const std::chrono::duration<double> elapsed = now - start_;
+  const double rate =
+      elapsed.count() > 0.0 ? static_cast<double>(executions_) / elapsed.count()
+                            : 0.0;
+  const double factor =
+      executions_ > 0 ? static_cast<double>(executions_ + reduced_) /
+                            static_cast<double>(executions_)
+                      : 1.0;
+  *out_ << "[progress] execs=" << executions_ << " exec/s=" << rate
+        << " reduced=" << reduced_ << " (x" << factor
+        << ") violations=" << violations_ << '\n';
+}
+
+ProgressTicker::Snapshot ProgressTicker::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.executions = executions_;
+  s.reduced = reduced_;
+  s.violations = violations_;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  s.elapsed_seconds = elapsed.count();
+  s.executions_per_sec =
+      s.elapsed_seconds > 0.0
+          ? static_cast<double>(s.executions) / s.elapsed_seconds
+          : 0.0;
+  s.reduction_factor =
+      s.executions > 0 ? static_cast<double>(s.executions + s.reduced) /
+                             static_cast<double>(s.executions)
+                       : 1.0;
+  return s;
 }
 
 void ViolationCollector::on_violation(std::string_view message) {

@@ -72,6 +72,62 @@ std::uint32_t PctPolicy::choose(std::uint32_t arity) {
   return dist(rng_);
 }
 
+DelayBoundedPolicy::DelayBoundedPolicy(std::uint64_t seed, int delays,
+                                       std::int64_t horizon)
+    : seed_(seed), delays_(delays), horizon_(horizon), rng_(seed) {
+  if (delays < 0) {
+    throw SimError("DelayBoundedPolicy: delays must be >= 0");
+  }
+  if (horizon < 1) {
+    throw SimError("DelayBoundedPolicy: horizon must be >= 1");
+  }
+  begin_run();
+}
+
+void DelayBoundedPolicy::begin_run() {
+  rng_.seed(seed_);
+  delay_points_.clear();
+  std::uniform_int_distribution<std::int64_t> dist(0, horizon_ - 1);
+  for (int i = 0; i < delays_; ++i) {
+    delay_points_.push_back(dist(rng_));
+  }
+  std::sort(delay_points_.begin(), delay_points_.end());
+  next_delay_ = 0;
+  step_ = 0;
+  last_pid_ = -1;
+  delays_used_ = 0;
+}
+
+std::size_t DelayBoundedPolicy::pick(std::span<const int> enabled,
+                                     std::span<const Access> /*footprints*/) {
+  // Round-robin base schedule: the first enabled pid cyclically after the
+  // previously granted one (enabled pids arrive in ascending order).
+  std::size_t cand = 0;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (enabled[i] > last_pid_) {
+      cand = i;
+      break;
+    }
+  }
+  // Spend every delay point the step counter has reached: each one skips
+  // the current candidate — the adversary's one primitive in the
+  // delay-bounded model.
+  while (next_delay_ < delay_points_.size() &&
+         delay_points_[next_delay_] <= step_) {
+    cand = (cand + 1) % enabled.size();
+    ++next_delay_;
+    ++delays_used_;
+  }
+  ++step_;
+  last_pid_ = enabled[cand];
+  return cand;
+}
+
+std::uint32_t DelayBoundedPolicy::choose(std::uint32_t arity) {
+  std::uniform_int_distribution<std::uint32_t> dist(0, arity - 1);
+  return dist(rng_);
+}
+
 CrashAdversary::CrashAdversary(SchedulePolicy& inner,
                                std::vector<CrashPoint> plan)
     : inner_(&inner), plan_(std::move(plan)) {

@@ -1,5 +1,6 @@
 #include "subc/runtime/runtime.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "subc/runtime/fiber.hpp"
@@ -21,8 +22,10 @@ std::string to_string(ProcState s) {
   return "?";
 }
 
+// Procs live in the runtime's leased arena (placement-new in add_process,
+// explicit destruction in ~Runtime), so world construction is a couple of
+// pointer bumps rather than one heap round-trip per process.
 struct Runtime::Proc {
-  std::unique_ptr<Fiber> fiber;
   Context ctx;
   ProcState state = ProcState::kRunning;
   std::int64_t steps = 0;
@@ -30,12 +33,27 @@ struct Runtime::Proc {
   /// suspended the fiber. Default (unknown) until the first sched_point and
   /// after any footprint-less one.
   Access next_access;
+  ProcessFn fn;
+  Fiber fiber;  // last: destroyed (kill-unwound) while `fn` is still alive
 
-  Proc(Runtime* rt, int pid) : ctx(rt, pid) {}
+  static void entry(void* raw) {
+    Proc* p = static_cast<Proc*>(raw);
+    p->fn(p->ctx);
+  }
+
+  Proc(Runtime* rt, int pid, ProcessFn f)
+      : ctx(rt, pid), fn(std::move(f)), fiber(&Proc::entry, this) {}
 };
 
 Runtime::Runtime() : observer_(thread_default_observer()) {}
-Runtime::~Runtime() = default;
+
+Runtime::~Runtime() {
+  // Reverse construction order; the arena reclaims the storage when the
+  // lease member is released.
+  for (std::size_t i = num_procs_; i > 0; --i) {
+    procs_[i - 1]->~Proc();
+  }
+}
 
 int Runtime::add_process(ProcessFn fn) {
   if (started_) {
@@ -45,11 +63,18 @@ int Runtime::add_process(ProcessFn fn) {
     throw SimError("add_process requires a non-empty function");
   }
   const int pid = num_processes();
-  auto proc = std::make_unique<Proc>(this, pid);
-  Proc* raw = proc.get();
-  proc->fiber = std::make_unique<Fiber>(
-      [raw, fn = std::move(fn)]() { fn(raw->ctx); });
-  procs_.push_back(std::move(proc));
+  if (num_procs_ == procs_cap_) {
+    const std::size_t cap = procs_cap_ == 0 ? 8 : procs_cap_ * 2;
+    Proc** grown = arena_->allocate_array<Proc*>(cap);
+    std::copy(procs_, procs_ + num_procs_, grown);
+    procs_ = grown;
+    procs_cap_ = cap;
+  }
+  procs_[num_procs_] = arena_->create<Proc>(this, pid, std::move(fn));
+  ++num_procs_;
+  if (decisions_.size() == decisions_.capacity()) {
+    decisions_.reserve(std::max<std::size_t>(8, decisions_.capacity() * 2));
+  }
   decisions_.push_back(kBottom);
   return pid;
 }
@@ -60,16 +85,16 @@ void Runtime::check_pid(int pid) const {
   }
 }
 
-void Runtime::collect_enabled(std::vector<int>& enabled,
-                              std::vector<Access>& footprints) const {
-  enabled.clear();
-  footprints.clear();
+std::size_t Runtime::collect_enabled(int* enabled, Access* footprints) const {
+  std::size_t n = 0;
   for (int pid = 0; pid < num_processes(); ++pid) {
     if (procs_[pid]->state == ProcState::kRunning) {
-      enabled.push_back(pid);
-      footprints.push_back(procs_[pid]->next_access);
+      enabled[n] = pid;
+      footprints[n] = procs_[pid]->next_access;
+      ++n;
     }
   }
+  return n;
 }
 
 Runtime::RunResult Runtime::run(ScheduleDriver& driver,
@@ -89,22 +114,24 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   // shared step, so it is not a scheduling decision — but it does announce
   // each process's first footprint, so every pick below sees a complete
   // footprint vector.
-  for (auto& proc : procs_) {
+  for (std::size_t i = 0; i < num_procs_; ++i) {
+    Proc* proc = procs_[i];
     if (proc->state == ProcState::kRunning) {
-      proc->fiber->resume();
-      if (proc->fiber->finished() && proc->state == ProcState::kRunning) {
+      proc->fiber.resume();
+      if (proc->fiber.finished() && proc->state == ProcState::kRunning) {
         proc->state = ProcState::kDone;
       }
     }
   }
 
   RunResult result;
-  std::vector<int> enabled;
-  std::vector<Access> footprints;
-  enabled.reserve(procs_.size());
-  footprints.reserve(procs_.size());
+  int* enabled_buf = arena_->allocate_array<int>(num_procs_);
+  Access* footprints_buf = arena_->allocate_array<Access>(num_procs_);
   while (true) {
-    collect_enabled(enabled, footprints);
+    const std::size_t num_enabled =
+        collect_enabled(enabled_buf, footprints_buf);
+    const std::span<const int> enabled(enabled_buf, num_enabled);
+    const std::span<const Access> footprints(footprints_buf, num_enabled);
     if (enabled.empty()) {
       break;
     }
@@ -144,19 +171,19 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     }
     ++total_steps_;
     ++proc.steps;
-    proc.fiber->resume();
-    if (proc.fiber->finished() && proc.state == ProcState::kRunning) {
+    proc.fiber.resume();
+    if (proc.fiber.finished() && proc.state == ProcState::kRunning) {
       proc.state = ProcState::kDone;
     }
   }
   driver_ = nullptr;
 
   result.decisions = decisions_;
-  result.states.reserve(procs_.size());
+  result.states.reserve(num_procs_);
   result.quiescent = true;
-  for (const auto& proc : procs_) {
-    result.states.push_back(proc->state);
-    if (proc->state == ProcState::kHung) {
+  for (std::size_t i = 0; i < num_procs_; ++i) {
+    result.states.push_back(procs_[i]->state);
+    if (procs_[i]->state == ProcState::kHung) {
       result.quiescent = false;
     }
   }

@@ -235,6 +235,122 @@ TEST(Observer, ExplorerResultsIdenticalWithAndWithoutObserver) {
   }
 }
 
+TEST(ProgressTicker, CountsExecutionsAndEmitsLines) {
+  std::ostringstream sink;
+  // Period 0: every completed run crosses the tick threshold.
+  ProgressTicker ticker(/*period_seconds=*/0.0, &sink);
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(3, kBottom);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+    }
+    rt.run(driver);
+  };
+  Explorer::Options opts;
+  opts.reduction = Reduction::kNone;
+  opts.observer = &ticker;
+  const auto result = Explorer::explore(body, opts);
+  ASSERT_TRUE(result.ok());
+
+  const auto snap = ticker.snapshot();
+  EXPECT_EQ(snap.executions, result.executions);
+  EXPECT_EQ(snap.violations, 0);
+  EXPECT_EQ(snap.reduced, 0);  // reduction disabled
+  EXPECT_DOUBLE_EQ(snap.reduction_factor, 1.0);
+  EXPECT_GT(snap.executions_per_sec, 0.0);
+
+  // One line per completed execution at period 0, each carrying the tallies.
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("[progress] execs="), std::string::npos);
+  EXPECT_NE(out.find("violations=0"), std::string::npos);
+}
+
+TEST(ProgressTicker, TracksReductionSkips) {
+  ProgressTicker ticker(/*period_seconds=*/1e9, nullptr);  // never prints
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(3, kBottom);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+    }
+    rt.run(driver);
+  };
+  Explorer::Options opts;
+  opts.reduction = Reduction::kSleepSets;
+  opts.observer = &ticker;
+  const auto result = Explorer::explore(body, opts);
+  ASSERT_TRUE(result.ok());
+
+  const auto snap = ticker.snapshot();
+  EXPECT_EQ(snap.executions, result.executions);
+  EXPECT_EQ(snap.reduced, result.reduced_subtrees);
+  EXPECT_GT(snap.reduced, 0);
+  EXPECT_GT(snap.reduction_factor, 1.0);
+}
+
+TEST(ProgressTicker, CountsViolationsAndStaysVerdictNeutral) {
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(2, kBottom);
+    rt.add_process([&](Context& ctx) { regs[0].write(ctx, 1); });
+    rt.add_process([&](Context& ctx) {
+      if (regs[0].read(ctx) == Value(1)) {
+        throw SpecViolation("saw the write");
+      }
+    });
+    rt.run(driver);
+  };
+  for (const int threads : {1, 4}) {
+    Explorer::Options plain;
+    plain.threads = threads;
+    const auto base = Explorer::explore(body, plain);
+
+    ProgressTicker ticker(/*period_seconds=*/1e9, nullptr);
+    Explorer::Options observed = plain;
+    observed.observer = &ticker;
+    const auto with = Explorer::explore(body, observed);
+
+    // Verdict-neutral: attaching the ticker changes nothing.
+    EXPECT_EQ(base.executions, with.executions);
+    EXPECT_EQ(base.ok(), with.ok());
+    EXPECT_EQ(base.violation.has_value(), with.violation.has_value());
+
+    ASSERT_FALSE(with.ok());
+    EXPECT_GE(ticker.snapshot().violations, 1);
+    if (threads == 1) {
+      EXPECT_EQ(ticker.snapshot().executions, with.executions);
+    } else {
+      // Parallel workers may complete runs past the canonical winner before
+      // cancellation lands; the result truncates, the raw event stream
+      // doesn't.
+      EXPECT_GE(ticker.snapshot().executions, with.executions);
+    }
+  }
+}
+
+TEST(ProgressTicker, ParallelSearchAggregatesAcrossWorkers) {
+  ProgressTicker ticker(/*period_seconds=*/1e9, nullptr);
+  const ExecutionBody body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    RegisterArray<> regs(4, kBottom);
+    for (int p = 0; p < 4; ++p) {
+      rt.add_process([&, p](Context& ctx) { regs[p].write(ctx, p); });
+    }
+    rt.run(driver);
+  };
+  Explorer::Options opts;
+  opts.threads = 4;
+  opts.reduction = Reduction::kSleepSets;
+  opts.observer = &ticker;
+  const auto result = Explorer::explore(body, opts);
+  ASSERT_TRUE(result.ok());
+
+  const auto snap = ticker.snapshot();
+  EXPECT_EQ(snap.executions, result.executions);
+  EXPECT_EQ(snap.reduced, result.reduced_subtrees);
+}
+
 TEST(Observer, RandomSweepFeedsObserver) {
   AccessCounters counters;
   const ExecutionBody body = [](ScheduleDriver& driver) {
