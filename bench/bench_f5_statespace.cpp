@@ -326,9 +326,47 @@ int main() {
               headline_rate,
               pre_overhaul_rate, headline_rate / pre_overhaul_rate);
 
+  // Crash-exploration cell: the mixed 3x2 grid point re-explored with crash
+  // branching (f = 1) and a generous step-quota watchdog, serial vs
+  // parallel. The crashed-branch tally must be bit-identical across thread
+  // counts — same canonical-aggregation guarantee the plain counts carry.
+  Explorer::Options crash_opts;
+  crash_opts.max_executions = 5'000'000;
+  crash_opts.max_crashes = 1;
+  crash_opts.step_quota = 100'000;
+  const ExecutionBody crash_body = grid_body(World::kMixed, 3, 2);
+  const subc_bench::Stopwatch crash_sw;
+  const auto crash_serial = Explorer::explore(crash_body, crash_opts);
+  const double crash_ms = crash_sw.ms();
+  Explorer::Options crash_popts = crash_opts;
+  crash_popts.threads = threads;
+  const auto crash_parallel = Explorer::explore(crash_body, crash_popts);
+  const bool crash_match =
+      crash_serial.executions == crash_parallel.executions &&
+      crash_serial.crashed_executions == crash_parallel.crashed_executions &&
+      crash_serial.stuck_executions == crash_parallel.stuck_executions;
+  ok = ok && crash_serial.ok() && crash_serial.complete && crash_match &&
+       crash_serial.crashed_executions > 0 &&
+       crash_serial.stuck_executions == 0;
+  std::printf("\ncrash exploration cell (mixed, 3 procs x 2 steps, f=1): "
+              "%lld executions (%lld with a crash landed, %lld stuck) in "
+              "%.1f ms, serial==parallel: %s\n",
+              static_cast<long long>(crash_serial.executions),
+              static_cast<long long>(crash_serial.crashed_executions),
+              static_cast<long long>(crash_serial.stuck_executions), crash_ms,
+              crash_match ? "yes" : "NO");
+  subc_bench::Json crash_cell;
+  crash_cell.set("world", "mixed").set("procs", 3).set("steps", 2);
+  subc_bench::set_rate_fields(crash_cell, crash_serial.executions, crash_ms);
+  subc_bench::set_crash_fields(crash_cell, crash_opts.max_crashes,
+                               crash_serial.crashed_executions,
+                               crash_serial.stuck_executions);
+  crash_cell.set("counts_match", crash_match);
+
   subc_bench::Json out;
   out.set("bench", "F5")
       .set("headline", headline_cell)
+      .set("crash_exploration", crash_cell)
       .set("threads", threads)
       .set("hardware_concurrency",
            static_cast<int>(std::thread::hardware_concurrency()))
@@ -348,6 +386,9 @@ int main() {
   subc_bench::set_reduction_fields(out, total_reduced_subtrees,
                                    total_executions_reduced);
   subc_bench::set_policy_fields(out);
+  subc_bench::set_crash_fields(out, crash_opts.max_crashes,
+                               crash_serial.crashed_executions,
+                               crash_serial.stuck_executions);
   subc_bench::write_json("BENCH_F5.json", out);
 
   std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");

@@ -211,6 +211,20 @@ inline void set_rate_fields(Json& json, std::int64_t executions,
                : 0.0);
 }
 
+/// Stamps the crash-exploration telemetry carried by benches that drive the
+/// exhaustive explorer with crash branching (Explorer::Options::max_crashes):
+/// the crash budget, how many explored executions actually contained a
+/// crash, and how many were cut by the step-quota watchdog. Benches that
+/// explore crash-free pass (0, 0, 0) so every artifact carries the cells and
+/// the perf trajectory can tell "no crashes explored" from "field missing".
+inline void set_crash_fields(Json& json, int max_crashes,
+                             std::int64_t crashed_executions,
+                             std::int64_t stuck_executions) {
+  json.set("max_crashes", static_cast<std::int64_t>(max_crashes));
+  json.set("crashed_executions", crashed_executions);
+  json.set("stuck_executions", stuck_executions);
+}
+
 /// Allocation-counter snapshot (`subc::alloc_counters()`): arena growth and
 /// reuse plus fiber-stack pool hits across everything the bench ran so far.
 /// Reuse counters climbing while chunk/alloc counters stay flat is the

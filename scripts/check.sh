@@ -13,17 +13,24 @@
 #                                 best of 3 runs, fail on >30% regression of
 #                                 serial_executions_per_sec against the
 #                                 checked-in scripts/perf_baseline/BENCH_F4.json
+#   scripts/check.sh --crash-smoke crash-exploration gate only: exhaustive
+#                                 f=1 over Algorithm 5's doorway scenario
+#                                 must verify linearizable, and the
+#                                 doorway-ablated variant must report a
+#                                 violation — both deterministic
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
 PERF_SMOKE=0
+CRASH_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
     --perf-smoke) PERF_SMOKE=1 ;;
+    --crash-smoke) CRASH_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick|--perf-smoke]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke|--crash-smoke]" >&2
       exit 2
       ;;
   esac
@@ -69,8 +76,24 @@ if [[ "${PERF_SMOKE}" == "1" ]]; then
   exit 0
 fi
 
+# --- Crash smoke: the exhaustive crash-exploration gate ------------------
+# Two deterministic facts stand in for the whole robustness story: with
+# f = 1 every single-crash placement over Algorithm 5's doorway scenario
+# yields a linearizable history, and ablating the doorway makes the same
+# exhaustive search convict the algorithm with a concrete counterexample.
+# Both run under the step-quota watchdog, so a livelocked regression fails
+# structurally instead of hanging the stage.
+if [[ "${CRASH_SMOKE}" == "1" ]]; then
+  cmake -B build -G Ninja
+  cmake --build build --target crash_exploration_test
+  build/tests/crash_exploration_test --gtest_filter='CrashExploration.Algorithm5LinearizableOverAllSingleCrashPlacements:CrashExploration.DoorwayAblationConvictedDeterministically'
+  echo "CRASH SMOKE PASSED"
+  exit 0
+fi
+
 # Per-test wall-clock budget (seconds). Generous: the slowest tier-1 test
-# finishes in well under a minute on a laptop.
+# finishes in well under a minute on a laptop. (Each discovered test also
+# carries its own 120 s ctest TIMEOUT from tests/CMakeLists.txt.)
 CTEST_TIMEOUT=300
 
 # --- Default (Debug-ish) build + full test suite -------------------------

@@ -21,6 +21,7 @@
 //   {"ev":"invoke","pid":0,"handle":0,"t":3,"op":[0,100]}
 //   {"ev":"respond","pid":0,"handle":0,"t":9,"resp":[102]}
 //   {"ev":"violation","msg":"..."}
+//   {"ev":"stuck","msg":"..."}
 //   {"ev":"run_end","steps":17,"quiescent":true}
 // ⊥ values travel as the INT64_MIN integer. The parser is written for this
 // writer's output: fields it does not know are ignored, malformed lines
@@ -165,6 +166,13 @@ class JsonlTraceWriter final : public TraceObserver {
     write(line);
   }
 
+  void on_stuck(std::string_view message) override {
+    std::string line = "{\"ev\":\"stuck\",\"msg\":\"";
+    jsonl_detail::append_escaped(line, message);
+    line += "\"}";
+    write(line);
+  }
+
   void on_run_end(std::int64_t total_steps, bool quiescent) override {
     write("{\"ev\":\"run_end\",\"steps\":" + std::to_string(total_steps) +
           ",\"quiescent\":" + (quiescent ? "true" : "false") + "}");
@@ -180,6 +188,13 @@ class JsonlTraceWriter final : public TraceObserver {
   std::ostream* out_;
 };
 
+/// One crash event recovered from a trace: process `pid` crashed after
+/// `step` scheduler grants had been issued in its run.
+struct CrashEvent {
+  int pid = -1;
+  std::int64_t step = 0;
+};
+
 /// Everything `parse_trace_jsonl` recovers from an exported trace.
 struct ParsedTrace {
   /// The operation history, rebuilt with original pids, arguments,
@@ -187,6 +202,12 @@ struct ParsedTrace {
   /// or re-check it for linearizability.
   History history;
   std::vector<std::string> violations;
+  /// Crash events in emission order, with pid and step preserved — feed
+  /// them to `render_history` via `TraceVizOptions::crashes` so crashed
+  /// processes render instead of silently dropping out.
+  std::vector<CrashEvent> crash_events;
+  /// Stuck-execution diagnostics (step-quota watchdog) in emission order.
+  std::vector<std::string> stuck;
   std::int64_t runs = 0;         ///< run_begin events
   std::int64_t steps = 0;        ///< step events
   std::int64_t chooses = 0;      ///< choose events
@@ -323,6 +344,9 @@ inline ParsedTrace parse_trace_jsonl(const std::string& text) {
       ++out.chooses;
     } else if (ev == "crash") {
       ++out.crashes;
+      out.crash_events.push_back(
+          CrashEvent{static_cast<int>(jd::int_field_or_throw(line, "pid")),
+                     jd::int_field_or_throw(line, "step")});
     } else if (ev == "invoke") {
       HistoryEntry e;
       e.pid = static_cast<int>(jd::int_field_or_throw(line, "pid"));
@@ -349,6 +373,8 @@ inline ParsedTrace parse_trace_jsonl(const std::string& text) {
       out.history.amend(handle_map[handle], std::move(e));
     } else if (ev == "violation") {
       out.violations.push_back(jd::string_field(line, "msg"));
+    } else if (ev == "stuck") {
+      out.stuck.push_back(jd::string_field(line, "msg"));
     } else if (ev == "run_end") {
       out.total_steps = jd::int_field_or_throw(line, "steps");
       out.quiescent = line.find("\"quiescent\":true") != std::string::npos;

@@ -13,9 +13,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "subc/runtime/history.hpp"
 #include "subc/runtime/value.hpp"
@@ -27,6 +30,11 @@ struct TraceVizOptions {
   int columns_per_tick = 3;
   /// Operation name used in labels (e.g. "1sWRN").
   std::string op_name = "op";
+  /// Crash marks as (pid, step) pairs — e.g. `ParsedTrace::crash_events`
+  /// from trace_jsonl.hpp. Each crashed pid's lane is annotated with
+  /// "X crashed@step", and a crashed process gets a lane even when it
+  /// completed no operation, so crashes render instead of disappearing.
+  std::vector<std::pair<int, std::int64_t>> crashes;
 };
 
 /// Renders `history` as an ASCII space-time diagram. The horizontal scale
@@ -35,7 +43,7 @@ struct TraceVizOptions {
 inline std::string render_history(const History& history,
                                   TraceVizOptions options = {}) {
   const auto& entries = history.entries();
-  if (entries.empty()) {
+  if (entries.empty() && options.crashes.empty()) {
     return "(empty history)\n";
   }
 
@@ -75,6 +83,11 @@ inline std::string render_history(const History& history,
   }
   const int width = static_cast<int>(horizon + 1) * cpt + 4;
 
+  // Crashed processes render even when they never completed an operation.
+  for (const auto& mark : options.crashes) {
+    lanes[mark.first];
+  }
+
   std::ostringstream os;
   for (const auto& [pid, indices] : lanes) {
     std::string lane(static_cast<std::size_t>(width), ' ');
@@ -103,6 +116,14 @@ inline std::string render_history(const History& history,
     // Trim trailing spaces.
     const auto end = lane.find_last_not_of(' ');
     lane.resize(end == std::string::npos ? 0 : end + 1);
+    for (const auto& [cpid, cstep] : options.crashes) {
+      if (cpid == pid) {
+        if (!lane.empty()) {
+          lane += ' ';
+        }
+        lane += "X crashed@" + std::to_string(cstep);
+      }
+    }
     os << 'p' << pid << ' ' << lane << '\n';
   }
   return os.str();

@@ -31,6 +31,7 @@
 // `Explorer::shrink` (or automatically via `Options::shrink_violations`).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -58,6 +59,18 @@ using ExecutionBody = std::function<void(ScheduleDriver& driver)>;
 std::optional<std::string> run_one(const ExecutionBody& body,
                                    SchedulePolicy& policy,
                                    TraceObserver* observer = nullptr);
+
+/// Diagnostic for an execution cut short by the step-quota watchdog
+/// (`Explorer::Options::step_quota`): the schedule consumed more decisions
+/// than any terminating run of the world should need — livelock or runaway.
+/// The attached trace replays the partial execution up to the cut. Not a
+/// violation: the search continues past it (siblings of the cut decision
+/// are still explored), it is counted in `Result::stuck_executions`, and the
+/// canonically first one is reported in `Result::first_stuck`.
+struct StuckExecution {
+  std::string message;
+  std::vector<ReplayDriver::Decision> trace;
+};
 
 /// Partial-order reduction strategy for the exhaustive search.
 enum class Reduction : std::uint8_t {
@@ -115,6 +128,47 @@ class Explorer {
     /// returned in `Result::violating_trace`. Off by default: shrinking
     /// re-runs the body many times, which matters for expensive worlds.
     bool shrink_violations = false;
+
+    /// Exhaustive crash branching: at every kernel decision point of an
+    /// execution in which fewer than `max_crashes` crashes have landed, the
+    /// tree additionally forks on "crash enabled process p" for every
+    /// candidate victim (in increasing pid order per decision point; see
+    /// docs/adversaries.md). Crash decisions are recorded in the replay
+    /// prefix, compose with sleep-set reduction (a crash behaves as a write
+    /// on the victim alone) and with the parallel frontier machinery.
+    /// 0 (the default) disables crash branching; negative values are
+    /// rejected with `SimError`.
+    int max_crashes = 0;
+
+    /// Per-execution step-quota watchdog: an execution consuming more than
+    /// this many scheduling decisions is cut and recorded as a
+    /// `StuckExecution` diagnostic (consuming one unit of
+    /// `max_executions` budget) instead of hanging the search; its
+    /// unexplored continuations are truncated, siblings still run. 0 (the
+    /// default) disables the watchdog; negative values are rejected with
+    /// `SimError`.
+    std::int64_t step_quota = 0;
+
+    /// Campaign checkpointing: when non-empty, the search periodically
+    /// serializes its progress watermark to this path (atomic temp+rename;
+    /// format in checking/checkpoint.hpp) and writes a final snapshot on
+    /// completion. `Explorer::resume(body, path, opts)` continues an
+    /// interrupted campaign to the bit-identical final `Result`. The path
+    /// also enables frontier spilling: when the parallel work-unit ring
+    /// fills, the oldest queued prefixes are spilled to `<path>.spill` and
+    /// re-injected after enumeration instead of stalling the producer.
+    /// Empty (the default) disables both.
+    std::string checkpoint_path;
+
+    /// Roughly how many completed executions (serial) or canonical events
+    /// (parallel) between periodic snapshots. Must be positive.
+    std::int64_t checkpoint_every = 4096;
+
+    /// Capacity of the parallel frontier work-unit ring (rounded up to a
+    /// power of two, minimum 2). Smaller rings bound in-flight prefixes;
+    /// see `checkpoint_path` for the spill behaviour under pressure. Must
+    /// be non-zero. Ignored when running serially.
+    std::size_t frontier_queue_capacity = 256;
   };
 
   struct Result {
@@ -131,6 +185,16 @@ class Explorer {
     /// Set when an execution failed; `trace` replays it.
     std::optional<std::string> violation;
     std::vector<ReplayDriver::Decision> violating_trace;
+    /// Executions in which at least one crash landed (0 unless
+    /// `Options::max_crashes` > 0 or the body injects crashes itself).
+    std::int64_t crashed_executions = 0;
+    /// Executions cut by the step-quota watchdog (each also counted in
+    /// `executions`). Like every other tally, bit-identical across thread
+    /// counts.
+    std::int64_t stuck_executions = 0;
+    /// The canonically first stuck execution, when any occurred before the
+    /// search ended (diagnostic — does not affect `ok()`).
+    std::optional<StuckExecution> first_stuck;
 
     /// Convenience: true iff no violation was found.
     [[nodiscard]] bool ok() const noexcept { return !violation.has_value(); }
@@ -142,6 +206,18 @@ class Explorer {
   static Result explore(const ExecutionBody& body) {
     return explore(body, Options{});
   }
+
+  /// Continues an interrupted campaign from a snapshot previously written
+  /// under `opts.checkpoint_path` (checking/checkpoint.hpp). The snapshot's
+  /// option echo must match `opts` (`max_executions`, `max_crashes`,
+  /// `step_quota`, `reduction` — thread count and frontier depth may
+  /// differ, results are independent of both); mismatches throw `SimError`.
+  /// The final `Result` is bit-identical to the uninterrupted run's: the
+  /// saved watermark tallies are merged with a fresh search over the
+  /// remaining subtrees. A snapshot of a finished search returns its saved
+  /// `Result` without re-running anything.
+  static Result resume(const ExecutionBody& body,
+                       const std::string& snapshot_path, Options opts);
 
   /// Re-runs a single execution following `trace` (from a prior violation).
   /// Traces from serial and parallel runs replay identically.

@@ -80,6 +80,12 @@ class TraceObserver {
   /// returning it).
   virtual void on_violation(std::string_view /*message*/) {}
 
+  /// An execution tripped the explorer's step-quota watchdog and was
+  /// recorded as stuck (livelocked/runaway schedule; see
+  /// `Explorer::Options::step_quota`). Diagnostic only — a stuck execution
+  /// is not a violation and does not stop the search.
+  virtual void on_stuck(std::string_view /*message*/) {}
+
   /// The world reached quiescence (or its step bound) and `Runtime::run`
   /// is about to return.
   virtual void on_run_end(std::int64_t /*total_steps*/, bool /*quiescent*/) {}
@@ -109,6 +115,7 @@ class ObserverChain final : public TraceObserver {
   void on_respond(int pid, std::size_t handle, std::int64_t time,
                   std::span<const Value> response) override;
   void on_violation(std::string_view message) override;
+  void on_stuck(std::string_view message) override;
   void on_run_end(std::int64_t total_steps, bool quiescent) override;
   void on_reduced(std::int64_t subtrees) override;
 
@@ -132,6 +139,7 @@ class AccessCounters final : public TraceObserver {
   void on_respond(int pid, std::size_t handle, std::int64_t time,
                   std::span<const Value> response) override;
   void on_violation(std::string_view message) override;
+  void on_stuck(std::string_view message) override;
 
   [[nodiscard]] std::int64_t runs() const;
   [[nodiscard]] std::int64_t steps() const;
@@ -142,6 +150,8 @@ class AccessCounters final : public TraceObserver {
   [[nodiscard]] std::int64_t invocations() const;
   [[nodiscard]] std::int64_t responses() const;
   [[nodiscard]] std::int64_t violations() const;
+  /// Executions reported stuck by the step-quota watchdog (on_stuck events).
+  [[nodiscard]] std::int64_t stuck() const;
   /// Distinct object ids seen in footprints (object 0 = unknown excluded).
   [[nodiscard]] std::int64_t objects_touched() const;
   /// Steps charged to object id `object` across all observed runs.
@@ -157,6 +167,7 @@ class AccessCounters final : public TraceObserver {
   std::int64_t invocations_ = 0;
   std::int64_t responses_ = 0;
   std::int64_t violations_ = 0;
+  std::int64_t stuck_ = 0;
   std::vector<std::int64_t> per_object_;  // index = object id
 };
 

@@ -133,8 +133,16 @@ class CrashAdversary final : public SchedulePolicy {
   };
 
   /// Plan-only adversary: crashes exactly the planned points (bounded by f =
-  /// plan size).
+  /// plan size). The plan is validated up front — a victim outside [0, 64),
+  /// a negative `after_steps`, or a duplicate victim raises `SimError`
+  /// naming the offending entry.
   CrashAdversary(SchedulePolicy& inner, std::vector<CrashPoint> plan);
+
+  /// Plan-only adversary with an explicit resilience bound: as above, and
+  /// additionally rejects plans with more than `f` entries (a t-resilient
+  /// claim is only exercised faithfully when the adversary stays within the
+  /// model's crash budget).
+  CrashAdversary(SchedulePolicy& inner, std::vector<CrashPoint> plan, int f);
 
   /// Random adversary: up to `f` crashes, each enabled process dying with
   /// probability `crash_prob` at each decision point.

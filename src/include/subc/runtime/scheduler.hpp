@@ -167,6 +167,14 @@ struct PruneCut {};
 /// reason as `FrontierCut`.
 struct SleepCut {};
 
+/// Thrown by `ReplayDriver` when the per-execution step-quota watchdog
+/// (`set_step_quota`) trips: the execution has consumed more scheduling
+/// decisions than any terminating schedule of the world should need, i.e.
+/// it is livelocked or runaway. The explorer converts it into a structured
+/// `StuckExecution` diagnostic instead of hanging. Not derived from
+/// `std::exception` for the same reason as `FrontierCut`.
+struct StuckCut {};
+
 /// Replays a recorded decision prefix and extends it with first options;
 /// records the arity of every decision point. This is the explorer's
 /// workhorse (stateless model checking): see explorer.hpp.
@@ -194,6 +202,11 @@ class ReplayDriver final : public SchedulePolicy {
     /// without reduction, and for any pid >= 64 (reduction disabled there).
     std::uint64_t enabled = 0;
     std::uint64_t sleep = 0;
+    /// True for crash decisions (`crash_requests` branch points): option 0
+    /// is "no crash", option i >= 1 crashes the i-th candidate victim. The
+    /// flag travels with the trace so replay re-derives the fault without
+    /// knowing the recording run's crash budget.
+    bool crash = false;
   };
 
   /// Prune hook: given the partial decision string ending at a candidate
@@ -209,7 +222,12 @@ class ReplayDriver final : public SchedulePolicy {
   std::size_t pick(std::span<const int> enabled,
                    std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
-  void begin_run() override { sleep_ = 0; }
+  std::uint64_t crash_requests(std::span<const int> enabled) override;
+  void begin_run() override {
+    sleep_ = 0;
+    crashes_run_ = 0;
+    crash_floor_ = 0;
+  }
 
   /// Full decision string of the execution driven so far.
   [[nodiscard]] const std::vector<Decision>& trace() const noexcept {
@@ -237,9 +255,25 @@ class ReplayDriver final : public SchedulePolicy {
   /// decisions. Off by default (raw enumeration).
   void set_reduction(bool on) noexcept { reduce_ = on; }
 
+  /// Makes crash failures a branch point: at every kernel decision point
+  /// where fewer than `f` crashes have landed in the current run, the tree
+  /// forks on "no crash" versus "crash candidate pid p" for every enabled
+  /// pid < 64. 0 (the default) disables fresh crash decisions; recorded
+  /// crash decisions in a replayed prefix are honored either way.
+  void set_max_crashes(int f) noexcept { max_crashes_ = f; }
+
+  /// Per-execution watchdog: after `quota` scheduling decisions (`pick`
+  /// calls, replayed prefix included) the driver throws `StuckCut` — a
+  /// livelocked or runaway schedule becomes a bounded, diagnosable event
+  /// instead of a hang. 0 (the default) disables the quota.
+  void set_step_quota(std::int64_t quota) noexcept { step_quota_ = quota; }
+
   /// Scheduling options skipped by the reduction so far (each is a subtree
   /// the search proved redundant and never entered).
   [[nodiscard]] std::int64_t reduced() const noexcept { return reduced_; }
+
+  /// Crashes landed over the driver's lifetime (all runs of the execution).
+  [[nodiscard]] std::int64_t crashes() const noexcept { return crashes_total_; }
 
  private:
   std::uint32_t next_choice(std::uint32_t arity);
@@ -251,6 +285,16 @@ class ReplayDriver final : public SchedulePolicy {
   bool reduce_ = false;
   std::uint64_t sleep_ = 0;
   std::int64_t reduced_ = 0;
+  int max_crashes_ = 0;
+  int crashes_run_ = 0;         ///< crashes landed in the current run
+  std::int64_t crashes_total_ = 0;
+  /// Successive crash decisions at one kernel decision point enumerate
+  /// victims in increasing pid order (crashes at the same point commute, so
+  /// unordered subsets would be explored twice). The floor is the pid after
+  /// the last victim; any granted step resets it.
+  int crash_floor_ = 0;
+  std::int64_t step_quota_ = 0;
+  std::int64_t steps_ = 0;
 };
 
 /// Renders a decision string for diagnostics ("2/3 0/2 1/4 ...").

@@ -6,12 +6,14 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "subc/checking/checkpoint.hpp"
 #include "subc/checking/violation_log.hpp"
 #include "subc/runtime/bounded_queue.hpp"
 #include "subc/runtime/observer.hpp"
@@ -27,9 +29,6 @@ using Decision = ReplayDriver::Decision;
 // return what they did not use — the shared state is touched
 // O(executions / kBudgetBatch) times instead of once per execution.
 constexpr std::int64_t kBudgetBatch = 64;
-
-// Ring capacity of the frontier work-unit queue (prefixes in flight).
-constexpr std::size_t kQueueCapacity = 256;
 
 // State shared by every participant of one exploration (the frontier
 // enumerator and all subtree workers).
@@ -48,6 +47,10 @@ constexpr std::size_t kQueueCapacity = 256;
 struct SearchState {
   std::int64_t max_executions = 0;
   ViolationLog log;
+  // Stuck-execution diagnostics, aggregated like violations (least canonical
+  // index wins) but on a separate log: a stuck execution never cancels work
+  // — the search continues past it.
+  ViolationLog stuck_log;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -139,18 +142,65 @@ struct SubtreeStats {
   std::int64_t executions = 0;
   std::int64_t pruned = 0;
   std::int64_t reduced = 0;
+  std::int64_t crashed = 0;  ///< executions in which >= 1 crash landed
+  std::int64_t stuck = 0;    ///< executions cut by the step-quota watchdog
   std::optional<std::string> violation;
   std::vector<Decision> trace;
+  /// First (in DFS order, i.e. canonically least within the unit) stuck
+  /// execution; DFS order also means it precedes the unit's own violation,
+  /// if any.
+  std::optional<std::string> stuck_message;
+  std::vector<Decision> stuck_trace;
   /// True when the subtree was fully explored or stopped at its own (first)
   /// violation — false only on cancellation or budget exhaustion.
   bool finished = false;
+};
+
+std::string stuck_message_for(std::int64_t quota) {
+  return "stuck execution: step quota (" + std::to_string(quota) +
+         ") exceeded";
+}
+
+// The snapshot every checkpoint of one search starts from: the option echo
+// plus the watermark a resumed search inherited (zero tallies on a fresh
+// explore). Periodic snapshots add the current progress on top.
+ExplorerSnapshot snapshot_proto(const Explorer::Options& opts,
+                                const ExplorerSnapshot* base) {
+  ExplorerSnapshot s;
+  s.max_executions = opts.max_executions;
+  s.max_crashes = opts.max_crashes;
+  s.step_quota = opts.step_quota;
+  s.reduction = opts.reduction == Reduction::kSleepSets;
+  if (base != nullptr) {
+    s.executions = base->executions;
+    s.pruned = base->pruned;
+    s.reduced = base->reduced;
+    s.crashed = base->crashed;
+    s.stuck = base->stuck;
+    s.stuck_message = base->stuck_message;
+    s.stuck_trace = base->stuck_trace;
+  }
+  return s;
+}
+
+// Periodic-checkpoint plumbing for the serial search: the restart-DFS state
+// is just (tallies, next prefix), so a snapshot is written straight from the
+// loop in explore_subtree.
+struct SerialCheckpoint {
+  const std::string* path = nullptr;
+  std::int64_t every = 0;
+  const ExplorerSnapshot* proto = nullptr;
+  std::int64_t last = 0;  ///< executions at the previous snapshot
 };
 
 // True when sleep-set metadata recorded at `d` says option `chosen` is
 // redundant: its process was asleep when the decision point was first
 // reached (`Decision::sleep` stores the inherited sleep set; earlier sibling
 // options all have distinct pids, so membership there never changes the
-// verdict). `d.enabled == 0` means no metadata — never skip.
+// verdict). `d.enabled == 0` means no metadata — never skip. Crash decisions
+// record no metadata (skipping a crash option would be unsound: the victim's
+// crash is dependent with the victim's own pending step), so they are never
+// skipped here.
 bool option_asleep(const Decision& d, std::uint32_t chosen) {
   if (d.enabled == 0) {
     return false;
@@ -199,11 +249,14 @@ bool advance(std::vector<Decision>& trace, std::size_t floor,
 // are fixed). Stops at the subtree's first violation — the lexicographically
 // least one, since DFS visits decision strings in lexicographic order — on
 // budget exhaustion, or when a canonically earlier work unit has already
-// reported a violation (nothing in this subtree can win then).
+// reported a violation (nothing in this subtree can win then). When `cp` is
+// non-null (serial top-level search only) the loop periodically snapshots
+// (tallies, next prefix) to the checkpoint file.
 SubtreeStats explore_subtree(const ExecutionBody& body,
                              std::vector<Decision> prefix, std::size_t floor,
                              const Explorer::Options& opts, SearchState& state,
-                             std::uint64_t my_index) {
+                             std::uint64_t my_index,
+                             SerialCheckpoint* cp = nullptr) {
   SubtreeStats stats;
   BudgetScope budget(state);
   const Explorer::PruneFn& prune = opts.prune;
@@ -218,11 +271,17 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
     ReplayDriver driver(std::move(prefix));
     driver.set_prune(prune ? &prune : nullptr);
     driver.set_reduction(opts.reduction == Reduction::kSleepSets);
+    driver.set_max_crashes(opts.max_crashes);
+    driver.set_step_quota(opts.step_quota);
+    bool stuck_now = false;
     try {
       if (std::optional<std::string> violation =
               run_one(body, driver, opts.observer)) {
         ++stats.executions;
         budget.consume();
+        if (driver.crashes() > 0) {
+          ++stats.crashed;
+        }
         stats.violation = std::move(violation);
         stats.reduced += driver.reduced();
         stats.trace = driver.take_trace();
@@ -231,13 +290,36 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       }
       ++stats.executions;
       budget.consume();
+      if (driver.crashes() > 0) {
+        ++stats.crashed;
+      }
     } catch (const PruneCut&) {
       ++stats.pruned;  // cut probes consume no budget
     } catch (const SleepCut&) {
       // Redundant subtree, not an execution — consumes no budget.
+    } catch (const StuckCut&) {
+      // Step quota tripped: the run did real work, so it counts as a
+      // (stuck) execution and consumes budget; its unexplored continuations
+      // are truncated — advance() below moves to the cut's siblings.
+      ++stats.executions;
+      budget.consume();
+      ++stats.stuck;
+      if (driver.crashes() > 0) {
+        ++stats.crashed;
+      }
+      stuck_now = true;
     }
     stats.reduced += driver.reduced();
     std::vector<Decision> trace = driver.take_trace();
+    if (stuck_now) {
+      if (opts.observer != nullptr) {
+        opts.observer->on_stuck(stuck_message_for(opts.step_quota));
+      }
+      if (!stats.stuck_message) {
+        stats.stuck_message = stuck_message_for(opts.step_quota);
+        stats.stuck_trace = trace;  // copy: advance() mutates `trace` next
+      }
+    }
     const bool more =
         advance(trace, floor, prune, stats.pruned, stats.reduced);
     if (opts.observer != nullptr && stats.reduced > reduced_before) {
@@ -248,6 +330,21 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       return stats;
     }
     prefix = std::move(trace);
+    if (cp != nullptr && stats.executions - cp->last >= cp->every) {
+      cp->last = stats.executions;
+      ExplorerSnapshot s = *cp->proto;
+      s.executions += stats.executions;
+      s.pruned += stats.pruned;
+      s.reduced += stats.reduced;
+      s.crashed += stats.crashed;
+      s.stuck += stats.stuck;
+      if (!s.stuck_message && stats.stuck_message) {
+        s.stuck_message = stats.stuck_message;
+        s.stuck_trace = stats.stuck_trace;
+      }
+      s.prefix = prefix;
+      save_snapshot(*cp->path, s);
+    }
   }
 }
 
@@ -256,22 +353,31 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
 // reduction-skipped subtree, or a frontier work unit (a depth-d prefix whose
 // subtree a worker explores). Every event additionally carries the
 // reduction skips that occurred at (and while advancing past) it, so that
-// tallies truncated at a winning violation stay exact. Payload-free: unit
-// prefixes travel in WorkItems and are freed as soon as the unit completes,
-// so frontier memory is O(events) small entries + O(queue) prefixes rather
-// than O(subtrees × depth).
+// tallies truncated at a winning violation stay exact.
 struct EventMeta {
   enum class Kind { kExecution, kPruned, kSkip, kUnit };
   Kind kind = Kind::kExecution;
   std::int64_t reduced = 0;
+  bool crashed = false;  ///< kExecution: >= 1 crash landed in the execution
+  bool stuck = false;    ///< kExecution: cut by the step-quota watchdog
+};
+
+// One frontier work unit: stats filled by whichever thread explores it, the
+// prefix retained by the producer so checkpoints can name the watermark
+// unit's restart point, and a done flag publishing the stats (store-release
+// after the stats are written, load-acquire by the checkpoint scan).
+struct UnitRecord {
+  SubtreeStats stats;
+  std::vector<Decision> prefix;
+  std::atomic<bool> done{false};
 };
 
 // One frontier work unit streamed from the enumerator to a worker. The
-// stats slot is a stable pointer into the producer-owned deque; the event
+// record is a stable pointer into the producer-owned deque; the event
 // index orders the unit canonically for cancellation and aggregation.
 struct WorkItem {
   std::uint64_t event_index = 0;
-  SubtreeStats* stats = nullptr;
+  UnitRecord* record = nullptr;
   std::vector<Decision> prefix;
 };
 
@@ -292,6 +398,12 @@ Explorer::Result finish_serial(SubtreeStats stats) {
   result.executions = stats.executions;
   result.pruned_subtrees = stats.pruned;
   result.reduced_subtrees = stats.reduced;
+  result.crashed_executions = stats.crashed;
+  result.stuck_executions = stats.stuck;
+  if (stats.stuck_message) {
+    result.first_stuck = StuckExecution{std::move(*stats.stuck_message),
+                                        std::move(stats.stuck_trace)};
+  }
   if (stats.violation) {
     result.violation = std::move(stats.violation);
     result.violating_trace = std::move(stats.trace);
@@ -310,33 +422,44 @@ Explorer::Result finish_serial(SubtreeStats stats) {
 // in order, truncating at the winning violation, so every reported tally is
 // bit-identical to the serial explorer's regardless of thread timing.
 Explorer::Result explore_parallel(const ExecutionBody& body,
-                                  const Explorer::Options& opts, int threads) {
+                                  const Explorer::Options& opts, int threads,
+                                  std::vector<Decision> initial_prefix,
+                                  const ExplorerSnapshot& proto,
+                                  std::int64_t budget_total) {
   SearchState state;
-  state.max_executions = opts.max_executions;
+  state.max_executions = budget_total;
   const std::size_t depth = opts.frontier_depth > 0
                                 ? static_cast<std::size_t>(opts.frontier_depth)
                                 : auto_frontier_depth(threads);
+  const bool checkpointing = !opts.checkpoint_path.empty();
 
   std::vector<EventMeta> events;        // producer-only until workers join
-  std::deque<SubtreeStats> unit_stats;  // deque: grows with stable addresses
-  BoundedQueue<WorkItem> queue(kQueueCapacity);
+  std::deque<UnitRecord> unit_records;  // deque: grows with stable addresses
+  BoundedQueue<WorkItem> queue(opts.frontier_queue_capacity);
   std::mutex qmu;
   std::condition_variable qcv;
-  bool producer_done = false;        // guarded by qmu
+  bool producer_done = false;  // guarded by qmu
   bool producer_finished_tree = false;
 
   const auto process_item = [&](WorkItem item) {
+    UnitRecord& rec = *item.record;
     // Units arrive in canonical order; once a violation beats this unit it
     // beats every later one too, so skip without exploring (the zeroed
     // stats slot sits beyond the winner during aggregation anyway).
     if (state.log.best_index() >= item.event_index) {
-      *item.stats = explore_subtree(body, std::move(item.prefix), depth, opts,
-                                    state, item.event_index);
-      if (item.stats->violation) {
-        state.log.report(item.event_index, *item.stats->violation,
-                         item.stats->trace);
+      const std::size_t floor = item.prefix.size();
+      rec.stats = explore_subtree(body, std::move(item.prefix), floor, opts,
+                                  state, item.event_index);
+      if (rec.stats.violation) {
+        state.log.report(item.event_index, *rec.stats.violation,
+                         rec.stats.trace);
+      }
+      if (rec.stats.stuck_message) {
+        state.stuck_log.report(item.event_index, *rec.stats.stuck_message,
+                               rec.stats.stuck_trace);
       }
     }
+    rec.done.store(true, std::memory_order_release);
   };
 
   const auto worker_loop = [&]() {
@@ -366,11 +489,76 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
     pool.emplace_back(worker_loop);
   }
 
+  // Periodic checkpoint: the watermark is the tally over the longest
+  // contiguous prefix of canonical events whose work has completed (non-unit
+  // events complete at production; a unit when its done flag is set), and
+  // the restart prefix is the first incomplete unit's — or the producer's
+  // next prefix when everything produced so far is done. Work completed
+  // beyond the watermark is deliberately not saved: a resume redoes it, and
+  // the canonical aggregation makes the redone tallies land on the same
+  // final Result.
+  const auto write_parallel_snapshot =
+      [&](const std::vector<Decision>& producer_next) {
+        ExplorerSnapshot s = proto;
+        std::size_t u = 0;
+        const std::vector<Decision>* next = nullptr;
+        std::size_t watermark = events.size();
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          const EventMeta& ev = events[i];
+          if (ev.kind == EventMeta::Kind::kUnit) {
+            UnitRecord& rec = unit_records[u];
+            if (!rec.done.load(std::memory_order_acquire)) {
+              next = &rec.prefix;
+              watermark = i;
+              break;
+            }
+            s.reduced += ev.reduced;  // shallow skips at the unit's probe
+            s.executions += rec.stats.executions;
+            s.pruned += rec.stats.pruned;
+            s.reduced += rec.stats.reduced;
+            s.crashed += rec.stats.crashed;
+            s.stuck += rec.stats.stuck;
+            ++u;
+            continue;
+          }
+          s.reduced += ev.reduced;
+          switch (ev.kind) {
+            case EventMeta::Kind::kExecution:
+              ++s.executions;
+              if (ev.crashed) {
+                ++s.crashed;
+              }
+              if (ev.stuck) {
+                ++s.stuck;
+              }
+              break;
+            case EventMeta::Kind::kPruned:
+              ++s.pruned;
+              break;
+            default:
+              break;  // kSkip: carried entirely in `reduced`
+          }
+        }
+        if (!s.stuck_message) {
+          if (const std::optional<ViolationLog::Entry> sw =
+                  state.stuck_log.winner();
+              sw && sw->index < watermark) {
+            s.stuck_message = sw->message;
+            s.stuck_trace = sw->trace;
+          }
+        }
+        s.prefix = next != nullptr ? *next : producer_next;
+        save_snapshot(opts.checkpoint_path, s);
+      };
+
   // Producer: serial-DFS frontier enumeration, streaming units out.
   {
     BudgetScope budget(state);
     const Explorer::PruneFn& prune = opts.prune;
-    std::vector<Decision> prefix;
+    std::vector<Decision> prefix = std::move(initial_prefix);
+    std::vector<WorkItem> spilled;  // overflow units, re-injected at the end
+    std::ofstream spill_out;        // journal of spilled prefixes
+    std::size_t last_snapshot_events = 0;
     for (;;) {
       if (state.log.best_index() < events.size()) {
         break;  // a reported violation canonically precedes the next event
@@ -382,8 +570,11 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
       driver.set_decision_limit(depth);
       driver.set_prune(prune ? &prune : nullptr);
       driver.set_reduction(opts.reduction == Reduction::kSleepSets);
+      driver.set_max_crashes(opts.max_crashes);
+      driver.set_step_quota(opts.step_quota);
       EventMeta ev;
       bool is_unit = false;
+      bool stuck_now = false;
       try {
         if (std::optional<std::string> violation =
                 run_one(body, driver, opts.observer)) {
@@ -391,12 +582,14 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
           // followed; report it and stop enumerating.
           budget.consume();
           ev.reduced = driver.reduced();
+          ev.crashed = driver.crashes() > 0;
           events.push_back(ev);
           state.log.report(events.size() - 1, *violation,
                            driver.take_trace());
           break;
         }
         budget.consume();
+        ev.crashed = driver.crashes() > 0;
       } catch (const FrontierCut&) {
         is_unit = true;  // the unit's worker re-runs this subtree and pays
         ev.kind = EventMeta::Kind::kUnit;
@@ -404,22 +597,62 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         ev.kind = EventMeta::Kind::kPruned;
       } catch (const SleepCut&) {
         ev.kind = EventMeta::Kind::kSkip;
+      } catch (const StuckCut&) {
+        // A shallow execution can trip the quota too (quota < frontier
+        // depth's worth of picks); same accounting as in explore_subtree.
+        budget.consume();
+        ev.crashed = driver.crashes() > 0;
+        ev.stuck = true;
+        stuck_now = true;
       }
       std::vector<Decision> trace = driver.take_trace();
       ev.reduced = driver.reduced();
       events.push_back(ev);
+      if (stuck_now) {
+        state.stuck_log.report(events.size() - 1,
+                               stuck_message_for(opts.step_quota), trace);
+        if (opts.observer != nullptr) {
+          opts.observer->on_stuck(stuck_message_for(opts.step_quota));
+        }
+      }
       if (is_unit) {
-        unit_stats.emplace_back();
-        WorkItem item{events.size() - 1, &unit_stats.back(), trace};
-        while (!queue.try_push(std::move(item))) {
-          // Ring full: drain one unit here (natural backpressure). Drop our
-          // budget hold first — the drained subtree claims its own, and a
-          // grant held across a blocking drain could starve parked peers
-          // into deadlock.
-          budget.release();
-          WorkItem mine;
-          if (queue.try_pop(mine)) {
-            process_item(std::move(mine));
+        unit_records.emplace_back();
+        UnitRecord& rec = unit_records.back();
+        rec.prefix = trace;
+        WorkItem item{events.size() - 1, &rec, trace};
+        if (!queue.try_push(std::move(item))) {
+          if (checkpointing) {
+            // Graceful degradation under ring pressure: spill the *oldest*
+            // queued prefix to `<checkpoint_path>.spill` (journaled, then
+            // re-injected once enumeration finishes) so the newest unit
+            // takes its slot and enumeration keeps streaming instead of
+            // stalling behind a slow subtree.
+            while (!queue.try_push(std::move(item))) {
+              WorkItem oldest;
+              if (queue.try_pop(oldest)) {
+                if (!spill_out.is_open()) {
+                  spill_out.open(opts.checkpoint_path + ".spill",
+                                 std::ios::trunc);
+                }
+                spill_out << "{\"kind\":\"spill\",\"event\":"
+                          << oldest.event_index << ",\"prefix\":\""
+                          << encode_decisions(oldest.prefix) << "\"}\n";
+                spill_out.flush();
+                spilled.push_back(std::move(oldest));
+              }
+            }
+          } else {
+            // No spill target: drain one unit here (natural backpressure).
+            // Drop our budget hold first — the drained subtree claims its
+            // own, and a grant held across a blocking drain could starve
+            // parked peers into deadlock.
+            while (!queue.try_push(std::move(item))) {
+              budget.release();
+              WorkItem mine;
+              if (queue.try_pop(mine)) {
+                process_item(std::move(mine));
+              }
+            }
           }
         }
         {
@@ -439,7 +672,8 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         events.push_back(EventMeta{EventMeta::Kind::kPruned, 0});
       }
       if (advance_reduced > 0) {
-        events.push_back(EventMeta{EventMeta::Kind::kSkip, advance_reduced});
+        events.push_back(
+            EventMeta{EventMeta::Kind::kSkip, advance_reduced});
       }
       if (opts.observer != nullptr && ev.reduced + advance_reduced > 0) {
         opts.observer->on_reduced(ev.reduced + advance_reduced);
@@ -448,7 +682,30 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         producer_finished_tree = true;
         break;
       }
+      if (checkpointing &&
+          events.size() - last_snapshot_events >=
+              static_cast<std::size_t>(opts.checkpoint_every)) {
+        last_snapshot_events = events.size();
+        write_parallel_snapshot(trace);
+      }
       prefix = std::move(trace);
+    }
+
+    // Re-inject spilled units, oldest first: the ring only drains from here
+    // on, so this terminates; inline drains keep the producer useful while
+    // it waits for slots.
+    for (WorkItem& it : spilled) {
+      while (!queue.try_push(std::move(it))) {
+        budget.release();
+        WorkItem mine;
+        if (queue.try_pop(mine)) {
+          process_item(std::move(mine));
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lk(qmu);
+      }
+      qcv.notify_one();
     }
   }  // producer's budget hold refunded here
 
@@ -477,6 +734,12 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
     switch (events[i].kind) {
       case EventMeta::Kind::kExecution:
         ++result.executions;
+        if (events[i].crashed) {
+          ++result.crashed_executions;
+        }
+        if (events[i].stuck) {
+          ++result.stuck_executions;
+        }
         break;
       case EventMeta::Kind::kPruned:
         ++result.pruned_subtrees;
@@ -484,10 +747,12 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
       case EventMeta::Kind::kSkip:
         break;  // reduction skips carried in the `reduced` field above
       case EventMeta::Kind::kUnit:
-        result.executions += unit_stats[u].executions;
-        result.pruned_subtrees += unit_stats[u].pruned;
-        result.reduced_subtrees += unit_stats[u].reduced;
-        all_finished = all_finished && unit_stats[u].finished;
+        result.executions += unit_records[u].stats.executions;
+        result.pruned_subtrees += unit_records[u].stats.pruned;
+        result.reduced_subtrees += unit_records[u].stats.reduced;
+        result.crashed_executions += unit_records[u].stats.crashed;
+        result.stuck_executions += unit_records[u].stats.stuck;
+        all_finished = all_finished && unit_records[u].stats.finished;
         ++u;
         break;
     }
@@ -500,6 +765,130 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
     // so `complete` needs no separate exhaustion flag (and cannot be
     // spuriously false when the budget exactly equals the tree size).
     result.complete = all_finished;
+  }
+  // The canonically first stuck execution — reported only when the serial
+  // DFS would have reached it before stopping (its index at or before the
+  // winner's; within one unit, DFS order puts the unit's stuck before its
+  // violation).
+  if (const std::optional<ViolationLog::Entry> sw = state.stuck_log.winner();
+      sw && sw->index <= winner_index) {
+    result.first_stuck = StuckExecution{sw->message, sw->trace};
+  }
+  return result;
+}
+
+Explorer::Result result_from_snapshot(const ExplorerSnapshot& s) {
+  Explorer::Result r;
+  r.executions = s.executions;
+  r.pruned_subtrees = s.pruned;
+  r.reduced_subtrees = s.reduced;
+  r.crashed_executions = s.crashed;
+  r.stuck_executions = s.stuck;
+  r.complete = s.complete;
+  if (s.violation) {
+    r.violation = s.violation;
+    r.violating_trace = s.violating_trace;
+  }
+  if (s.stuck_message) {
+    r.first_stuck = StuckExecution{*s.stuck_message, s.stuck_trace};
+  }
+  return r;
+}
+
+ExplorerSnapshot snapshot_of_result(const Explorer::Options& opts,
+                                    const Explorer::Result& r) {
+  ExplorerSnapshot s = snapshot_proto(opts, nullptr);
+  s.executions = r.executions;
+  s.pruned = r.pruned_subtrees;
+  s.reduced = r.reduced_subtrees;
+  s.crashed = r.crashed_executions;
+  s.stuck = r.stuck_executions;
+  s.done = true;
+  s.complete = r.complete;
+  if (r.violation) {
+    s.violation = r.violation;
+    s.violating_trace = r.violating_trace;
+  }
+  if (r.first_stuck) {
+    s.stuck_message = r.first_stuck->message;
+    s.stuck_trace = r.first_stuck->trace;
+  }
+  return s;
+}
+
+void validate_options(const Explorer::Options& opts) {
+  if (opts.max_executions <= 0) {
+    throw SimError("Explorer::Options::max_executions must be positive, got " +
+                   std::to_string(opts.max_executions));
+  }
+  if (opts.frontier_depth < 0) {
+    throw SimError(
+        "Explorer::Options::frontier_depth must be non-negative, got " +
+        std::to_string(opts.frontier_depth));
+  }
+  if (opts.max_crashes < 0) {
+    throw SimError(
+        "Explorer::Options::max_crashes must be non-negative, got " +
+        std::to_string(opts.max_crashes));
+  }
+  if (opts.step_quota < 0) {
+    throw SimError("Explorer::Options::step_quota must be non-negative, got " +
+                   std::to_string(opts.step_quota));
+  }
+  if (opts.checkpoint_every <= 0) {
+    throw SimError("Explorer::Options::checkpoint_every must be positive, "
+                   "got " +
+                   std::to_string(opts.checkpoint_every));
+  }
+  if (opts.frontier_queue_capacity == 0) {
+    throw SimError(
+        "Explorer::Options::frontier_queue_capacity must be non-zero");
+  }
+}
+
+// The shared implementation behind explore() and resume(): runs the search
+// over the part of the tree at and after `initial_prefix`, with `base`
+// carrying a resumed snapshot's watermark (tallies folded into the final
+// Result, stuck winner taking canonical precedence).
+Explorer::Result explore_impl(const ExecutionBody& body,
+                              const Explorer::Options& opts,
+                              std::vector<Decision> initial_prefix,
+                              const ExplorerSnapshot* base) {
+  const int threads = Explorer::resolve_threads(opts.threads);
+  const ExplorerSnapshot proto = snapshot_proto(opts, base);
+  const std::int64_t budget = opts.max_executions - proto.executions;
+  Explorer::Result result;
+  if (threads <= 1) {
+    SearchState state;
+    state.max_executions = budget;
+    SerialCheckpoint cp{&opts.checkpoint_path, opts.checkpoint_every, &proto,
+                        0};
+    SerialCheckpoint* sink = opts.checkpoint_path.empty() ? nullptr : &cp;
+    SubtreeStats stats = explore_subtree(body, std::move(initial_prefix),
+                                         /*floor=*/0, opts, state,
+                                         /*my_index=*/0, sink);
+    result = finish_serial(std::move(stats));
+  } else {
+    result = explore_parallel(body, opts, threads, std::move(initial_prefix),
+                              proto, budget);
+  }
+  // Fold the resumed-from watermark back in. The base's stuck winner, when
+  // present, canonically precedes anything found after the watermark.
+  result.executions += proto.executions;
+  result.pruned_subtrees += proto.pruned;
+  result.reduced_subtrees += proto.reduced;
+  result.crashed_executions += proto.crashed;
+  result.stuck_executions += proto.stuck;
+  if (proto.stuck_message) {
+    result.first_stuck =
+        StuckExecution{*proto.stuck_message, proto.stuck_trace};
+  }
+  if (opts.shrink_violations && result.violation) {
+    result.violating_trace =
+        Explorer::shrink(body, std::move(result.violating_trace));
+  }
+  if (!opts.checkpoint_path.empty()) {
+    save_snapshot(opts.checkpoint_path, snapshot_of_result(opts, result));
   }
   return result;
 }
@@ -519,7 +908,10 @@ bool lex_less(const std::vector<Decision>& a, const std::vector<Decision>& b) {
 // One shrink probe: replays `prefix` (reduction off, so recorded sleep-set
 // metadata is ignored and every skip the original search made is re-opened)
 // and lets the ReplayDriver zero-extend it to a complete execution. Returns
-// the violation, if any, plus the canonical full decision string.
+// the violation, if any, plus the canonical full decision string. Crash
+// flags are preserved: recorded crash decisions replay their faults, and
+// the zero-extension injects no fresh crashes (a shrunk reproducer's fault
+// pattern is exactly the prefix's).
 struct ShrinkProbe {
   std::optional<std::string> violation;
   std::vector<Decision> trace;
@@ -623,30 +1015,30 @@ int Explorer::resolve_threads(int threads) noexcept {
 }
 
 Explorer::Result Explorer::explore(const ExecutionBody& body, Options opts) {
-  if (opts.max_executions <= 0) {
-    throw SimError("Explorer::Options::max_executions must be positive, got " +
-                   std::to_string(opts.max_executions));
+  validate_options(opts);
+  return explore_impl(body, opts, {}, nullptr);
+}
+
+Explorer::Result Explorer::resume(const ExecutionBody& body,
+                                  const std::string& snapshot_path,
+                                  Options opts) {
+  validate_options(opts);
+  ExplorerSnapshot snap = load_snapshot(snapshot_path);
+  if (snap.max_executions != opts.max_executions ||
+      snap.max_crashes != opts.max_crashes ||
+      snap.step_quota != opts.step_quota ||
+      snap.reduction != (opts.reduction == Reduction::kSleepSets)) {
+    throw SimError("Explorer::resume: snapshot " + snapshot_path +
+                   " was taken under different options (max_executions, "
+                   "max_crashes, step_quota and reduction must match)");
   }
-  if (opts.frontier_depth < 0) {
-    throw SimError(
-        "Explorer::Options::frontier_depth must be non-negative, got " +
-        std::to_string(opts.frontier_depth));
+  if (snap.done || opts.max_executions - snap.executions <= 0) {
+    // Finished searches (and watermarks that already spent the whole
+    // budget) resume to their saved Result without re-running anything.
+    return result_from_snapshot(snap);
   }
-  const int threads = resolve_threads(opts.threads);
-  Result result;
-  if (threads <= 1) {
-    SearchState state;
-    state.max_executions = opts.max_executions;
-    SubtreeStats stats =
-        explore_subtree(body, {}, 0, opts, state, /*my_index=*/0);
-    result = finish_serial(std::move(stats));
-  } else {
-    result = explore_parallel(body, opts, threads);
-  }
-  if (opts.shrink_violations && result.violation) {
-    result.violating_trace = shrink(body, std::move(result.violating_trace));
-  }
-  return result;
+  std::vector<Decision> prefix = snap.prefix;
+  return explore_impl(body, opts, std::move(prefix), &snap);
 }
 
 void Explorer::replay(const ExecutionBody& body,

@@ -58,6 +58,12 @@ void ObserverChain::on_violation(std::string_view message) {
   }
 }
 
+void ObserverChain::on_stuck(std::string_view message) {
+  for (TraceObserver* s : sinks_) {
+    s->on_stuck(message);
+  }
+}
+
 void ObserverChain::on_run_end(std::int64_t total_steps, bool quiescent) {
   for (TraceObserver* s : sinks_) {
     s->on_run_end(total_steps, quiescent);
@@ -112,6 +118,11 @@ void AccessCounters::on_violation(std::string_view /*message*/) {
   ++violations_;
 }
 
+void AccessCounters::on_stuck(std::string_view /*message*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stuck_;
+}
+
 std::int64_t AccessCounters::runs() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return runs_;
@@ -150,6 +161,11 @@ std::int64_t AccessCounters::responses() const {
 std::int64_t AccessCounters::violations() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return violations_;
+}
+
+std::int64_t AccessCounters::stuck() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stuck_;
 }
 
 std::int64_t AccessCounters::objects_touched() const {

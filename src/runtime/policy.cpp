@@ -131,15 +131,43 @@ std::uint32_t DelayBoundedPolicy::choose(std::uint32_t arity) {
 CrashAdversary::CrashAdversary(SchedulePolicy& inner,
                                std::vector<CrashPoint> plan)
     : inner_(&inner), plan_(std::move(plan)) {
-  for (const CrashPoint& cp : plan_) {
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const CrashPoint& cp = plan_[i];
     if (cp.victim < 0 || cp.victim >= 64) {
-      throw SimError("CrashAdversary: plan victim out of [0, 64)");
+      throw SimError("CrashAdversary: plan entry " + std::to_string(i) +
+                     " victim " + std::to_string(cp.victim) +
+                     " out of [0, 64)");
     }
     if (cp.after_steps < 0) {
-      throw SimError("CrashAdversary: negative after_steps");
+      throw SimError("CrashAdversary: plan entry " + std::to_string(i) +
+                     " has negative after_steps " +
+                     std::to_string(cp.after_steps));
     }
+    const std::uint64_t bit = std::uint64_t{1} << cp.victim;
+    if ((seen & bit) != 0) {
+      // A process crashes at most once; a second entry for the same victim
+      // could never fire and would silently misrepresent the fault model.
+      throw SimError("CrashAdversary: duplicate victim " +
+                     std::to_string(cp.victim) + " in plan entry " +
+                     std::to_string(i));
+    }
+    seen |= bit;
   }
   fired_.assign(plan_.size(), false);
+}
+
+CrashAdversary::CrashAdversary(SchedulePolicy& inner,
+                               std::vector<CrashPoint> plan, int f)
+    : CrashAdversary(inner, std::move(plan)) {
+  if (f < 0) {
+    throw SimError("CrashAdversary: f must be >= 0");
+  }
+  if (plan_.size() > static_cast<std::size_t>(f)) {
+    throw SimError("CrashAdversary: plan has " + std::to_string(plan_.size()) +
+                   " entries, exceeding the crash bound f = " +
+                   std::to_string(f));
+  }
 }
 
 CrashAdversary::CrashAdversary(SchedulePolicy& inner, std::uint64_t seed,

@@ -77,6 +77,15 @@ std::size_t ReplayDriver::pick(std::span<const int> enabled,
   if (enabled.empty()) {
     throw SimError("ReplayDriver::pick: empty enabled set");
   }
+  // Watchdog: a terminating world consumes a bounded number of scheduling
+  // decisions; a livelocked one does not. The quota converts the latter
+  // into a StuckCut the explorer reports as a StuckExecution diagnostic.
+  if (step_quota_ > 0 && ++steps_ > step_quota_) {
+    throw StuckCut{};
+  }
+  // A granted step ends the current crash decision point: the next
+  // crash_requests may target any pid again.
+  crash_floor_ = 0;
   const auto arity = static_cast<std::uint32_t>(enabled.size());
 
   // Reduction is active at this decision point only when footprints are
@@ -101,6 +110,7 @@ std::size_t ReplayDriver::pick(std::span<const int> enabled,
     const Decision& d = trace_[pos_++];
     // The world must be deterministic given the decision string: arity,
     // enabled set and inherited sleep set must match the recording.
+    SUBC_ASSERT(!d.crash);
     SUBC_ASSERT(d.arity == arity);
     SUBC_ASSERT(d.chosen < arity);
     SUBC_ASSERT(mask == 0 || d.enabled == 0 || d.enabled == mask);
@@ -156,6 +166,71 @@ std::size_t ReplayDriver::pick(std::span<const int> enabled,
   return chosen;
 }
 
+std::uint64_t ReplayDriver::crash_requests(std::span<const int> enabled) {
+  // Crash branching: when the per-run crash budget is not exhausted, every
+  // kernel scheduling point forks on "no crash" (option 0) vs "crash the
+  // i-th candidate victim" (option i >= 1). The kernel re-consults this hook
+  // after each granted crash, so multi-crash sets build up one decision at a
+  // time; `crash_floor_` canonicalizes that chain to increasing pid order
+  // (crashes at the same point commute, so other orders are duplicates).
+  const bool replaying = pos_ < trace_.size();
+  if (replaying && !trace_[pos_].crash) {
+    // The recorded execution made no crash decision here (e.g. its budget
+    // was already spent, or the trace predates crash branching).
+    return 0;
+  }
+  if (!replaying && (max_crashes_ <= 0 || crashes_run_ >= max_crashes_)) {
+    return 0;
+  }
+
+  int victims[64];
+  std::uint32_t candidates = 0;
+  for (const int pid : enabled) {
+    if (pid >= crash_floor_ && pid < 64) {
+      victims[candidates++] = pid;
+    }
+  }
+  if (candidates == 0) {
+    // Forced "no crash": arity-1 decisions are elided, as in pick().
+    return 0;
+  }
+  const auto arity = candidates + 1;
+
+  std::uint32_t chosen = 0;
+  if (replaying) {
+    const Decision& d = trace_[pos_++];
+    SUBC_ASSERT(d.crash);
+    SUBC_ASSERT(d.arity == arity);
+    SUBC_ASSERT(d.chosen < arity);
+    chosen = d.chosen;
+  } else {
+    if (trace_.size() >= limit_) {
+      throw FrontierCut{};
+    }
+    // Fresh branch starts at "no crash"; advance() later bumps through the
+    // victims. Enabled/sleep masks stay 0: sleep-set reduction never skips a
+    // crash option (a sleeping process can still be crashed — its crash is
+    // dependent with its own pending step, which put it to sleep).
+    trace_.push_back(Decision{chosen, arity, 0, 0, /*crash=*/true});
+    ++pos_;
+    if (prune_ != nullptr && *prune_ && (*prune_)(trace_)) {
+      throw PruneCut{};
+    }
+  }
+  if (chosen == 0) {
+    return 0;
+  }
+  const int victim = victims[chosen - 1];
+  ++crashes_run_;
+  ++crashes_total_;
+  crash_floor_ = victim + 1;
+  // The sleep set is deliberately left untouched: a crash behaves as a write
+  // on the victim alone, independent of every *other* process's pending
+  // step, so sleepers stay asleep across it; the victim itself leaves the
+  // enabled set and is masked out of the sleep set at the next pick().
+  return std::uint64_t{1} << victim;
+}
+
 std::uint32_t ReplayDriver::choose(std::uint32_t arity) {
   if (arity == 0) {
     throw SimError("ReplayDriver::choose: arity must be >= 1");
@@ -170,6 +245,7 @@ std::uint32_t ReplayDriver::next_choice(std::uint32_t arity) {
   }
   if (pos_ < trace_.size()) {
     const Decision& d = trace_[pos_++];
+    SUBC_ASSERT(!d.crash);
     SUBC_ASSERT(d.arity == arity);
     SUBC_ASSERT(d.chosen < arity);
     return d.chosen;
@@ -190,6 +266,9 @@ std::string format_trace(std::span<const ReplayDriver::Decision> trace) {
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (i > 0) {
       os << ' ';
+    }
+    if (trace[i].crash) {
+      os << 'x';
     }
     os << trace[i].chosen << '/' << trace[i].arity;
   }
