@@ -10,16 +10,55 @@
 
 #include "bench_util.hpp"
 #include "subc/algorithms/snapshot_impl.hpp"
+#include "subc/algorithms/stepped_bodies.hpp"
 #include "subc/algorithms/wrn_set_consensus.hpp"
 #include "subc/objects/register.hpp"
 #include "subc/objects/wrn.hpp"
 #include "subc/runtime/explorer.hpp"
 #include "subc/runtime/fiber.hpp"
 #include "subc/runtime/runtime.hpp"
+#include "subc/runtime/stepper.hpp"
 
 namespace {
 
 using namespace subc;
+
+/// One process hammering a register with writes as a stepped machine — the
+/// stepped-engine twin of BM_RegisterStep's fiber body.
+struct SteppedWriterBody {
+  Register<>* reg;
+  std::int64_t batch;
+
+  std::int64_t i_ = 0;
+
+  void step(StepContext& ctx) {
+    SUBC_STEP_BEGIN(ctx);
+    for (i_ = 0; i_ < batch; ++i_) {
+      SUBC_STEP_POINT(ctx, reg->oid(), AccessKind::kWrite);
+      reg->step_write(i_);
+    }
+    SUBC_STEP_END(ctx);
+  }
+};
+
+/// Kernel-free switch-resume machine: measures the duff's-device dispatch
+/// itself (the stepped engine's analogue of one fiber switch).
+struct RawSteppedMachine {
+  std::uint32_t resume = 0;
+  std::int64_t count = 0;
+
+  void step() {
+    switch (resume) {
+      case 0:;
+        for (;;) {
+          ++count;
+          resume = 1;
+          return;
+          case 1:;
+        }
+    }
+  }
+};
 
 void BM_FiberSwitch(benchmark::State& state) {
   Fiber fiber([] {
@@ -33,6 +72,21 @@ void BM_FiberSwitch(benchmark::State& state) {
   fiber.kill();
 }
 BENCHMARK(BM_FiberSwitch);
+
+void BM_SteppedResume(benchmark::State& state) {
+  // Raw resume cost of the stepped engine's state machine — the number to
+  // hold against BM_FiberSwitch.
+  RawSteppedMachine machine;
+  for (auto _ : state) {
+    machine.step();
+    // Escape the machine state each iteration, or the whole resume loop
+    // constant-folds away (the dispatch is ~1 ns; the optimizer sees
+    // straight through it).
+    benchmark::DoNotOptimize(machine.resume);
+  }
+  benchmark::DoNotOptimize(machine.count);
+}
+BENCHMARK(BM_SteppedResume);
 
 void BM_RegisterStep(benchmark::State& state) {
   // One simulated process hammering a register; measures kernel step cost
@@ -54,6 +108,23 @@ void BM_RegisterStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_RegisterStep);
+
+void BM_SteppedRegisterStep(benchmark::State& state) {
+  // BM_RegisterStep with the process hosted on the stepped engine: kernel
+  // step cost with no stack switch, state block arena-carved.
+  const std::int64_t batch = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Runtime rt;
+    Register<> reg(0);
+    rt.add_stepped(SteppedWriterBody{&reg, batch});
+    RoundRobinDriver driver;
+    state.ResumeTiming();
+    rt.run(driver, batch + 10);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SteppedRegisterStep);
 
 void BM_WrnOperation(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -170,8 +241,77 @@ void BM_RandomSweepRate(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomSweepRate)->Arg(1)->Arg(0);
 
+// Per-step micro cells for the JSON artifact: fiber switch vs raw stepped
+// resume (the engines' suspension primitives), and the full kernel step on
+// each engine (schedule + suspension + op body, stepped state arena-carved).
+subc_bench::Json measure_per_step_ns() {
+  double fiber_switch_ns = 0;
+  {
+    Fiber fiber([] {
+      for (;;) {
+        Fiber::yield();
+      }
+    });
+    const std::int64_t n = 2'000'000;
+    for (int i = 0; i < 1000; ++i) {
+      fiber.resume();  // warm the stacks
+    }
+    const subc_bench::Stopwatch sw;
+    for (std::int64_t i = 0; i < n; ++i) {
+      fiber.resume();
+    }
+    fiber_switch_ns = sw.ms() * 1e6 / static_cast<double>(n);
+    fiber.kill();
+  }
+  double stepped_resume_ns = 0;
+  {
+    RawSteppedMachine machine;
+    const std::int64_t n = 50'000'000;
+    const subc_bench::Stopwatch sw;
+    for (std::int64_t i = 0; i < n; ++i) {
+      machine.step();
+      // As in BM_SteppedResume: without the per-iteration escape the
+      // optimizer folds the whole loop to a constant.
+      benchmark::DoNotOptimize(machine.resume);
+    }
+    stepped_resume_ns = sw.ms() * 1e6 / static_cast<double>(n);
+    benchmark::DoNotOptimize(machine.count);
+  }
+  const auto kernel_step_ns = [](bool stepped) {
+    const std::int64_t batch = 500'000;
+    Runtime rt;
+    Register<> reg(0);
+    if (stepped) {
+      rt.add_stepped(SteppedWriterBody{&reg, batch});
+    } else {
+      rt.add_process([&reg, batch](Context& ctx) {
+        for (std::int64_t i = 0; i < batch; ++i) {
+          reg.write(ctx, i);
+        }
+      });
+    }
+    RoundRobinDriver driver;
+    const subc_bench::Stopwatch sw;
+    rt.run(driver, batch + 10);
+    return sw.ms() * 1e6 / static_cast<double>(batch);
+  };
+  const double fiber_kernel_ns = kernel_step_ns(false);
+  const double stepped_kernel_ns = kernel_step_ns(true);
+  subc_bench::Json cell;
+  cell.set("fiber_switch", fiber_switch_ns)
+      .set("stepped_resume", stepped_resume_ns)
+      .set("fiber_kernel_step", fiber_kernel_ns)
+      .set("stepped_kernel_step", stepped_kernel_ns)
+      .set("kernel_step_speedup", stepped_kernel_ns > 0
+                                      ? fiber_kernel_ns / stepped_kernel_ns
+                                      : 0.0);
+  return cell;
+}
+
 // Direct (non-google-benchmark) explorer rate measurement for the JSON
-// artifact: one larger tree, serial vs parallel.
+// artifact: one larger tree (3 procs × 4 reads), serial vs parallel, on
+// each execution engine. `--perf-smoke` gates the two serial rates
+// separately against scripts/perf_baseline/BENCH_F4.json.
 void write_results_json() {
   const int threads = subc_bench::bench_threads();
   const ExecutionBody body = [](ScheduleDriver& driver) {
@@ -186,16 +326,30 @@ void write_results_json() {
     }
     rt.run(driver);
   };
+  const ExecutionBody stepped_body = [](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> reg(0);
+    for (int p = 0; p < 3; ++p) {
+      rt.add_stepped(SteppedRegisterReader{&reg, 4});
+    }
+    rt.run(driver);
+  };
   Explorer::Options opts;
   opts.max_executions = 5'000'000;
   opts.reduction = Reduction::kNone;  // rate of the raw enumeration
   const subc_bench::Stopwatch serial_sw;
   const auto serial = Explorer::explore(body, opts);
   const double serial_ms = serial_sw.ms();
+  const subc_bench::Stopwatch stepped_serial_sw;
+  const auto stepped_serial = Explorer::explore(stepped_body, opts);
+  const double stepped_serial_ms = stepped_serial_sw.ms();
   opts.threads = threads;
   const subc_bench::Stopwatch parallel_sw;
   const auto parallel = Explorer::explore(body, opts);
   const double parallel_ms = parallel_sw.ms();
+  const subc_bench::Stopwatch stepped_parallel_sw;
+  const auto stepped_parallel = Explorer::explore(stepped_body, opts);
+  const double stepped_parallel_ms = stepped_parallel_sw.ms();
   // One reduced pass over the same tree for the reduction telemetry all
   // BENCH_<ID>.json files carry.
   Explorer::Options red = opts;
@@ -203,24 +357,46 @@ void write_results_json() {
   red.reduction = Reduction::kSleepSets;
   const auto reduced = Explorer::explore(body, red);
 
+  const double serial_rate =
+      serial_ms > 0
+          ? 1000.0 * static_cast<double>(serial.executions) / serial_ms
+          : 0.0;
+  const double stepped_serial_rate =
+      stepped_serial_ms > 0
+          ? 1000.0 * static_cast<double>(stepped_serial.executions) /
+                stepped_serial_ms
+          : 0.0;
   subc_bench::Json out;
   out.set("bench", "F4")
       .set("threads", threads)
       .set("executions", serial.executions)
       .set("executions_reduced", reduced.executions)
-      .set("counts_match", parallel.executions == serial.executions)
+      .set("counts_match", parallel.executions == serial.executions &&
+                               stepped_serial.executions ==
+                                   serial.executions &&
+                               stepped_parallel.executions ==
+                                   serial.executions)
       .set("serial_ms", serial_ms)
       .set("parallel_ms", parallel_ms)
-      .set("serial_executions_per_sec",
-           serial_ms > 0
-               ? 1000.0 * static_cast<double>(serial.executions) / serial_ms
-               : 0.0)
+      .set("serial_executions_per_sec", serial_rate)
       .set("parallel_executions_per_sec",
            parallel_ms > 0
                ? 1000.0 * static_cast<double>(parallel.executions) /
                      parallel_ms
                : 0.0)
-      .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+      .set("speedup", parallel_ms > 0 ? serial_ms / parallel_ms : 0.0)
+      .set("stepped_serial_ms", stepped_serial_ms)
+      .set("stepped_parallel_ms", stepped_parallel_ms)
+      .set("stepped_serial_executions_per_sec", stepped_serial_rate)
+      .set("stepped_parallel_executions_per_sec",
+           stepped_parallel_ms > 0
+               ? 1000.0 *
+                     static_cast<double>(stepped_parallel.executions) /
+                     stepped_parallel_ms
+               : 0.0)
+      .set("stepped_speedup_vs_fiber",
+           serial_rate > 0 ? stepped_serial_rate / serial_rate : 0.0)
+      .set("per_step_ns", measure_per_step_ns());
   subc_bench::set_reduction_fields(out, reduced.reduced_subtrees,
                                    reduced.executions);
   subc_bench::set_policy_fields(out);

@@ -27,6 +27,7 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "subc/algorithms/stepped_bodies.hpp"
 #include "subc/checking/linearizability.hpp"
 #include "subc/objects/register.hpp"
 #include "subc/objects/wrn.hpp"
@@ -72,6 +73,32 @@ ExecutionBody grid_body(World world, int procs, int steps) {
           }
         }
       });
+    }
+    rt.run(driver);
+  };
+}
+
+// `grid_body` with every process hosted on the stepped engine
+// (runtime/stepper.hpp): identical footprints in identical order, so the
+// explorer must enumerate exactly the same tree — only the per-step
+// suspension mechanism (switch-resume vs stack switch) differs.
+ExecutionBody stepped_grid_body(World world, int procs, int steps) {
+  if (world == World::kReads) {
+    return [procs, steps](ScheduleDriver& driver) {
+      Runtime rt;
+      Register<> reg(0);
+      for (int p = 0; p < procs; ++p) {
+        rt.add_stepped(SteppedRegisterReader{&reg, steps});
+      }
+      rt.run(driver);
+    };
+  }
+  return [procs, steps](ScheduleDriver& driver) {
+    Runtime rt;
+    Register<> shared(0);
+    RegisterArray<> own(procs, 0);
+    for (int p = 0; p < procs; ++p) {
+      rt.add_stepped(SteppedMixedWriter{&own[p], &shared, p, steps});
     }
     rt.run(driver);
   };
@@ -326,6 +353,47 @@ int main() {
               headline_rate,
               pre_overhaul_rate, headline_rate / pre_overhaul_rate);
 
+  // The same headline grid point on the stepped execution engine: no stack
+  // switches, state blocks arena-carved. The execution count must match the
+  // fiber cell exactly (same tree, different suspension mechanism); the
+  // rate is the PR-over-PR acceptance number for the engine work.
+  const ExecutionBody stepped_headline_body =
+      stepped_grid_body(World::kReads, 4, 3);
+  Explorer::explore(stepped_headline_body, hopts);  // untimed warm-up
+  const subc_bench::Stopwatch stepped_headline_sw;
+  const auto stepped_headline = Explorer::explore(stepped_headline_body, hopts);
+  const double stepped_headline_ms = stepped_headline_sw.ms();
+  const double stepped_headline_rate =
+      stepped_headline_ms > 0
+          ? 1000.0 * static_cast<double>(stepped_headline.executions) /
+                stepped_headline_ms
+          : 0.0;
+  subc_bench::Json stepped_cell;
+  stepped_cell.set("world", "reads")
+      .set("procs", 4)
+      .set("steps", 3)
+      .set("engine", "stepped");
+  subc_bench::set_rate_fields(stepped_cell, stepped_headline.executions,
+                              stepped_headline_ms);
+  stepped_cell
+      .set("executions_match_fiber",
+           stepped_headline.executions == headline.executions)
+      .set("speedup_vs_fiber",
+           headline_rate > 0 ? stepped_headline_rate / headline_rate : 0.0)
+      .set("executions_per_sec_pre_overhaul", pre_overhaul_rate)
+      .set("speedup_vs_pre_overhaul",
+           stepped_headline_rate / pre_overhaul_rate);
+  ok = ok && stepped_headline.complete &&
+       stepped_headline.executions == headline.executions;
+  std::printf("stepped headline cell (same grid point, stepped engine): "
+              "%lld executions in %.1f ms = %.0f exec/s (%.2fx vs fiber, "
+              "executions match: %s)\n",
+              static_cast<long long>(stepped_headline.executions),
+              stepped_headline_ms, stepped_headline_rate,
+              headline_rate > 0 ? stepped_headline_rate / headline_rate : 0.0,
+              stepped_headline.executions == headline.executions ? "yes"
+                                                                 : "NO");
+
   // Crash-exploration cell: the mixed 3x2 grid point re-explored with crash
   // branching (f = 1) and a generous step-quota watchdog, serial vs
   // parallel. The crashed-branch tally must be bit-identical across thread
@@ -366,6 +434,7 @@ int main() {
   subc_bench::Json out;
   out.set("bench", "F5")
       .set("headline", headline_cell)
+      .set("headline_stepped", stepped_cell)
       .set("crash_exploration", crash_cell)
       .set("threads", threads)
       .set("hardware_concurrency",

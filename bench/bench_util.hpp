@@ -239,6 +239,12 @@ inline Json alloc_counter_cell() {
            static_cast<std::int64_t>(c.fiber_stack_reuses));
   cell.set("fiber_stack_allocs",
            static_cast<std::int64_t>(c.fiber_stack_allocs));
+  cell.set("stepped_blocks_carved",
+           static_cast<std::int64_t>(c.stepped_blocks_carved));
+  cell.set("stepped_block_reuses",
+           static_cast<std::int64_t>(c.stepped_block_reuses));
+  cell.set("stepped_block_bytes",
+           static_cast<std::int64_t>(c.stepped_block_bytes));
   return cell;
 }
 

@@ -11,8 +11,16 @@
 #   scripts/check.sh --perf-smoke throughput gate only: Release bench_f4
 #                                 (JSON measurement, microbenches skipped),
 #                                 best of 3 runs, fail on >30% regression of
-#                                 serial_executions_per_sec against the
-#                                 checked-in scripts/perf_baseline/BENCH_F4.json
+#                                 either engine's serial explorer rate
+#                                 (serial_executions_per_sec for fibers,
+#                                 stepped_serial_executions_per_sec for the
+#                                 stepped engine) against the checked-in
+#                                 scripts/perf_baseline/BENCH_F4.json
+#   scripts/check.sh --stepper-smoke engine-equivalence gate only: the
+#                                 equivalence pin and stepped-engine suites
+#                                 under Debug + AddressSanitizer — proves
+#                                 fiber and stepped kernels explore
+#                                 bit-identically before anything ships
 #   scripts/check.sh --crash-smoke crash-exploration gate only: exhaustive
 #                                 f=1 over Algorithm 5's doorway scenario
 #                                 must verify linearizable, and the
@@ -23,14 +31,16 @@ cd "$(dirname "$0")/.."
 
 QUICK=0
 PERF_SMOKE=0
+STEPPER_SMOKE=0
 CRASH_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
     --perf-smoke) PERF_SMOKE=1 ;;
+    --stepper-smoke) STEPPER_SMOKE=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick|--perf-smoke|--crash-smoke]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke]" >&2
       exit 2
       ;;
   esac
@@ -49,30 +59,66 @@ if [[ "${PERF_SMOKE}" == "1" ]]; then
   cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release --target bench_f4_micro
   mkdir -p bench-results
-  extract_rate() {
-    # Pull the serial_executions_per_sec number out of a flat JSON line
-    # (values may be printed in scientific notation).
-    sed -n 's/.*"serial_executions_per_sec": \([-0-9.eE+]*\).*/\1/p' "$1"
+  extract_field() {
+    # Pull a numeric field out of a flat JSON line (values may be printed
+    # in scientific notation). $1 = field name, $2 = file.
+    sed -n 's/.*"'"$1"'": \([-0-9.eE+]*\).*/\1/p' "$2"
   }
-  BEST=0
+  # Both execution engines gate independently: the fiber rate and the
+  # stepped rate are different codepaths through the kernel, and either
+  # can regress without moving the other.
+  BEST_FIBER=0
+  BEST_STEPPED=0
   for i in 1 2 3; do
     # stdout/stderr silenced (google-benchmark notes it matched nothing);
     # a non-zero exit still aborts via set -e.
     (cd bench-results && ../build-release/bench/bench_f4_micro \
         --benchmark_filter='^$' >/dev/null 2>&1)
-    RATE="$(extract_rate bench-results/BENCH_F4.json)"
-    echo "perf-smoke: run ${i}: ${RATE} exec/s"
-    BEST="$(awk -v a="${BEST}" -v b="${RATE}" \
+    FIBER_RATE="$(extract_field serial_executions_per_sec \
+        bench-results/BENCH_F4.json)"
+    STEPPED_RATE="$(extract_field stepped_serial_executions_per_sec \
+        bench-results/BENCH_F4.json)"
+    echo "perf-smoke: run ${i}: fiber ${FIBER_RATE} exec/s, stepped ${STEPPED_RATE} exec/s"
+    BEST_FIBER="$(awk -v a="${BEST_FIBER}" -v b="${FIBER_RATE}" \
+        'BEGIN { print (a + 0 > b + 0) ? a + 0 : b + 0 }')"
+    BEST_STEPPED="$(awk -v a="${BEST_STEPPED}" -v b="${STEPPED_RATE}" \
         'BEGIN { print (a + 0 > b + 0) ? a + 0 : b + 0 }')"
   done
-  BASE_RATE="$(extract_rate "${BASELINE}")"
-  echo "perf-smoke: best ${BEST} exec/s vs baseline ${BASE_RATE} exec/s"
-  if ! awk -v c="${BEST}" -v b="${BASE_RATE}" \
-      'BEGIN { exit (c + 0 >= 0.7 * (b + 0)) ? 0 : 1 }'; then
-    echo "perf-smoke: FAIL — serial explorer throughput regressed >30%" >&2
-    exit 1
-  fi
+  FAIL=0
+  for engine in fiber stepped; do
+    if [[ "${engine}" == "fiber" ]]; then
+      FIELD=serial_executions_per_sec BEST="${BEST_FIBER}"
+    else
+      FIELD=stepped_serial_executions_per_sec BEST="${BEST_STEPPED}"
+    fi
+    BASE_RATE="$(extract_field "${FIELD}" "${BASELINE}")"
+    echo "perf-smoke: ${engine}: best ${BEST} exec/s vs baseline ${BASE_RATE} exec/s"
+    if ! awk -v c="${BEST}" -v b="${BASE_RATE}" \
+        'BEGIN { exit (c + 0 >= 0.7 * (b + 0)) ? 0 : 1 }'; then
+      echo "perf-smoke: FAIL — ${engine} serial explorer throughput regressed >30%" >&2
+      FAIL=1
+    fi
+  done
+  [[ "${FAIL}" == "0" ]] || exit 1
   echo "PERF SMOKE PASSED"
+  exit 0
+fi
+
+# --- Stepper smoke: the engine-equivalence gate --------------------------
+# The stepped engine is only admissible because it is *provably* the same
+# search: the pin suite replays both engines across the {reduction,
+# threads, crash} grid and requires bit-identical Results, and the stepper
+# suite covers mixed-engine worlds, the fiber-fallback rule, replay/shrink
+# and state-block teardown. Run under ASan so the duff's-device state
+# blocks and the arena carving get lifetime-checked at the same time.
+if [[ "${STEPPER_SMOKE}" == "1" ]]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan --target equivalence_pin_test stepper_test
+  build-asan/tests/equivalence_pin_test
+  build-asan/tests/stepper_test
+  echo "STEPPER SMOKE PASSED"
   exit 0
 fi
 

@@ -1,5 +1,7 @@
 #include "subc/algorithms/wrn_from_sse.hpp"
 
+#include "subc/runtime/stepper.hpp"
+
 namespace subc {
 
 namespace {
@@ -101,6 +103,96 @@ Value WrnFromSse::run_operation(Context& ctx, int index, Value v) {
 
   // Line 21: return SR[(i+1) mod k].
   return sr[succ];
+}
+
+void WrnFromSse::SteppedOp::complete(StepContext& ctx, Value result) {
+  if (history != nullptr) {
+    history->respond(handle_, {result});
+  }
+  if (out != nullptr) {
+    *out = result;
+  }
+  ctx.finish();
+}
+
+// The fiber body (`run_operation` above) with each sched_point turned into a
+// SUBC_STEP_POINT; line numbering in comments as there. Same announcement
+// order = same lazy ObjectId assignment = bit-identical exploration.
+void WrnFromSse::SteppedOp::step(StepContext& ctx) {
+  WrnFromSse& w = *object;
+  std::size_t succ = 0;
+  SUBC_STEP_BEGIN(ctx);
+  if (index < 0 || index >= w.k_) {
+    throw SimError("1sWRN index out of range");
+  }
+  if (value == kBottom) {
+    throw SimError("1sWRN(i, ⊥) is illegal");
+  }
+  if (w.r_atomic_ == nullptr) {
+    // Register-built snapshots scan cell-by-cell inside a helper call — the
+    // body does not flatten; host it on the fiber engine instead.
+    throw SimError(
+        "stepped Algorithm 5 requires atomic snapshots "
+        "(use_register_snapshots worlds stay on the fiber engine)");
+  }
+  if (history != nullptr) {
+    handle_ = history->invoke(ctx.pid(), {static_cast<Value>(index), value});
+  }
+
+  // Line 6: R[i] ← v (announce at index i).
+  SUBC_STEP_POINT(ctx, w.r_atomic_->oid(), AccessKind::kWrite);
+  w.r_atomic_->step_update(index, value);
+
+  // Lines 7–12: the doorway and the strong set election.
+  if (w.options_.use_doorway) {
+    SUBC_STEP_POINT(ctx, w.doorway_.oid(), AccessKind::kRead);
+    door_ = w.doorway_.step_read();
+  }
+  if (!w.options_.use_doorway || door_ == kOpened) {
+    if (w.options_.use_doorway) {
+      SUBC_STEP_POINT(ctx, w.doorway_.oid(), AccessKind::kWrite);
+      w.doorway_.step_write(kClosed);
+    }
+    SUBC_STEP_POINT(ctx, w.sse_.oid(), AccessKind::kChoose);
+    SUBC_STEP_CALL(ctx, elected_,
+                   w.sse_.step_invoke(ctx, static_cast<Value>(index)));
+    if (elected_ == static_cast<Value>(index)) {
+      complete(ctx, kBottom);  // election winner: first linearized op
+      return;
+    }
+  }
+
+  // Line 13: SR ← Snapshot(R).
+  SUBC_STEP_POINT(ctx, w.r_atomic_->oid(), AccessKind::kRead);
+  sr_ = w.r_atomic_->step_scan();
+  succ = static_cast<std::size_t>((index + 1) % w.k_);
+  if (w.options_.use_view_check) {
+    // Line 14: O[i] ← SR.
+    SUBC_STEP_POINT(ctx, w.o_atomic_->oid(), AccessKind::kWrite);
+    w.o_atomic_->step_update(index, sr_);
+    // Line 15: SO ← Snapshot(O).
+    SUBC_STEP_POINT(ctx, w.o_atomic_->oid(), AccessKind::kRead);
+    so_ = w.o_atomic_->step_scan();
+
+    // Lines 16–20: pure computation, no further steps.
+    succ = static_cast<std::size_t>((index + 1) % w.k_);
+    for (int j = 0; j < w.k_; ++j) {
+      const View& seen = so_[static_cast<std::size_t>(j)];
+      if (seen.empty()) {
+        continue;  // O[j] = ⊥: w_j published no view yet
+      }
+      if (seen[static_cast<std::size_t>(index)] == value &&
+          seen[succ] == kBottom) {
+        complete(ctx, kBottom);
+        return;
+      }
+    }
+  }
+
+  // Line 21: return SR[(i+1) mod k].
+  complete(ctx, sr_[succ]);
+  return;
+  SUBC_STEP_END(ctx);
 }
 
 }  // namespace subc

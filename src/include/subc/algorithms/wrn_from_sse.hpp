@@ -65,6 +65,40 @@ class WrnFromSse {
   Value one_shot_wrn(Context& ctx, int index, Value v,
                      History* history = nullptr);
 
+  /// `one_shot_wrn` as a stepped-engine state machine (runtime/stepper.hpp):
+  /// register one per invoking process via `Runtime::add_stepped`. The body
+  /// announces the same footprints in the same order as the fiber form, so
+  /// either engine explores the world bit-identically. Only the
+  /// atomic-snapshot configuration flattens; the register-built-snapshot
+  /// mode loops over per-cell register operations inside a helper call and
+  /// stays on the fiber engine (the documented fallback rule) — registering
+  /// a SteppedOp against it throws.
+  struct SteppedOp {
+    WrnFromSse* object;
+    int index;
+    Value value;
+    History* history;
+    /// Receives the operation result; untouched when the op hangs.
+    Value* out;
+
+    SteppedOp(WrnFromSse* object, int index, Value value,
+              History* history = nullptr, Value* out = nullptr)
+        : object(object), index(index), value(value), history(history),
+          out(out) {}
+
+    void step(StepContext& ctx);
+
+   private:
+    void complete(StepContext& ctx, Value result);
+
+    // Resumable scratch (survives suspensions).
+    std::size_t handle_ = 0;
+    Value door_ = kBottom;
+    Value elected_ = kBottom;
+    std::vector<Value> sr_;
+    std::vector<std::vector<Value>> so_;
+  };
+
   [[nodiscard]] int k() const noexcept { return k_; }
 
  private:

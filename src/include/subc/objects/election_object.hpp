@@ -57,6 +57,31 @@ class StrongSetElectionObject {
     return winners_[pick];
   }
 
+  /// Stepped-engine form: announce `{oid(), kChoose}`, run inside the
+  /// grant. Past-capacity invocations hang (`StepContext::hang`) and return
+  /// ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp).
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  Value step_invoke(StepContext& ctx, Value id) {
+    if (id == kBottom) {
+      throw SimError("invoke(⊥) is illegal");
+    }
+    if (invocations_ == n_) {
+      ctx.hang();  // caller must return from step() immediately
+      return kBottom;
+    }
+    ++invocations_;
+    const bool may_self = static_cast<int>(winners_.size()) < k_;
+    const std::uint32_t arity =
+        static_cast<std::uint32_t>(winners_.size()) + (may_self ? 1u : 0u);
+    SUBC_ASSERT(arity >= 1);
+    const std::uint32_t pick = ctx.choose(arity);
+    if (may_self && pick == winners_.size()) {
+      winners_.push_back(id);
+      return id;
+    }
+    return winners_[pick];
+  }
+
   [[nodiscard]] int capacity() const noexcept { return n_; }
   [[nodiscard]] int agreement() const noexcept { return k_; }
 

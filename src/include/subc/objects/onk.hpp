@@ -52,7 +52,15 @@ class GacObject {
     return n * (i + 1) + i;
   }
 
+  /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
+  /// Past-capacity arrivals hang the process (`StepContext::hang`) and
+  /// return ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp).
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  Value step_propose(StepContext& ctx, Value v);
+
  private:
+  Value serve(Value v);
+
   ObjectId id_;
   int n_;
   int i_;

@@ -34,6 +34,14 @@ class Register {
   /// from process code: it would bypass the step model.
   [[nodiscard]] const T& peek() const noexcept { return value_; }
 
+  /// Stepped-engine access (runtime/stepper.hpp): the body announces the
+  /// footprint itself — `SUBC_STEP_POINT(ctx, reg.oid(), kind)` — then runs
+  /// the atomic operation body via `step_*` inside the granted step. Same
+  /// body as `read`/`write`, minus the suspension.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  [[nodiscard]] const T& step_read() const noexcept { return value_; }
+  void step_write(T v) { value_ = std::move(v); }
+
  private:
   ObjectId id_;
   T value_;

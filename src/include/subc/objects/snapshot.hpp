@@ -46,6 +46,16 @@ class AtomicSnapshot {
     return cells_;
   }
 
+  /// Stepped-engine access (runtime/stepper.hpp): announce with `oid()` at
+  /// the step point (`kWrite` for update, `kRead` for scan), run the atomic
+  /// body via `step_*` inside the grant.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  void step_update(int i, T v) {
+    check_index(i);
+    cells_[static_cast<std::size_t>(i)] = std::move(v);
+  }
+  [[nodiscard]] std::vector<T> step_scan() const { return cells_; }
+
  private:
   void check_index(int i) const {
     if (i < 0 || i >= size()) {

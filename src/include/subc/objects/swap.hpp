@@ -27,6 +27,12 @@ class SwapRegister {
     return value_;
   }
 
+  /// Stepped-engine access (runtime/stepper.hpp): announce with `oid()` at
+  /// the step point, run the atomic body via `step_*` inside the grant.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  Value step_swap(Value v) noexcept { return std::exchange(value_, v); }
+  [[nodiscard]] Value step_read() const noexcept { return value_; }
+
  private:
   ObjectId id_;
   Value value_;

@@ -36,6 +36,12 @@ class WrnObject {
   /// Post-run peek at a slot (never call from process code).
   [[nodiscard]] Value peek(int index) const;
 
+  /// Stepped-engine access (runtime/stepper.hpp): announce
+  /// `{oid(), kRmw}` at the step point, run the atomic body via `step_wrn`
+  /// inside the granted step.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  Value step_wrn(int index, Value v);
+
  private:
   ObjectId id_;
   int k_;
@@ -52,7 +58,16 @@ class OneShotWrnObject {
 
   [[nodiscard]] int k() const noexcept { return k_; }
 
+  /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
+  /// On index reuse it hangs the process (`StepContext::hang`) and returns
+  /// ⊥ — call through `SUBC_STEP_CALL` so the body cuts short, mirroring
+  /// the fiber form where `Context::hang` never returns.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+  Value step_wrn(StepContext& ctx, int index, Value v);
+
  private:
+  Value commit(std::size_t i, Value v);
+
   ObjectId id_;
   int k_;
   std::vector<Value> slots_;

@@ -42,6 +42,14 @@ struct AllocCounters {
   std::uint64_t fiber_stack_reuses = 0;
   /// Fiber stacks that had to be allocated fresh.
   std::uint64_t fiber_stack_allocs = 0;
+  /// Stepped-engine state blocks carved from world arenas (runtime.hpp
+  /// `add_stepped`).
+  std::uint64_t stepped_blocks_carved = 0;
+  /// Carves served from already-warm arena storage (no chunk growth) —
+  /// the allocation-free steady state.
+  std::uint64_t stepped_block_reuses = 0;
+  /// Bytes of stepped state carved (requested, not padded).
+  std::uint64_t stepped_block_bytes = 0;
 };
 
 namespace detail {
@@ -51,6 +59,9 @@ struct AllocCounterCells {
   std::atomic<std::uint64_t> arena_reuses{0};
   std::atomic<std::uint64_t> fiber_stack_reuses{0};
   std::atomic<std::uint64_t> fiber_stack_allocs{0};
+  std::atomic<std::uint64_t> stepped_blocks_carved{0};
+  std::atomic<std::uint64_t> stepped_block_reuses{0};
+  std::atomic<std::uint64_t> stepped_block_bytes{0};
 };
 AllocCounterCells& alloc_counter_cells() noexcept;
 }  // namespace detail

@@ -1,12 +1,26 @@
 // The asynchronous shared-memory simulation kernel.
 //
-// A `Runtime` owns a set of simulated processes (fibers) and drives them one
-// atomic step at a time under the control of a `SchedulePolicy`. Shared
-// objects (src/objects/) mark the boundary of each atomic operation by
-// calling `Context::sched_point()` immediately before the operation body;
-// since exactly one fiber runs at a time, the body executes atomically and
-// the interleaving granularity is exactly one shared-memory step, as in the
+// A `Runtime` owns a set of simulated processes and drives them one atomic
+// step at a time under the control of a `SchedulePolicy`. Shared objects
+// (src/objects/) mark the boundary of each atomic operation by calling
+// `Context::sched_point()` immediately before the operation body; since
+// exactly one process runs at a time, the body executes atomically and the
+// interleaving granularity is exactly one shared-memory step, as in the
 // papers' model (DESIGN.md §3).
+//
+// Two execution engines host processes, freely mixed within one world
+// (docs/explorer.md "Execution engines"):
+//  * fibers (Engine::kFiber, the general form) — the body is an ordinary
+//    function running on a private stack; `sched_point` suspends it with a
+//    userspace context switch;
+//  * stepped (Engine::kStepped) — the body is an explicit resumable state
+//    machine (runtime/stepper.hpp) whose suspension points return control to
+//    the kernel by plain function return, paying no stack switch and no
+//    fiber-stack allocation. State blocks are tiny and arena-carved.
+// Both engines announce footprints, honor crash/hang semantics, and drive
+// the schedule policy identically, so a world produces bit-identical traces
+// and explorer verdicts whichever engine hosts its processes
+// (tests/equivalence_pin_test.cpp).
 //
 // The kernel sits between two orthogonal layers: the policy (scheduler.hpp,
 // policy.hpp) *decides* — which process steps, what nondeterministic objects
@@ -26,8 +40,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "subc/runtime/arena.hpp"
@@ -38,6 +54,7 @@ namespace subc {
 
 class Runtime;
 class Fiber;
+class StepContext;
 class TraceObserver;
 
 /// Kernel-assigned identity of one shared object, used only for access
@@ -64,6 +81,7 @@ class ObjectId {
 
  private:
   friend class Context;
+  friend class StepContext;
   mutable std::uint32_t id_ = 0;  // 0 = not yet assigned
 };
 
@@ -118,6 +136,68 @@ std::string to_string(ProcState s);
 /// objects constructed against the same runtime.
 using ProcessFn = std::function<void(Context&)>;
 
+/// Execution engine hosting a simulated process (see the header comment).
+enum class Engine : std::uint8_t { kFiber, kStepped };
+
+/// Per-process handle passed to stepped process bodies: the stepped-engine
+/// counterpart of `Context`. The `SUBC_STEP_*` macro layer
+/// (runtime/stepper.hpp) calls `resume_point`/`suspend`/`finish`; body code
+/// between step points uses `pid`/`choose`/`decide` exactly like fiber code
+/// uses `Context`. `hang`/`hung` implement the undetectable-hang convention
+/// without fibers: a hangable stepped operation marks the process hung and
+/// its caller must return from `step` immediately (`SUBC_STEP_CALL`).
+class StepContext {
+ public:
+  /// This process's identifier (0-based, dense).
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+
+  /// The resume point recorded by the last `suspend` (0 before the first:
+  /// `SUBC_STEP_BEGIN` dispatches on it).
+  [[nodiscard]] std::uint32_t resume_point() const noexcept;
+
+  /// Suspends the process until its next grant, recording where to resume
+  /// (`point` != 0; the macro layer passes `__LINE__`). This overload
+  /// declares no footprint for the pending step (dependent with
+  /// everything); the second announces `{obj, kind}`, assigning the
+  /// object's id on first use exactly like `Context::sched_point`.
+  void suspend(std::uint32_t point);
+  void suspend(std::uint32_t point, const ObjectId& obj, AccessKind kind);
+
+  /// Marks the body complete (the stepped analogue of the process function
+  /// returning). The process takes no further steps.
+  void finish();
+
+  /// Hangs the process undetectably (stepped analogue of `Context::hang`).
+  /// Unlike the fiber form this *returns*; the caller must immediately
+  /// return from `step` without touching shared state (`SUBC_STEP_CALL`).
+  void hang();
+
+  /// True once this process is hung; lets `SUBC_STEP_CALL` cut the body
+  /// short after a hangable operation.
+  [[nodiscard]] bool hung() const noexcept;
+
+  /// Resolves object nondeterminism adversarially, as `Context::choose`.
+  std::uint32_t choose(std::uint32_t arity);
+
+  /// Records this process's task output, as `Context::decide`.
+  void decide(Value v);
+
+  /// The owning runtime.
+  [[nodiscard]] Runtime& runtime() const noexcept { return *runtime_; }
+
+ private:
+  friend class Runtime;
+  StepContext(Runtime* rt, int pid) : runtime_(rt), pid_(pid) {}
+
+  Runtime* runtime_;
+  int pid_;
+};
+
+/// A stepped process body: invoked once per kernel grant with its state
+/// block; must advance the machine by exactly one announced step and return
+/// (runtime/stepper.hpp). Plain function pointer — state lives in `state`.
+using SteppedFn = void (*)(void* state, StepContext& ctx);
+
 /// One simulated world: processes plus the schedule that drives them.
 /// Single-use — construct, add processes, `run` once.
 class Runtime {
@@ -128,8 +208,30 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Registers a process; returns its pid. Must precede `run`.
+  /// Registers a fiber-engine process; returns its pid. Must precede `run`.
   int add_process(ProcessFn fn);
+
+  /// Registers a stepped-engine process; returns a reference to its state
+  /// block, copied into the world's arena (so the block dies with the world
+  /// and steady-state construction is allocation-free). `T` must provide
+  /// `void step(StepContext&)` written against the `SUBC_STEP_*` macro
+  /// layer (runtime/stepper.hpp). Pids are assigned in registration order
+  /// regardless of engine; stepped and fiber processes mix freely.
+  template <class T>
+  T& add_stepped(T state) {
+    T* block = static_cast<T*>(carve_stepped_block(sizeof(T), alignof(T)));
+    ::new (block) T(std::move(state));
+    add_stepped_raw(&step_invoke<T>, block,
+                    std::is_trivially_destructible_v<T> ? nullptr
+                                                        : &step_destroy<T>);
+    return *block;
+  }
+
+  /// Low-level stepped registration for callers that manage their own state
+  /// block (it must outlive the runtime unless `destroy` is given, in which
+  /// case the runtime invokes it at teardown). Returns the pid.
+  int add_stepped_raw(SteppedFn fn, void* state,
+                      void (*destroy)(void*) = nullptr);
 
   [[nodiscard]] int num_processes() const noexcept {
     return static_cast<int>(num_procs_);
@@ -182,11 +284,30 @@ class Runtime {
 
  private:
   friend class Context;
+  friend class StepContext;
 
   struct Proc;
 
+  template <class T>
+  static void step_invoke(void* state, StepContext& ctx) {
+    static_cast<T*>(state)->step(ctx);
+  }
+  template <class T>
+  static void step_destroy(void* state) {
+    static_cast<T*>(state)->~T();
+  }
+
+  /// Arena storage for a stepped state block, with the carve counted in the
+  /// process-wide stepped-block telemetry (arena.hpp).
+  void* carve_stepped_block(std::size_t bytes, std::size_t align);
+
+  /// Runs `proc` until its next suspension point: resumes the fiber, or
+  /// invokes the stepped body once (engine dispatch for priming + grants).
+  void advance(Proc& proc);
+
   void check_pid(int pid) const;
   std::size_t collect_enabled(int* enabled, Access* footprints) const;
+  int attach_proc(Proc* proc);
   ScheduleDriver* driver_ = nullptr;
   TraceObserver* observer_ = nullptr;
 

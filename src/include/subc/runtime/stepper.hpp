@@ -1,0 +1,89 @@
+// The stepped execution engine's macro layer (Engine::kStepped).
+//
+// A stepped process body is an explicit resumable state machine: a struct
+// holding everything that must survive a suspension, plus a
+// `void step(StepContext&)` method the kernel calls once per grant. Inside
+// `step`, the macros below compile the body into a switch-resume machine
+// (the classic protothreads / Duff's-device form): `SUBC_STEP_POINT`
+// announces the next atomic operation's footprint and returns control to
+// the kernel by *plain function return* — no stack to allocate, no context
+// switch to pay — and the next grant's `step` call jumps straight back to
+// the point after the announcement, where the atomic operation body runs.
+//
+// Rules (docs/explorer.md "Execution engines"):
+//  * at most one `SUBC_STEP_POINT`/`_POINT_ANY` per source line (resume
+//    points are keyed on `__LINE__`);
+//  * everything live across a step point must be a member of the state
+//    struct — locals reset on every `step` call, and loop headers whose
+//    induction variable is a member (`for (s_ = 0; ...)`) resume correctly;
+//  * no declarations with initializers between `SUBC_STEP_BEGIN` and a
+//    later step point (the resume jump may not cross an initialization) —
+//    declare scratch before `SUBC_STEP_BEGIN` or keep it in the state;
+//  * shared-object accesses go through the objects' `step_*` cores, which
+//    execute the announced atomic body without re-announcing; hangable
+//    cores (GAC propose past capacity, 1sWRN index reuse, SSE past n) are
+//    wrapped in `SUBC_STEP_CALL` so a hang cuts the body short;
+//  * bodies that do not flatten — recursion, helper-call structure, loops
+//    whose shared-op sequence depends on unbounded intermediate state (BG
+//    simulation, the universal construction, register-built snapshots) —
+//    stay on the fiber engine. The two engines mix freely in one world.
+//
+// The atomicity granularity is unchanged: a step point is the *same*
+// interleaving boundary as `Context::sched_point`, and the kernel drives
+// both engines through one decision loop, so worlds produce bit-identical
+// traces and explorer verdicts whichever engine hosts each process.
+#pragma once
+
+#include "subc/runtime/runtime.hpp"
+
+/// Opens the resume switch. `step` falls through to the code after the
+/// macro on first entry and jumps to the last announced point on re-entry.
+#define SUBC_STEP_BEGIN(ctx) \
+  switch ((ctx).resume_point()) { \
+    case 0:
+
+/// Announces the next atomic step's footprint ({obj, kind}, an `ObjectId`
+/// from the object's `oid()` accessor) and suspends. The statement after
+/// the macro executes inside the granted step — it IS the atomic body.
+#define SUBC_STEP_POINT(ctx, obj, kind)       \
+  do {                                        \
+    (ctx).suspend(__LINE__, (obj), (kind));   \
+    return;                                   \
+    case __LINE__:;                           \
+  } while (0)
+
+/// As `SUBC_STEP_POINT` with no declared footprint (the pending step is
+/// treated as dependent with everything — always sound).
+#define SUBC_STEP_POINT_ANY(ctx) \
+  do {                           \
+    (ctx).suspend(__LINE__);     \
+    return;                      \
+    case __LINE__:;              \
+  } while (0)
+
+/// Invokes a hangable stepped operation inside a granted step: assigns the
+/// result to `lhs`, then returns from `step` if the operation hung the
+/// process (mirroring the fiber engine, where `Context::hang` never
+/// returns into the body).
+#define SUBC_STEP_CALL(ctx, lhs, expr) \
+  do {                                 \
+    lhs = (expr);                      \
+    if ((ctx).hung()) {                \
+      return;                          \
+    }                                  \
+  } while (0)
+
+/// Finishes the body early from inside the switch (the stepped analogue of
+/// `return` in a fiber body).
+#define SUBC_STEP_RETURN(ctx) \
+  do {                        \
+    (ctx).finish();           \
+    return;                   \
+  } while (0)
+
+/// Closes the resume switch and marks the body complete when control falls
+/// off its end.
+#define SUBC_STEP_END(ctx) \
+  }                        \
+  (ctx).finish();          \
+  return

@@ -14,10 +14,25 @@ Value GacObject::propose(Context& ctx, Value v) {
     throw SimError("propose(⊥) is illegal");
   }
   ctx.sched_point(id_, AccessKind::kRmw);
-  const int t = static_cast<int>(arrivals_.size()) + 1;  // 1-based arrival
-  if (t > capacity()) {
+  if (static_cast<int>(arrivals_.size()) >= capacity()) {
     ctx.hang();
   }
+  return serve(v);
+}
+
+Value GacObject::step_propose(StepContext& ctx, Value v) {
+  if (v == kBottom) {
+    throw SimError("propose(⊥) is illegal");
+  }
+  if (static_cast<int>(arrivals_.size()) >= capacity()) {
+    ctx.hang();  // caller must return from step() immediately
+    return kBottom;
+  }
+  return serve(v);
+}
+
+Value GacObject::serve(Value v) {
+  const int t = static_cast<int>(arrivals_.size()) + 1;  // 1-based arrival
   arrivals_.push_back(v);
   if (t <= n_ * (i_ + 1)) {
     const int block = (t - 1) / n_;

@@ -23,6 +23,11 @@ WrnObject::WrnObject(int k)
 Value WrnObject::wrn(Context& ctx, int index, Value v) {
   check_params(k_, index, v);
   ctx.sched_point(id_, AccessKind::kRmw);
+  return step_wrn(index, v);
+}
+
+Value WrnObject::step_wrn(int index, Value v) {
+  check_params(k_, index, v);
   slots_[static_cast<std::size_t>(index)] = v;
   return slots_[static_cast<std::size_t>((index + 1) % k_)];
 }
@@ -52,9 +57,23 @@ Value OneShotWrnObject::wrn(Context& ctx, int index, Value v) {
     // and hangs the system in a manner that cannot be detected."
     ctx.hang();
   }
+  return commit(i, v);
+}
+
+Value OneShotWrnObject::step_wrn(StepContext& ctx, int index, Value v) {
+  check_params(k_, index, v);
+  const auto i = static_cast<std::size_t>(index);
+  if (used_[i]) {
+    ctx.hang();  // caller must return from step() immediately
+    return kBottom;
+  }
+  return commit(i, v);
+}
+
+Value OneShotWrnObject::commit(std::size_t i, Value v) {
   used_[i] = true;
   slots_[i] = v;
-  return slots_[static_cast<std::size_t>((index + 1) % k_)];
+  return slots_[(i + 1) % static_cast<std::size_t>(k_)];
 }
 
 }  // namespace subc

@@ -17,6 +17,12 @@ AllocCounters alloc_counters() noexcept {
   out.arena_reuses = c.arena_reuses.load(std::memory_order_relaxed);
   out.fiber_stack_reuses = c.fiber_stack_reuses.load(std::memory_order_relaxed);
   out.fiber_stack_allocs = c.fiber_stack_allocs.load(std::memory_order_relaxed);
+  out.stepped_blocks_carved =
+      c.stepped_blocks_carved.load(std::memory_order_relaxed);
+  out.stepped_block_reuses =
+      c.stepped_block_reuses.load(std::memory_order_relaxed);
+  out.stepped_block_bytes =
+      c.stepped_block_bytes.load(std::memory_order_relaxed);
   return out;
 }
 

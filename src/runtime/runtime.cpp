@@ -1,6 +1,7 @@
 #include "subc/runtime/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "subc/runtime/fiber.hpp"
@@ -22,19 +23,35 @@ std::string to_string(ProcState s) {
   return "?";
 }
 
-// Procs live in the runtime's leased arena (placement-new in add_process,
-// explicit destruction in ~Runtime), so world construction is a couple of
-// pointer bumps rather than one heap round-trip per process.
+// Procs live in the runtime's leased arena (placement-new in
+// add_process/add_stepped, explicit destruction in ~Runtime), so world
+// construction is a couple of pointer bumps rather than one heap round-trip
+// per process. The record carries both engines' fields; only fiber procs
+// additionally carve a Fiber (and its pooled stack) from the arena, so a
+// stepped proc's whole footprint is this small block plus its state block.
 struct Runtime::Proc {
   Context ctx;
   ProcState state = ProcState::kRunning;
+  Engine engine;
   std::int64_t steps = 0;
-  /// Footprint of the pending step, announced at the sched_point that
-  /// suspended the fiber. Default (unknown) until the first sched_point and
-  /// after any footprint-less one.
+  /// Footprint of the pending step, announced at the sched_point /
+  /// SUBC_STEP_POINT that suspended the process. Default (unknown) until
+  /// the first announcement and after any footprint-less one.
   Access next_access;
+
+  // Stepped engine (Engine::kStepped): the explicit state machine.
+  SteppedFn step_fn = nullptr;
+  void* step_state = nullptr;
+  void (*step_dtor)(void*) = nullptr;
+  std::uint32_t step_resume = 0;
+  /// Set by StepContext::suspend/finish during a `step` call; a stepped
+  /// body returning with this false (and the process still running) forgot
+  /// its SUBC_STEP_POINT/END and is diagnosed instead of spinning.
+  bool step_advanced = false;
+
+  // Fiber engine (Engine::kFiber): body function + arena-carved fiber.
   ProcessFn fn;
-  Fiber fiber;  // last: destroyed (kill-unwound) while `fn` is still alive
+  Fiber* fiber = nullptr;
 
   static void entry(void* raw) {
     Proc* p = static_cast<Proc*>(raw);
@@ -42,7 +59,29 @@ struct Runtime::Proc {
   }
 
   Proc(Runtime* rt, int pid, ProcessFn f)
-      : ctx(rt, pid), fn(std::move(f)), fiber(&Proc::entry, this) {}
+      : ctx(rt, pid), engine(Engine::kFiber), fn(std::move(f)) {
+    fiber = rt->arena_->create<Fiber>(&Proc::entry, this);
+  }
+
+  Proc(Runtime* rt, int pid, SteppedFn f, void* state, void (*dtor)(void*))
+      : ctx(rt, pid),
+        engine(Engine::kStepped),
+        step_fn(f),
+        step_state(state),
+        step_dtor(dtor) {}
+
+  ~Proc() {
+    // Kill-unwind the fiber (if any) while `fn` is still alive, then tear
+    // down the stepped state block the runtime adopted.
+    if (fiber != nullptr) {
+      fiber->~Fiber();
+      fiber = nullptr;
+    }
+    if (step_dtor != nullptr) {
+      step_dtor(step_state);
+      step_dtor = nullptr;
+    }
+  }
 };
 
 Runtime::Runtime() : observer_(thread_default_observer()) {}
@@ -55,6 +94,23 @@ Runtime::~Runtime() {
   }
 }
 
+int Runtime::attach_proc(Proc* proc) {
+  if (num_procs_ == procs_cap_) {
+    const std::size_t cap = procs_cap_ == 0 ? 8 : procs_cap_ * 2;
+    Proc** grown = arena_->allocate_array<Proc*>(cap);
+    std::copy(procs_, procs_ + num_procs_, grown);
+    procs_ = grown;
+    procs_cap_ = cap;
+  }
+  procs_[num_procs_] = proc;
+  ++num_procs_;
+  if (decisions_.size() == decisions_.capacity()) {
+    decisions_.reserve(std::max<std::size_t>(8, decisions_.capacity() * 2));
+  }
+  decisions_.push_back(kBottom);
+  return static_cast<int>(num_procs_) - 1;
+}
+
 int Runtime::add_process(ProcessFn fn) {
   if (started_) {
     throw SimError("add_process after run() started");
@@ -63,20 +119,34 @@ int Runtime::add_process(ProcessFn fn) {
     throw SimError("add_process requires a non-empty function");
   }
   const int pid = num_processes();
-  if (num_procs_ == procs_cap_) {
-    const std::size_t cap = procs_cap_ == 0 ? 8 : procs_cap_ * 2;
-    Proc** grown = arena_->allocate_array<Proc*>(cap);
-    std::copy(procs_, procs_ + num_procs_, grown);
-    procs_ = grown;
-    procs_cap_ = cap;
+  return attach_proc(arena_->create<Proc>(this, pid, std::move(fn)));
+}
+
+int Runtime::add_stepped_raw(SteppedFn fn, void* state,
+                             void (*destroy)(void*)) {
+  if (started_) {
+    throw SimError("add_stepped after run() started");
   }
-  procs_[num_procs_] = arena_->create<Proc>(this, pid, std::move(fn));
-  ++num_procs_;
-  if (decisions_.size() == decisions_.capacity()) {
-    decisions_.reserve(std::max<std::size_t>(8, decisions_.capacity() * 2));
+  if (fn == nullptr) {
+    throw SimError("add_stepped requires a non-null step function");
   }
-  decisions_.push_back(kBottom);
-  return pid;
+  const int pid = num_processes();
+  return attach_proc(arena_->create<Proc>(this, pid, fn, state, destroy));
+}
+
+void* Runtime::carve_stepped_block(std::size_t bytes, std::size_t align) {
+  auto& cells = detail::alloc_counter_cells();
+  const std::uint64_t chunks_before =
+      cells.arena_chunks.load(std::memory_order_relaxed);
+  void* block = arena_->allocate(bytes, align);
+  cells.stepped_blocks_carved.fetch_add(1, std::memory_order_relaxed);
+  cells.stepped_block_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (cells.arena_chunks.load(std::memory_order_relaxed) == chunks_before) {
+    // Carved from already-warm arena storage: the steady state the
+    // allocation-free hot path is designed for.
+    cells.stepped_block_reuses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return block;
 }
 
 void Runtime::check_pid(int pid) const {
@@ -97,6 +167,24 @@ std::size_t Runtime::collect_enabled(int* enabled, Access* footprints) const {
   return n;
 }
 
+void Runtime::advance(Proc& proc) {
+  if (proc.engine == Engine::kFiber) {
+    proc.fiber->resume();
+    if (proc.fiber->finished() && proc.state == ProcState::kRunning) {
+      proc.state = ProcState::kDone;
+    }
+    return;
+  }
+  proc.step_advanced = false;
+  StepContext ctx(this, proc.ctx.pid());
+  proc.step_fn(proc.step_state, ctx);
+  if (proc.state == ProcState::kRunning && !proc.step_advanced) {
+    throw SimError("stepped body returned without SUBC_STEP_POINT/END "
+                   "(pid " +
+                   std::to_string(proc.ctx.pid()) + ")");
+  }
+}
+
 Runtime::RunResult Runtime::run(ScheduleDriver& driver,
                                 std::int64_t max_steps) {
   if (started_) {
@@ -109,18 +197,15 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     observer_->on_run_begin(num_processes());
   }
 
-  // Prime every fiber: run its process-local prologue up to the first
-  // shared-memory operation (the first sched_point). Priming executes no
-  // shared step, so it is not a scheduling decision — but it does announce
-  // each process's first footprint, so every pick below sees a complete
-  // footprint vector.
+  // Prime every process: run its process-local prologue up to the first
+  // shared-memory operation (the first sched_point / SUBC_STEP_POINT).
+  // Priming executes no shared step, so it is not a scheduling decision —
+  // but it does announce each process's first footprint, so every pick
+  // below sees a complete footprint vector.
   for (std::size_t i = 0; i < num_procs_; ++i) {
     Proc* proc = procs_[i];
     if (proc->state == ProcState::kRunning) {
-      proc->fiber.resume();
-      if (proc->fiber.finished() && proc->state == ProcState::kRunning) {
-        proc->state = ProcState::kDone;
-      }
+      advance(*proc);
     }
   }
 
@@ -171,10 +256,7 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     }
     ++total_steps_;
     ++proc.steps;
-    proc.fiber.resume();
-    if (proc.fiber.finished() && proc.state == ProcState::kRunning) {
-      proc.state = ProcState::kDone;
-    }
+    advance(proc);
   }
   driver_ = nullptr;
 
@@ -257,6 +339,70 @@ void Context::hang() {
   for (;;) {
     Fiber::yield();  // Only a kill-unwind ever resumes us; yield() throws.
   }
+}
+
+std::uint32_t StepContext::resume_point() const noexcept {
+  return runtime_->procs_[static_cast<std::size_t>(pid_)]->step_resume;
+}
+
+void StepContext::suspend(std::uint32_t point) {
+  SUBC_ASSERT(point != 0);  // 0 is the initial-entry dispatch value
+  Runtime::Proc& proc = *runtime_->procs_[static_cast<std::size_t>(pid_)];
+  proc.next_access = Access{};
+  proc.step_resume = point;
+  proc.step_advanced = true;
+}
+
+void StepContext::suspend(std::uint32_t point, const ObjectId& obj,
+                          AccessKind kind) {
+  SUBC_ASSERT(point != 0);
+  if (obj.id_ == 0) {
+    obj.id_ = runtime_->next_object_id_++;
+  }
+  Runtime::Proc& proc = *runtime_->procs_[static_cast<std::size_t>(pid_)];
+  proc.next_access = Access{obj.id_, kind};
+  proc.step_resume = point;
+  proc.step_advanced = true;
+}
+
+void StepContext::finish() {
+  Runtime::Proc& proc = *runtime_->procs_[static_cast<std::size_t>(pid_)];
+  if (proc.state == ProcState::kRunning) {
+    proc.state = ProcState::kDone;
+  }
+  proc.step_advanced = true;
+}
+
+void StepContext::hang() {
+  runtime_->procs_[static_cast<std::size_t>(pid_)]->state = ProcState::kHung;
+}
+
+bool StepContext::hung() const noexcept {
+  return runtime_->procs_[static_cast<std::size_t>(pid_)]->state ==
+         ProcState::kHung;
+}
+
+std::uint32_t StepContext::choose(std::uint32_t arity) {
+  if (runtime_->driver_ == nullptr) {
+    throw SimError("choose() outside run()");
+  }
+  const std::uint32_t c = runtime_->driver_->choose(arity);
+  SUBC_ASSERT(c < arity);
+  if (runtime_->observer_ != nullptr) {
+    runtime_->observer_->on_choose(pid_, arity, c);
+  }
+  return c;
+}
+
+void StepContext::decide(Value v) {
+  if (v == kBottom) {
+    throw SimError("decide(⊥) is not a valid task output");
+  }
+  Value& slot = runtime_->decisions_[static_cast<std::size_t>(pid_)];
+  if (slot != kBottom) {
+    throw SimError("process " + std::to_string(pid_) + " decided twice");
+  }
+  slot = v;
 }
 
 }  // namespace subc

@@ -1,13 +1,22 @@
 // Pins the exhaustive explorer's exact result grid on the reduction_test
 // worlds (register, GAC, WRN, classic consensus): verdict, execution count
-// and reduced_subtrees at fixed {reduction, threads}. The numbers were
-// captured from the pre-policy-refactor explorer; any drift means the
-// re-architecture changed exhaustive-search semantics, which it must not.
+// and reduced_subtrees at fixed {engine, reduction, threads, max_crashes}.
+// The crash-free numbers were captured from the pre-policy-refactor
+// explorer; any drift means the re-architecture changed exhaustive-search
+// semantics, which it must not.
+//
+// Every world exists in two forms — the fiber body and its stepped twin
+// (subc/algorithms/stepped_bodies.hpp) — and both must hit the *same* pins:
+// the two execution engines are required to produce bit-identical `Result`s
+// (executions, reduced_subtrees, crash/stuck tallies, violations and their
+// traces) across {kNone, kSleepSets} × threads {1, 4} × max_crashes {0, 1}.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstddef>
 
 #include "subc/algorithms/classic_consensus.hpp"
+#include "subc/algorithms/stepped_bodies.hpp"
 #include "subc/core/tasks.hpp"
 #include "subc/objects/onk.hpp"
 #include "subc/objects/register.hpp"
@@ -18,6 +27,8 @@
 namespace subc {
 namespace {
 
+enum class Eng { kFiber, kStepped };
+
 struct Pin {
   const char* world;
   std::int64_t executions_none;
@@ -25,16 +36,22 @@ struct Pin {
   std::int64_t reduced_sleep;
 };
 
-ExecutionBody register_world() {
-  return [](ScheduleDriver& driver) {
+ExecutionBody register_world(Eng engine) {
+  return [engine](ScheduleDriver& driver) {
     Runtime rt;
     RegisterArray<> regs(3, kBottom);
     std::array<Value, 3> seen{kBottom, kBottom, kBottom};
     for (int p = 0; p < 3; ++p) {
-      rt.add_process([&, p](Context& ctx) {
-        regs[p].write(ctx, 10 + p);
-        seen[static_cast<std::size_t>(p)] = regs[(p + 1) % 3].read(ctx);
-      });
+      if (engine == Eng::kFiber) {
+        rt.add_process([&, p](Context& ctx) {
+          regs[p].write(ctx, 10 + p);
+          seen[static_cast<std::size_t>(p)] = regs[(p + 1) % 3].read(ctx);
+        });
+      } else {
+        rt.add_stepped(SteppedWriteThenRead{
+            &regs[p], &regs[(p + 1) % 3], 10 + p,
+            &seen[static_cast<std::size_t>(p)]});
+      }
     }
     rt.run(driver);
     for (int p = 0; p < 3; ++p) {
@@ -46,15 +63,20 @@ ExecutionBody register_world() {
   };
 }
 
-ExecutionBody gac_world() {
+ExecutionBody gac_world(Eng engine) {
   static const std::vector<Value> inputs{200, 201, 202};
-  return [](ScheduleDriver& driver) {
+  return [engine](ScheduleDriver& driver) {
     Runtime rt;
     GacObject gac(1, 1);
     for (int p = 0; p < 3; ++p) {
-      rt.add_process([&, p](Context& ctx) {
-        ctx.decide(gac.propose(ctx, inputs[static_cast<std::size_t>(p)]));
-      });
+      if (engine == Eng::kFiber) {
+        rt.add_process([&, p](Context& ctx) {
+          ctx.decide(gac.propose(ctx, inputs[static_cast<std::size_t>(p)]));
+        });
+      } else {
+        rt.add_stepped(
+            SteppedGacProposer{&gac, inputs[static_cast<std::size_t>(p)]});
+      }
     }
     const auto run = rt.run(driver);
     check_all_done_and_decided(run);
@@ -62,15 +84,20 @@ ExecutionBody gac_world() {
   };
 }
 
-ExecutionBody wrn_world() {
-  return [](ScheduleDriver& driver) {
+ExecutionBody wrn_world(Eng engine) {
+  return [engine](ScheduleDriver& driver) {
     Runtime rt;
     OneShotWrnObject wrn(3);
     std::array<Value, 3> got{kBottom, kBottom, kBottom};
     for (int p = 0; p < 3; ++p) {
-      rt.add_process([&, p](Context& ctx) {
-        got[static_cast<std::size_t>(p)] = wrn.wrn(ctx, p, 10 + p);
-      });
+      if (engine == Eng::kFiber) {
+        rt.add_process([&, p](Context& ctx) {
+          got[static_cast<std::size_t>(p)] = wrn.wrn(ctx, p, 10 + p);
+        });
+      } else {
+        rt.add_stepped(SteppedOneShotWrn{
+            &wrn, p, 10 + p, &got[static_cast<std::size_t>(p)]});
+      }
     }
     rt.run(driver);
     for (const Value v : got) {
@@ -81,17 +108,22 @@ ExecutionBody wrn_world() {
   };
 }
 
-ExecutionBody consensus_world() {
+ExecutionBody consensus_world(Eng engine) {
   static const std::vector<Value> inputs{3, 9};
-  return [](ScheduleDriver& driver) {
+  return [engine](ScheduleDriver& driver) {
     Runtime rt;
     TwoConsensusShared shared;
     SwapRegister swap(kBottom);
     for (int p = 0; p < 2; ++p) {
-      rt.add_process([&, p](Context& ctx) {
-        ctx.decide(consensus2_from_swap(
-            ctx, shared, swap, p, inputs[static_cast<std::size_t>(p)]));
-      });
+      if (engine == Eng::kFiber) {
+        rt.add_process([&, p](Context& ctx) {
+          ctx.decide(consensus2_from_swap(
+              ctx, shared, swap, p, inputs[static_cast<std::size_t>(p)]));
+        });
+      } else {
+        rt.add_stepped(SteppedSwapConsensus{
+            &shared, &swap, p, inputs[static_cast<std::size_t>(p)]});
+      }
     }
     const auto run = rt.run(driver);
     check_all_done_and_decided(run);
@@ -100,47 +132,109 @@ ExecutionBody consensus_world() {
   };
 }
 
-void expect_pinned(const ExecutionBody& body, const Pin& pin) {
-  for (const int threads : {1, 4}) {
-    Explorer::Options none;
-    none.reduction = Reduction::kNone;
-    none.threads = threads;
-    const auto raw = Explorer::explore(body, none);
-    EXPECT_TRUE(raw.ok()) << pin.world << ": " << *raw.violation;
-    EXPECT_TRUE(raw.complete) << pin.world;
-    EXPECT_EQ(raw.executions, pin.executions_none)
-        << pin.world << " threads=" << threads;
-    EXPECT_EQ(raw.reduced_subtrees, 0) << pin.world << " threads=" << threads;
+const char* engine_name(Eng e) {
+  return e == Eng::kFiber ? "fiber" : "stepped";
+}
 
-    Explorer::Options sleep;
-    sleep.reduction = Reduction::kSleepSets;
-    sleep.threads = threads;
-    const auto red = Explorer::explore(body, sleep);
-    EXPECT_TRUE(red.ok()) << pin.world << ": " << *red.violation;
-    EXPECT_TRUE(red.complete) << pin.world;
-    EXPECT_EQ(red.executions, pin.executions_sleep)
-        << pin.world << " threads=" << threads;
-    EXPECT_EQ(red.reduced_subtrees, pin.reduced_sleep)
-        << pin.world << " threads=" << threads;
+Explorer::Result explore(const ExecutionBody& body, Reduction reduction,
+                         int threads, int max_crashes) {
+  Explorer::Options opts;
+  opts.reduction = reduction;
+  opts.threads = threads;
+  opts.max_crashes = max_crashes;
+  if (max_crashes > 0) {
+    opts.step_quota = 100'000;
+  }
+  return Explorer::explore(body, opts);
+}
+
+/// Every field of `Result` that characterizes the search must match between
+/// the two runs — including any violation and its full decision string.
+void expect_identical(const Explorer::Result& got,
+                      const Explorer::Result& want) {
+  EXPECT_EQ(got.executions, want.executions);
+  EXPECT_EQ(got.reduced_subtrees, want.reduced_subtrees);
+  EXPECT_EQ(got.crashed_executions, want.crashed_executions);
+  EXPECT_EQ(got.stuck_executions, want.stuck_executions);
+  EXPECT_EQ(got.complete, want.complete);
+  EXPECT_EQ(got.violation.has_value(), want.violation.has_value());
+  if (got.violation.has_value() && want.violation.has_value()) {
+    EXPECT_EQ(*got.violation, *want.violation);
+  }
+  ASSERT_EQ(got.violating_trace.size(), want.violating_trace.size());
+  for (std::size_t i = 0; i < got.violating_trace.size(); ++i) {
+    const auto& g = got.violating_trace[i];
+    const auto& w = want.violating_trace[i];
+    EXPECT_EQ(g.chosen, w.chosen) << "decision " << i;
+    EXPECT_EQ(g.arity, w.arity) << "decision " << i;
+    EXPECT_EQ(g.crash, w.crash) << "decision " << i;
+  }
+}
+
+void expect_pinned(const ExecutionBody& fiber_body,
+                   const ExecutionBody& stepped_body, const Pin& pin) {
+  // Crash-free grid: both engines must hit the historical pins exactly.
+  for (const Eng engine : {Eng::kFiber, Eng::kStepped}) {
+    const ExecutionBody& body =
+        engine == Eng::kFiber ? fiber_body : stepped_body;
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(pin.world) + " engine=" + engine_name(engine) +
+                   " threads=" + std::to_string(threads));
+      const auto raw = explore(body, Reduction::kNone, threads, 0);
+      EXPECT_TRUE(raw.ok()) << *raw.violation;
+      EXPECT_TRUE(raw.complete);
+      EXPECT_EQ(raw.executions, pin.executions_none);
+      EXPECT_EQ(raw.reduced_subtrees, 0);
+
+      const auto red = explore(body, Reduction::kSleepSets, threads, 0);
+      EXPECT_TRUE(red.ok()) << *red.violation;
+      EXPECT_TRUE(red.complete);
+      EXPECT_EQ(red.executions, pin.executions_sleep);
+      EXPECT_EQ(red.reduced_subtrees, pin.reduced_sleep);
+    }
+  }
+
+  // Crash axis (f = 1): no historical pins, so the serial fiber run is the
+  // reference and every other {engine, threads} cell must match it
+  // bit-for-bit — tallies, verdict, and (if a validator rejects crashed
+  // worlds) the violation and its trace.
+  for (const Reduction reduction : {Reduction::kNone, Reduction::kSleepSets}) {
+    const auto reference = explore(fiber_body, reduction, 1, 1);
+    for (const Eng engine : {Eng::kFiber, Eng::kStepped}) {
+      const ExecutionBody& body =
+          engine == Eng::kFiber ? fiber_body : stepped_body;
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(std::string(pin.world) + " f=1 engine=" +
+                     engine_name(engine) +
+                     " threads=" + std::to_string(threads) + " reduction=" +
+                     (reduction == Reduction::kNone ? "none" : "sleep"));
+        expect_identical(explore(body, reduction, threads, 1), reference);
+      }
+    }
   }
 }
 
 // Captured from the pre-refactor explorer (PR 2 head): the policy/observer
-// re-architecture must not move any of these.
+// re-architecture must not move any of these — and the stepped engine must
+// reproduce them exactly.
 TEST(ExplorerEquivalencePin, RegisterWorld) {
-  expect_pinned(register_world(), {"register", 90, 7, 28});
+  expect_pinned(register_world(Eng::kFiber), register_world(Eng::kStepped),
+                {"register", 90, 7, 28});
 }
 
 TEST(ExplorerEquivalencePin, GacWorld) {
-  expect_pinned(gac_world(), {"gac", 6, 6, 0});
+  expect_pinned(gac_world(Eng::kFiber), gac_world(Eng::kStepped),
+                {"gac", 6, 6, 0});
 }
 
 TEST(ExplorerEquivalencePin, WrnWorld) {
-  expect_pinned(wrn_world(), {"wrn", 6, 6, 0});
+  expect_pinned(wrn_world(Eng::kFiber), wrn_world(Eng::kStepped),
+                {"wrn", 6, 6, 0});
 }
 
 TEST(ExplorerEquivalencePin, ClassicConsensusWorld) {
-  expect_pinned(consensus_world(), {"consensus", 6, 2, 3});
+  expect_pinned(consensus_world(Eng::kFiber), consensus_world(Eng::kStepped),
+                {"consensus", 6, 2, 3});
 }
 
 }  // namespace
