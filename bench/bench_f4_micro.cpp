@@ -35,7 +35,7 @@ struct SteppedWriterBody {
     SUBC_STEP_BEGIN(ctx);
     for (i_ = 0; i_ < batch; ++i_) {
       SUBC_STEP_POINT(ctx, reg->oid(), AccessKind::kWrite);
-      reg->step_write(i_);
+      reg->step_write(ctx, i_);
     }
     SUBC_STEP_END(ctx);
   }

@@ -17,11 +17,18 @@
 // reported.
 // Series 2: Wing–Gong checker time versus history length for maximally
 // concurrent 1sWRN histories (everything overlaps everything).
+// Series 3: stateful exploration — the same grid machinery at
+// {none, sleep, sleep+stateful} × threads {1, 4}; on convergent (mixed)
+// worlds the visited set must beat sleep-sets-alone by >= 5x executions on
+// at least one cell, and the serial stateful counts must be engine-identical
+// (fiber vs stepped).
 //
 // Results are also written to BENCH_F5.json (per-cell execution counts for
 // both reduction settings, reduction factor, serial and parallel times,
 // speedups, thread count).
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iterator>
 #include <thread>
@@ -160,6 +167,85 @@ CellResult run_cell(World world, int procs, int steps, int threads) {
                        ok_reduced == ok_parallel &&
                        cell.complete == complete_reduced &&
                        complete_reduced == complete_parallel;
+  return cell;
+}
+
+// One grid point explored at {none, sleep, sleep+stateful} × threads {1, 4}.
+// The stateless modes must agree bit-for-bit across thread counts; the
+// stateful mode is deterministic serially (and engine-identical — checked
+// against the stepped twin below) while its parallel run must only agree on
+// the verdict: the cut/execution split may vary with worker timing.
+struct StatefulCell {
+  long long execs_none = 0;
+  long long execs_sleep = 0;
+  long long execs_stateful = 0;
+  long long stateful_cuts = 0;
+  long long stateful_states = 0;
+  double none_ms = 0;
+  double sleep_ms = 0;
+  double stateful_ms = 0;
+  bool ok = false;  // verdicts + completeness agree across all six runs
+};
+
+StatefulCell run_stateful_cell(World world, int procs, int steps,
+                               std::int64_t capacity) {
+  const ExecutionBody body = grid_body(world, procs, steps);
+  StatefulCell cell;
+  Explorer::Options base;
+  base.max_executions = 5'000'000;
+  bool agree = true;
+  bool have_first = false;
+  bool ok0 = false;
+  bool complete0 = false;
+  const auto fold = [&](const Explorer::Result& r) {
+    if (!have_first) {
+      ok0 = r.ok();
+      complete0 = r.complete;
+      have_first = true;
+    }
+    agree = agree && r.ok() == ok0 && r.complete == complete0;
+  };
+  {
+    Explorer::Options o = base;
+    o.reduction = Reduction::kNone;
+    const subc_bench::Stopwatch sw;
+    const auto serial = Explorer::explore(body, o);
+    cell.none_ms = sw.ms();
+    cell.execs_none = serial.executions;
+    fold(serial);
+    o.threads = 4;
+    const auto par = Explorer::explore(body, o);
+    fold(par);
+    agree = agree && par.executions == serial.executions;
+  }
+  {
+    Explorer::Options o = base;
+    const subc_bench::Stopwatch sw;
+    const auto serial = Explorer::explore(body, o);
+    cell.sleep_ms = sw.ms();
+    cell.execs_sleep = serial.executions;
+    fold(serial);
+    o.threads = 4;
+    const auto par = Explorer::explore(body, o);
+    fold(par);
+    agree = agree && par.executions == serial.executions;
+  }
+  {
+    Explorer::Options o = base;
+    o.stateful = true;
+    o.stateful_capacity = capacity;
+    const subc_bench::Stopwatch sw;
+    const auto serial = Explorer::explore(body, o);
+    cell.stateful_ms = sw.ms();
+    cell.execs_stateful = serial.executions;
+    cell.stateful_cuts = serial.stateful_cuts;
+    cell.stateful_states = serial.stateful_states;
+    fold(serial);
+    o.threads = 4;
+    const auto par = Explorer::explore(body, o);
+    fold(par);  // counts may differ under parallel stateful; verdict must not
+  }
+  cell.ok = agree;
   return cell;
 }
 
@@ -431,10 +517,126 @@ int main() {
                                crash_serial.stuck_executions);
   crash_cell.set("counts_match", crash_match);
 
+  // Series 3 — stateful exploration (Explorer::Options::stateful): every
+  // cell explored at {none, sleep, sleep+stateful} × threads {1, 4}. On
+  // convergent worlds (mixed: last-writer-wins registers funnel many
+  // interleavings into few states) the visited set collapses the tree well
+  // beyond what sleep sets alone manage; the acceptance gate below requires
+  // >= 5x fewer executions than sleep-alone on at least one mixed cell.
+  std::printf("\nseries 3: stateful exploration, executions at "
+              "{none, sleep, sleep+stateful}\n");
+  std::printf("%6s %6s %6s %12s %12s %12s %8s %8s\n", "world", "procs",
+              "steps", "none", "sleep", "stateful", "cuts", "factor");
+  constexpr std::int64_t kStatefulCapacity = std::int64_t{1} << 20;
+  const Cell stateful_cells[] = {{World::kMixed, 2, 6},
+                                 {World::kMixed, 3, 3},
+                                 {World::kMixed, 3, 4},
+                                 {World::kReads, 3, 3}};
+  std::vector<subc_bench::Json> series3;
+  double best_stateful_factor = 0.0;
+  long long total_stateful_cuts = 0;
+  StatefulCell headline_stateful_cell;  // mixed 3x4: the headline grid point
+  for (const auto& [world, procs, steps] : stateful_cells) {
+    const StatefulCell cell =
+        run_stateful_cell(world, procs, steps, kStatefulCapacity);
+    ok = ok && cell.ok;
+    const double factor =
+        cell.execs_stateful > 0
+            ? static_cast<double>(cell.execs_sleep) /
+                  static_cast<double>(cell.execs_stateful)
+            : 0.0;
+    if (world == World::kMixed) {
+      best_stateful_factor = std::max(best_stateful_factor, factor);
+    }
+    if (world == World::kMixed && procs == 3 && steps == 4) {
+      headline_stateful_cell = cell;
+    }
+    total_stateful_cuts += cell.stateful_cuts;
+    std::printf("%6s %6d %6d %12lld %12lld %12lld %8lld %7.1fx\n",
+                world_name(world), procs, steps, cell.execs_none,
+                cell.execs_sleep, cell.execs_stateful, cell.stateful_cuts,
+                factor);
+    subc_bench::Json row;
+    row.set("world", world_name(world))
+        .set("procs", procs)
+        .set("steps", steps)
+        .set("executions_none", cell.execs_none)
+        .set("executions_sleep", cell.execs_sleep)
+        .set("executions_stateful", cell.execs_stateful)
+        .set("stateful_cuts", cell.stateful_cuts)
+        .set("stateful_states", cell.stateful_states)
+        .set("stateful_vs_sleep_factor", factor)
+        .set("none_ms", cell.none_ms)
+        .set("sleep_ms", cell.sleep_ms)
+        .set("stateful_ms", cell.stateful_ms)
+        .set("none_executions_per_sec",
+             cell.none_ms > 0
+                 ? 1000.0 * static_cast<double>(cell.execs_none) / cell.none_ms
+                 : 0.0)
+        .set("sleep_executions_per_sec",
+             cell.sleep_ms > 0 ? 1000.0 *
+                                     static_cast<double>(cell.execs_sleep) /
+                                     cell.sleep_ms
+                               : 0.0)
+        .set("stateful_executions_per_sec",
+             cell.stateful_ms > 0
+                 ? 1000.0 * static_cast<double>(cell.execs_stateful) /
+                       cell.stateful_ms
+                 : 0.0)
+        .set("verdicts_agree", cell.ok);
+    series3.push_back(row);
+  }
+  const bool stateful_effective = best_stateful_factor >= 5.0;
+  ok = ok && stateful_effective;
+
+  // Stateful headline cell (mixed, 3 procs x 4 steps, serial
+  // sleep+stateful): the stepped-engine twin must land on the identical
+  // (executions, stateful_cuts) pair — serial stateful search is
+  // deterministic and the two engines fingerprint identically.
+  Explorer::Options st_opts;
+  st_opts.max_executions = 5'000'000;
+  st_opts.stateful = true;
+  st_opts.stateful_capacity = kStatefulCapacity;
+  const subc_bench::Stopwatch st_sw;
+  const auto st_fiber = Explorer::explore(grid_body(World::kMixed, 3, 4),
+                                          st_opts);
+  const double st_ms = st_sw.ms();
+  const auto st_stepped =
+      Explorer::explore(stepped_grid_body(World::kMixed, 3, 4), st_opts);
+  const bool st_engines_match =
+      st_stepped.executions == st_fiber.executions &&
+      st_stepped.stateful_cuts == st_fiber.stateful_cuts;
+  ok = ok && st_fiber.ok() && st_fiber.complete && st_engines_match;
+  std::printf("\nstateful headline cell (mixed, 3 procs x 4 steps, serial "
+              "sleep+stateful): %lld executions (%lld cuts, %lld states) in "
+              "%.1f ms; best mixed-cell factor vs sleep-alone %.1fx "
+              "(gate >= 5x: %s); stepped twin identical: %s\n",
+              static_cast<long long>(st_fiber.executions),
+              static_cast<long long>(st_fiber.stateful_cuts),
+              static_cast<long long>(st_fiber.stateful_states), st_ms,
+              best_stateful_factor, stateful_effective ? "yes" : "NO",
+              st_engines_match ? "yes" : "NO");
+  subc_bench::Json stateful_headline;
+  stateful_headline.set("world", "mixed").set("procs", 3).set("steps", 4);
+  subc_bench::set_rate_fields(stateful_headline, st_fiber.executions, st_ms);
+  subc_bench::set_stateful_fields(stateful_headline, st_fiber.stateful_cuts,
+                                  st_fiber.stateful_states,
+                                  kStatefulCapacity);
+  stateful_headline
+      .set("executions_sleep_only", headline_stateful_cell.execs_sleep)
+      .set("stateful_vs_sleep_factor",
+           st_fiber.executions > 0
+               ? static_cast<double>(headline_stateful_cell.execs_sleep) /
+                     static_cast<double>(st_fiber.executions)
+               : 0.0)
+      .set("best_mixed_factor", best_stateful_factor)
+      .set("stepped_executions_match", st_engines_match);
+
   subc_bench::Json out;
   out.set("bench", "F5")
       .set("headline", headline_cell)
       .set("headline_stepped", stepped_cell)
+      .set("headline_stateful", stateful_headline)
       .set("crash_exploration", crash_cell)
       .set("threads", threads)
       .set("hardware_concurrency",
@@ -451,9 +653,13 @@ int main() {
       .set("cells_total", total_cells)
       .set("series1", series1)
       .set("series2", series2)
+      .set("series3_stateful", series3)
       .set("pass", ok);
   subc_bench::set_reduction_fields(out, total_reduced_subtrees,
                                    total_executions_reduced);
+  subc_bench::set_stateful_fields(out, total_stateful_cuts,
+                                  st_fiber.stateful_states,
+                                  kStatefulCapacity);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, crash_opts.max_crashes,
                                crash_serial.crashed_executions,

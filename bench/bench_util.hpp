@@ -225,6 +225,29 @@ inline void set_crash_fields(Json& json, int max_crashes,
   json.set("stuck_executions", stuck_executions);
 }
 
+/// Stamps the stateful-exploration telemetry (Explorer::Options::stateful):
+/// the cuts taken, distinct states recorded, visited-set occupancy
+/// (states / capacity) and hit rate (cuts / (cuts + states) — the fraction
+/// of probes that found their fingerprint already present). Benches that
+/// explore stateless pass (0, 0, capacity) so every artifact carries the
+/// cells and the perf trajectory can tell "stateful off" from "field
+/// missing".
+inline void set_stateful_fields(Json& json, std::int64_t stateful_cuts,
+                                std::int64_t stateful_states,
+                                std::int64_t capacity) {
+  json.set("stateful_cuts", stateful_cuts);
+  json.set("stateful_states", stateful_states);
+  json.set("stateful_occupancy",
+           capacity > 0 ? static_cast<double>(stateful_states) /
+                              static_cast<double>(capacity)
+                        : 0.0);
+  json.set("stateful_hit_rate",
+           stateful_cuts + stateful_states > 0
+               ? static_cast<double>(stateful_cuts) /
+                     static_cast<double>(stateful_cuts + stateful_states)
+               : 0.0);
+}
+
 /// Allocation-counter snapshot (`subc::alloc_counters()`): arena growth and
 /// reuse plus fiber-stack pool hits across everything the bench ran so far.
 /// Reuse counters climbing while chunk/alloc counters stay flat is the

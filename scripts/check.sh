@@ -26,6 +26,13 @@
 #                                 must verify linearizable, and the
 #                                 doorway-ablated variant must report a
 #                                 violation — both deterministic
+#   scripts/check.sh --stateful-smoke stateful-exploration gate only: the
+#                                 hashing/visited-set suite, the stateful
+#                                 explorer suite, and the stateful half of
+#                                 the equivalence pins, all under Debug +
+#                                 AddressSanitizer — proves stateful cuts
+#                                 stay sound and both engines fingerprint
+#                                 identically before anything ships
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,14 +40,16 @@ QUICK=0
 PERF_SMOKE=0
 STEPPER_SMOKE=0
 CRASH_SMOKE=0
+STATEFUL_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
     --perf-smoke) PERF_SMOKE=1 ;;
     --stepper-smoke) STEPPER_SMOKE=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
+    --stateful-smoke) STATEFUL_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke|--stateful-smoke]" >&2
       exit 2
       ;;
   esac
@@ -100,6 +109,27 @@ if [[ "${PERF_SMOKE}" == "1" ]]; then
     fi
   done
   [[ "${FAIL}" == "0" ]] || exit 1
+
+  # Stateful-exploration headline (BENCH_F5): the bench self-gates its
+  # >=5x execution-count win on the convergent mixed cell and exits
+  # non-zero on failure; on top of that, the deterministic
+  # best-mixed-cell factor must not drop below the checked-in baseline's.
+  # Execution counts (not wall clock) make this gate noise-free.
+  F5_BASELINE="scripts/perf_baseline/BENCH_F5.json"
+  if [[ ! -f "${F5_BASELINE}" ]]; then
+    echo "perf-smoke: missing baseline ${F5_BASELINE}" >&2
+    exit 2
+  fi
+  cmake --build build-release --target bench_f5_statespace
+  (cd bench-results && ../build-release/bench/bench_f5_statespace >/dev/null)
+  F5_FACTOR="$(extract_field best_mixed_factor bench-results/BENCH_F5.json)"
+  F5_BASE="$(extract_field best_mixed_factor "${F5_BASELINE}")"
+  echo "perf-smoke: stateful best mixed-cell factor ${F5_FACTOR}x vs baseline ${F5_BASE}x"
+  if ! awk -v c="${F5_FACTOR}" -v b="${F5_BASE}" \
+      'BEGIN { exit (c + 0 >= b + 0) ? 0 : 1 }'; then
+    echo "perf-smoke: FAIL — stateful exploration factor regressed below baseline" >&2
+    exit 1
+  fi
   echo "PERF SMOKE PASSED"
   exit 0
 fi
@@ -134,6 +164,27 @@ if [[ "${CRASH_SMOKE}" == "1" ]]; then
   cmake --build build --target crash_exploration_test
   build/tests/crash_exploration_test --gtest_filter='CrashExploration.Algorithm5LinearizableOverAllSingleCrashPlacements:CrashExploration.DoorwayAblationConvictedDeterministically'
   echo "CRASH SMOKE PASSED"
+  exit 0
+fi
+
+# --- Stateful smoke: the stateful-exploration soundness gate -------------
+# Stateful cuts are only admissible because they are provably the same
+# verdict: the hashing suite pins the fingerprint primitives and attacks
+# the visited set's open addressing, the stateful suite covers soundness
+# (violations found, replayed, shrunk; unported worlds degrade to zero
+# cuts) and the knob/checkpoint rules, and the stateful equivalence pins
+# require both engines to fingerprint bit-identically. Run under ASan so
+# the concurrent visited set gets lifetime-checked at the same time.
+if [[ "${STATEFUL_SMOKE}" == "1" ]]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan --target hashing_test stateful_exploration_test \
+    equivalence_pin_test
+  build-asan/tests/hashing_test
+  build-asan/tests/stateful_exploration_test
+  build-asan/tests/equivalence_pin_test --gtest_filter='*Stateful*'
+  echo "STATEFUL SMOKE PASSED"
   exit 0
 fi
 

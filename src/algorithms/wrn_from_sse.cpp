@@ -146,12 +146,12 @@ void WrnFromSse::SteppedOp::step(StepContext& ctx) {
   // Lines 7–12: the doorway and the strong set election.
   if (w.options_.use_doorway) {
     SUBC_STEP_POINT(ctx, w.doorway_.oid(), AccessKind::kRead);
-    door_ = w.doorway_.step_read();
+    door_ = w.doorway_.step_read(ctx);
   }
   if (!w.options_.use_doorway || door_ == kOpened) {
     if (w.options_.use_doorway) {
       SUBC_STEP_POINT(ctx, w.doorway_.oid(), AccessKind::kWrite);
-      w.doorway_.step_write(kClosed);
+      w.doorway_.step_write(ctx, kClosed);
     }
     SUBC_STEP_POINT(ctx, w.sse_.oid(), AccessKind::kChoose);
     SUBC_STEP_CALL(ctx, elected_,

@@ -30,7 +30,7 @@ struct SteppedRegisterReader {
     SUBC_STEP_BEGIN(ctx);
     for (s_ = 0; s_ < steps; ++s_) {
       SUBC_STEP_POINT(ctx, reg->oid(), AccessKind::kRead);
-      static_cast<void>(reg->step_read());
+      static_cast<void>(reg->step_read(ctx));
     }
     SUBC_STEP_END(ctx);
   }
@@ -51,10 +51,10 @@ struct SteppedMixedWriter {
     for (s_ = 0; s_ < steps; ++s_) {
       if (s_ % 2 == 0) {
         SUBC_STEP_POINT(ctx, own->oid(), AccessKind::kWrite);
-        own->step_write(s_);
+        own->step_write(ctx, s_);
       } else {
         SUBC_STEP_POINT(ctx, shared->oid(), AccessKind::kWrite);
-        shared->step_write(pid);
+        shared->step_write(ctx, pid);
       }
     }
     SUBC_STEP_END(ctx);
@@ -72,9 +72,9 @@ struct SteppedWriteThenRead {
   void step(StepContext& ctx) {
     SUBC_STEP_BEGIN(ctx);
     SUBC_STEP_POINT(ctx, mine->oid(), AccessKind::kWrite);
-    mine->step_write(value);
+    mine->step_write(ctx, value);
     SUBC_STEP_POINT(ctx, next->oid(), AccessKind::kRead);
-    *seen = next->step_read();
+    *seen = next->step_read(ctx);
     SUBC_STEP_END(ctx);
   }
 };
@@ -131,16 +131,16 @@ struct SteppedSwapConsensus {
       throw SimError("2-consensus role must be 0 or 1");
     }
     SUBC_STEP_POINT(ctx, shared->announce[role].oid(), AccessKind::kWrite);
-    shared->announce[role].step_write(value);
+    shared->announce[role].step_write(ctx, value);
     SUBC_STEP_POINT(ctx, swap->oid(), AccessKind::kRmw);
-    previous_ = swap->step_swap(role);
+    previous_ = swap->step_swap(ctx, role);
     if (previous_ == kBottom) {
       ctx.decide(value);  // first to swap: winner
       SUBC_STEP_RETURN(ctx);
     }
     SUBC_STEP_POINT(ctx, shared->announce[static_cast<int>(previous_)].oid(),
                     AccessKind::kRead);
-    ctx.decide(shared->announce[static_cast<int>(previous_)].step_read());
+    ctx.decide(shared->announce[static_cast<int>(previous_)].step_read(ctx));
     SUBC_STEP_END(ctx);
   }
 };

@@ -7,9 +7,10 @@
 // diagnostic — into a two-line JSONL snapshot:
 //
 //   {"kind":"header","version":1,"max_executions":N,"max_crashes":F,
-//    "step_quota":Q,"reduction":"sleep"}
+//    "step_quota":Q,"reduction":"sleep","stateful":false}
 //   {"kind":"state","executions":N,"pruned":N,"reduced":N,"crashed":N,
-//    "stuck":N,"done":false,"complete":false,"prefix":"0/3/7/0/0 x1/4/0/0/1"}
+//    "stuck":N,"stateful_cuts":N,"done":false,"complete":false,
+//    "prefix":"0/3/7/0/0 x1/4/0/0/1"}
 //
 // `Explorer::resume(body, path, opts)` reloads a snapshot and continues the
 // search from the watermark, producing the bit-identical final `Result` an
@@ -48,6 +49,13 @@ struct ExplorerSnapshot {
   int max_crashes = 0;
   std::int64_t step_quota = 0;
   bool reduction = false;  ///< sleep-set reduction on?
+  /// Stateful exploration on? Echoed (and matched on resume) because the
+  /// visited set itself is *not* serialized: a resumed stateful search
+  /// restarts with a cold set (the documented cold-restart rule, see
+  /// docs/explorer.md) — still sound and verdict-identical, but its
+  /// execution tallies may exceed the uninterrupted run's. Snapshots from
+  /// before this field read back as false.
+  bool stateful = false;
 
   // --- tallies over the completed canonical prefix of the search ---
   std::int64_t executions = 0;
@@ -55,6 +63,9 @@ struct ExplorerSnapshot {
   std::int64_t reduced = 0;
   std::int64_t crashed = 0;
   std::int64_t stuck = 0;
+  /// Stateful cuts over the completed prefix (0 for pre-stateful
+  /// snapshots, which omit the field).
+  std::int64_t stateful_cuts = 0;
 
   /// True when the search finished (tree exhausted, budget spent, or a
   /// violation found); `prefix` is empty and meaningless then.
@@ -161,13 +172,17 @@ inline void save_snapshot(const std::string& path,
                      ",\"step_quota\":" + std::to_string(snap.step_quota) +
                      ",\"reduction\":\"";
   text += snap.reduction ? "sleep" : "none";
-  text += "\"}\n";
+  text += "\",\"stateful\":";
+  text += snap.stateful ? "true" : "false";
+  text += "}\n";
   text += "{\"kind\":\"state\",\"executions\":" +
           std::to_string(snap.executions) +
           ",\"pruned\":" + std::to_string(snap.pruned) +
           ",\"reduced\":" + std::to_string(snap.reduced) +
           ",\"crashed\":" + std::to_string(snap.crashed) +
-          ",\"stuck\":" + std::to_string(snap.stuck) + ",\"done\":";
+          ",\"stuck\":" + std::to_string(snap.stuck) +
+          ",\"stateful_cuts\":" + std::to_string(snap.stateful_cuts) +
+          ",\"done\":";
   text += snap.done ? "true" : "false";
   text += ",\"complete\":";
   text += snap.complete ? "true" : "false";
@@ -237,6 +252,8 @@ inline ExplorerSnapshot load_snapshot(const std::string& path) {
           static_cast<int>(jd::int_field_or_throw(line, "max_crashes"));
       snap.step_quota = jd::int_field_or_throw(line, "step_quota");
       snap.reduction = jd::string_field(line, "reduction") == "sleep";
+      // Absent in pre-stateful snapshots: reads back as false.
+      snap.stateful = cd::bool_field(line, "stateful");
       saw_header = true;
     } else if (kind == "state") {
       snap.executions = jd::int_field_or_throw(line, "executions");
@@ -244,6 +261,9 @@ inline ExplorerSnapshot load_snapshot(const std::string& path) {
       snap.reduced = jd::int_field_or_throw(line, "reduced");
       snap.crashed = jd::int_field_or_throw(line, "crashed");
       snap.stuck = jd::int_field_or_throw(line, "stuck");
+      if (cd::has_field(line, "stateful_cuts")) {
+        snap.stateful_cuts = jd::int_field_or_throw(line, "stateful_cuts");
+      }
       snap.done = cd::bool_field(line, "done");
       snap.complete = cd::bool_field(line, "complete");
       if (cd::has_field(line, "violation")) {

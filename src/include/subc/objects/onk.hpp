@@ -54,11 +54,30 @@ class GacObject {
 
   /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
   /// Past-capacity arrivals hang the process (`StepContext::hang`) and
-  /// return ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp).
+  /// return ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp). The
+  /// core is templated on the context so both engines share it, including
+  /// the fingerprint reports for stateful exploration (observe the winner,
+  /// commit the arrival list; the hang path reports via the transition
+  /// fold).
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
-  Value step_propose(StepContext& ctx, Value v);
+
+  template <class Ctx>
+  Value step_propose(Ctx& ctx, Value v) {
+    check_proposal(v);
+    if (static_cast<int>(arrivals_.size()) >= capacity()) {
+      ctx.hang();      // never returns on the fiber engine
+      return kBottom;  // stepped caller must cut short (SUBC_STEP_CALL)
+    }
+    const Value out = serve(v);
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(out));
+      ctx.commit_fp(id_, detail::fp_of(arrivals_));
+    }
+    return out;
+  }
 
  private:
+  static void check_proposal(Value v);
   Value serve(Value v);
 
   ObjectId id_;

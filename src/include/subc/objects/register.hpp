@@ -21,13 +21,13 @@ class Register {
   /// Atomic read.
   T read(Context& ctx) {
     ctx.sched_point(id_, AccessKind::kRead);
-    return value_;
+    return step_read(ctx);
   }
 
   /// Atomic write.
   void write(Context& ctx, T v) {
     ctx.sched_point(id_, AccessKind::kWrite);
-    value_ = std::move(v);
+    step_write(ctx, std::move(v));
   }
 
   /// Non-step peek for validators/test assertions *after* a run. Never call
@@ -36,11 +36,34 @@ class Register {
 
   /// Stepped-engine access (runtime/stepper.hpp): the body announces the
   /// footprint itself — `SUBC_STEP_POINT(ctx, reg.oid(), kind)` — then runs
-  /// the atomic operation body via `step_*` inside the granted step. Same
-  /// body as `read`/`write`, minus the suspension.
+  /// the atomic operation body via `step_*` inside the granted step. The
+  /// cores are templated on the context type and shared with the fiber
+  /// forms above, so both engines make identical fingerprint reports
+  /// (stateful exploration, docs/explorer.md): a read *observes* the value,
+  /// a write *commits* the post-state. Registers holding a `T` without a
+  /// `detail::fp_of` overload report nothing, which soundly poisons the
+  /// fingerprint for executions that step them.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
-  [[nodiscard]] const T& step_read() const noexcept { return value_; }
-  void step_write(T v) { value_ = std::move(v); }
+
+  template <class Ctx>
+  [[nodiscard]] const T& step_read(Ctx& ctx) const {
+    if constexpr (requires { detail::fp_of(value_); }) {
+      if (ctx.fingerprinting()) {
+        ctx.observe_fp(detail::fp_of(value_));
+      }
+    }
+    return value_;
+  }
+
+  template <class Ctx>
+  void step_write(Ctx& ctx, T v) {
+    value_ = std::move(v);
+    if constexpr (requires { detail::fp_of(value_); }) {
+      if (ctx.fingerprinting()) {
+        ctx.commit_fp(id_, detail::fp_of(value_));
+      }
+    }
+  }
 
  private:
   ObjectId id_;

@@ -18,20 +18,39 @@ class SwapRegister {
   /// Atomically writes `v` and returns the previous value.
   Value swap(Context& ctx, Value v) {
     ctx.sched_point(id_, AccessKind::kRmw);
-    return std::exchange(value_, v);
+    return step_swap(ctx, v);
   }
 
   /// Atomic read.
   Value read(Context& ctx) {
     ctx.sched_point(id_, AccessKind::kRead);
-    return value_;
+    return step_read(ctx);
   }
 
   /// Stepped-engine access (runtime/stepper.hpp): announce with `oid()` at
   /// the step point, run the atomic body via `step_*` inside the grant.
+  /// The cores are shared with the fiber forms and report fingerprints for
+  /// stateful exploration: swap observes the previous value and commits the
+  /// new state, read observes the value.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
-  Value step_swap(Value v) noexcept { return std::exchange(value_, v); }
-  [[nodiscard]] Value step_read() const noexcept { return value_; }
+
+  template <class Ctx>
+  Value step_swap(Ctx& ctx, Value v) noexcept {
+    const Value prev = std::exchange(value_, v);
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(prev));
+      ctx.commit_fp(id_, detail::fp_of(value_));
+    }
+    return prev;
+  }
+
+  template <class Ctx>
+  [[nodiscard]] Value step_read(Ctx& ctx) const noexcept {
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(value_));
+    }
+    return value_;
+  }
 
  private:
   ObjectId id_;

@@ -38,11 +38,25 @@ class WrnObject {
 
   /// Stepped-engine access (runtime/stepper.hpp): announce
   /// `{oid(), kRmw}` at the step point, run the atomic body via `step_wrn`
-  /// inside the granted step.
+  /// inside the granted step. The core is shared with the fiber form and
+  /// reports fingerprints for stateful exploration: it observes the
+  /// returned neighbour slot and commits the post-write slot vector.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
-  Value step_wrn(int index, Value v);
+
+  template <class Ctx>
+  Value step_wrn(Ctx& ctx, int index, Value v) {
+    const Value out = apply_wrn(index, v);
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(out));
+      ctx.commit_fp(id_, detail::fp_of(slots_));
+    }
+    return out;
+  }
 
  private:
+  /// The sequential WRN body (Algorithm 1), engine- and fingerprint-free.
+  Value apply_wrn(int index, Value v);
+
   ObjectId id_;
   int k_;
   std::vector<Value> slots_;
@@ -61,12 +75,35 @@ class OneShotWrnObject {
   /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
   /// On index reuse it hangs the process (`StepContext::hang`) and returns
   /// ⊥ — call through `SUBC_STEP_CALL` so the body cuts short, mirroring
-  /// the fiber form where `Context::hang` never returns.
+  /// the fiber form where `Context::hang` never returns (the core is
+  /// templated on the context so both engines share it, fingerprint
+  /// reports included: observe the returned slot, commit slots + used
+  /// bits; the hang path reports via the hang transition fold itself).
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
-  Value step_wrn(StepContext& ctx, int index, Value v);
+
+  template <class Ctx>
+  Value step_wrn(Ctx& ctx, int index, Value v) {
+    check_args(index, v);
+    const auto i = static_cast<std::size_t>(index);
+    if (used_[i]) {
+      // "Any attempt to invoke 1sWRN with the same index twice is illegal,
+      // and hangs the system in a manner that cannot be detected."
+      ctx.hang();      // never returns on the fiber engine
+      return kBottom;  // stepped caller must cut short (SUBC_STEP_CALL)
+    }
+    const Value out = commit(i, v);
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(out));
+      ctx.commit_fp(id_, state_hash());
+    }
+    return out;
+  }
 
  private:
+  void check_args(int index, Value v) const;
   Value commit(std::size_t i, Value v);
+  /// Slots + used bits, mixed like OneShotWrnSpec::hash.
+  [[nodiscard]] std::uint64_t state_hash() const;
 
   ObjectId id_;
   int k_;

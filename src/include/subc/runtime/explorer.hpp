@@ -140,6 +140,25 @@ class Explorer {
     /// rejected with `SimError`.
     int max_crashes = 0;
 
+    /// Stateful exploration: the kernel maintains an incremental world-state
+    /// fingerprint (per-object post-commit state hashes plus per-process
+    /// control positions; runtime/hashing.hpp) and the search skips any
+    /// subtree whose (fingerprint, sleep-set) pair it has already explored,
+    /// counted in `Result::stateful_cuts`. Sound on worlds whose objects
+    /// report fingerprints (the built-in zoo does); a step through an
+    /// unported object poisons the fingerprint and the execution's remaining
+    /// decision points take no cuts (degrades to the plain search, never to
+    /// a wrong verdict). Verdicts are identical to the unreduced search —
+    /// the canonical violation may differ, but it replays and shrinks.
+    /// Incompatible with `prune` (rejected with `SimError`): a pruned
+    /// subtree makes "already explored" a lie. See docs/explorer.md.
+    bool stateful = false;
+
+    /// Capacity of the stateful visited set (entries; the backing table is
+    /// sized for ~70% peak load). When full, further states are explored
+    /// without cutting — still sound, just fewer cuts. Must be positive.
+    std::int64_t stateful_capacity = std::int64_t{1} << 20;
+
     /// Per-execution step-quota watchdog: an execution consuming more than
     /// this many scheduling decisions is cut and recorded as a
     /// `StuckExecution` diagnostic (consuming one unit of
@@ -180,6 +199,16 @@ class Explorer {
     /// consume no `max_executions` budget and are bit-identical at every
     /// thread count.
     std::int64_t reduced_subtrees = 0;
+    /// Subtrees skipped by stateful exploration (`Options::stateful`): the
+    /// (world-state, sleep-set) pair at the decision point had already been
+    /// visited. Like reduction skips these consume no budget. Deterministic
+    /// on serial searches; on parallel ones the *verdict* is still
+    /// thread-count-independent but the cut/execution split may vary with
+    /// timing (docs/explorer.md).
+    std::int64_t stateful_cuts = 0;
+    /// Distinct (state, sleep-set) fingerprints recorded in the visited set
+    /// (0 unless `Options::stateful`).
+    std::int64_t stateful_states = 0;
     /// True when the decision tree was exhausted within the budget.
     bool complete = false;
     /// Set when an execution failed; `trace` replays it.
@@ -210,12 +239,15 @@ class Explorer {
   /// Continues an interrupted campaign from a snapshot previously written
   /// under `opts.checkpoint_path` (checking/checkpoint.hpp). The snapshot's
   /// option echo must match `opts` (`max_executions`, `max_crashes`,
-  /// `step_quota`, `reduction` — thread count and frontier depth may
-  /// differ, results are independent of both); mismatches throw `SimError`.
-  /// The final `Result` is bit-identical to the uninterrupted run's: the
-  /// saved watermark tallies are merged with a fresh search over the
-  /// remaining subtrees. A snapshot of a finished search returns its saved
-  /// `Result` without re-running anything.
+  /// `step_quota`, `reduction`, `stateful` — thread count and frontier
+  /// depth may differ, results are independent of both); mismatches throw
+  /// `SimError`. The final `Result` is bit-identical to the uninterrupted
+  /// run's: the saved watermark tallies are merged with a fresh search over
+  /// the remaining subtrees. Exception: under `Options::stateful` the
+  /// visited set is not serialized, so a resumed search restarts it cold —
+  /// same verdict, but `executions`/`stateful_cuts` may differ from the
+  /// uninterrupted run's (docs/explorer.md). A snapshot of a finished
+  /// search returns its saved `Result` without re-running anything.
   static Result resume(const ExecutionBody& body,
                        const std::string& snapshot_path, Options opts);
 

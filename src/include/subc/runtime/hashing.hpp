@@ -1,10 +1,15 @@
 // Small non-cryptographic hashing primitives shared by the checker's
-// fingerprint memo and by spec `hash(State)` hooks (objects layer). Kept in
-// the runtime layer so both may include them without a layering inversion.
+// fingerprint memo, spec `hash(State)` hooks (objects layer), and the
+// explorer's stateful-search visited set. Kept in the runtime layer so all
+// three may include them without a layering inversion.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <vector>
 
 namespace subc::detail {
 
@@ -25,5 +30,117 @@ inline constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
   }
   return h;
 }
+
+// --- World-state fingerprinting (stateful exploration) --------------------
+//
+// Domain-separation salts for the kernel's incremental world fingerprint.
+// Each fold event mixes one of these so that, e.g., "proc 2 took a step"
+// and "proc 2 observed value 1" cannot alias. Arbitrary odd constants;
+// pinned by hashing_test so they cannot drift silently (a drift would
+// invalidate nothing semantically but would un-pin serial cut counts).
+inline constexpr std::uint64_t kFpProcSalt = 0x1b873593a4093822ULL;
+inline constexpr std::uint64_t kFpStepSalt = 0x7feb352d8a91b1d3ULL;
+inline constexpr std::uint64_t kFpObserveSalt = 0x85ebca6bc2b2ae35ULL;
+inline constexpr std::uint64_t kFpObjectSalt = 0x27d4eb2f165667c5ULL;
+inline constexpr std::uint64_t kFpChooseSalt = 0x165667b19e3779f9ULL;
+inline constexpr std::uint64_t kFpDecideSalt = 0x9e3779b185ebca87ULL;
+inline constexpr std::uint64_t kFpDoneSalt = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kFpHungSalt = 0xd6e8feb86659fd93ULL;
+inline constexpr std::uint64_t kFpCrashSalt = 0xa0761d6478bd642fULL;
+inline constexpr std::uint64_t kFpSleepSalt = 0xe7037ed1a0b428dbULL;
+inline constexpr std::uint64_t kFpRunSalt = 0x589965cc75374cc3ULL;
+
+/// Value folds for object state hashes. `fp_of` is overloaded per state
+/// shape; objects whose state has no overload simply do not report a
+/// commit, which poisons the fingerprint for that execution (sound — the
+/// explorer then takes no stateful cuts on it).
+inline constexpr std::uint64_t fp_of(std::int64_t v) noexcept {
+  return mix64(static_cast<std::uint64_t>(v));
+}
+
+inline std::uint64_t fp_of(const std::vector<std::int64_t>& vs) noexcept {
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (const std::int64_t v : vs) {
+    h = mix64(h ^ static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+/// Fixed-capacity concurrent open-addressing set of 64-bit fingerprints —
+/// the explorer's visited-(state, sleep-set) cache. The single-threaded
+/// `FingerprintSet` in checking/linearizability.hpp is the shape model
+/// (0-sentinel empty slots, 0 remapped to 1, linear probing); this variant
+/// trades growth for lock-freedom: slots are plain atomics, insertion is a
+/// CAS race whose loser re-reads the slot, and when the table reaches its
+/// load limit further probes report "not seen" without inserting. That
+/// saturation rule is sound — the explorer just stops taking cuts — and
+/// keeps the memory bound the `stateful_capacity` knob promises.
+class VisitedSet {
+ public:
+  /// `capacity` = maximum number of distinct keys the set will hold.
+  /// Slots are sized to the next power of two at most ~70% loaded.
+  explicit VisitedSet(std::size_t capacity) {
+    std::size_t slots = 64;
+    while (slots * 7 < capacity * 10) {
+      slots *= 2;
+    }
+    slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      slots_[i].store(0, std::memory_order_relaxed);
+    }
+    num_slots_ = slots;
+    max_size_ = slots * 7 / 10;
+  }
+
+  /// Returns true iff `key` was already present ("seen — cut here").
+  /// Otherwise tries to insert it and returns false; when the table is
+  /// saturated the key is dropped (still returns false: never seen).
+  /// Exactly one caller wins a concurrent insert race for the same key,
+  /// so two executions probing the same state cannot both cut on it.
+  bool check_and_insert(std::uint64_t key) noexcept {
+    key += (key == 0);
+    const std::uint64_t mask = num_slots_ - 1;
+    for (std::uint64_t i = key & mask;; i = (i + 1) & mask) {
+      std::uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+      if (cur == key) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (cur == 0) {
+        if (size_.load(std::memory_order_relaxed) >= max_size_) {
+          return false;  // saturated: sound, just no more cuts
+        }
+        if (slots_[i].compare_exchange_strong(cur, key,
+                                              std::memory_order_relaxed)) {
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        if (cur == key) {  // lost the race to an identical probe
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        // Lost to a different key: keep probing from the next slot.
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(size_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::int64_t hits() const noexcept {
+    return static_cast<std::int64_t>(hits_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return num_slots_; }
+  [[nodiscard]] bool saturated() const noexcept {
+    return size_.load(std::memory_order_relaxed) >= max_size_;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::size_t num_slots_ = 0;
+  std::size_t max_size_ = 0;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> hits_{0};
+};
 
 }  // namespace subc::detail

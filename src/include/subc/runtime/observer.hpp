@@ -94,6 +94,11 @@ class TraceObserver {
   /// event (partial-order reduction / pruning metadata; emitted by the
   /// explorer, not by individual runs). Telemetry only.
   virtual void on_reduced(std::int64_t /*subtrees*/) {}
+
+  /// Stateful exploration (Explorer::Options::stateful) cut `cuts` subtrees
+  /// whose (world-state, sleep-set) fingerprint had already been visited.
+  /// Emitted by the explorer; telemetry only.
+  virtual void on_stateful_cut(std::int64_t /*cuts*/) {}
 };
 
 /// Fans every event out to a list of observers, in registration order. The
@@ -118,6 +123,7 @@ class ObserverChain final : public TraceObserver {
   void on_stuck(std::string_view message) override;
   void on_run_end(std::int64_t total_steps, bool quiescent) override;
   void on_reduced(std::int64_t subtrees) override;
+  void on_stateful_cut(std::int64_t cuts) override;
 
  private:
   std::vector<TraceObserver*> sinks_;
@@ -203,8 +209,8 @@ class HistoryRecorder final : public TraceObserver {
 /// before run end but still count as executions), reduction skips and
 /// violations, and once `period_seconds` of
 /// wall clock have passed since the previous line prints one
-/// `[progress] execs=... exec/s=... reduced=... violations=...` line to
-/// `out` (stderr by default). Verdict-neutral by construction — a pure
+/// `[progress] execs=... exec/s=... reduced=... stateful=... violations=...`
+/// line to `out` (stderr by default). Verdict-neutral by construction — a pure
 /// sink, never consulted by the search — and off by default: nothing
 /// attaches one unless a bench or caller wires it in explicitly
 /// (Explorer::Options::observer or an ObserverChain). Thread-safe; benches
@@ -215,6 +221,8 @@ class ProgressTicker final : public TraceObserver {
     std::int64_t executions = 0;
     std::int64_t reduced = 0;
     std::int64_t violations = 0;
+    /// Subtrees skipped by stateful exploration (on_stateful_cut events).
+    std::int64_t stateful_cuts = 0;
     double elapsed_seconds = 0.0;
     double executions_per_sec = 0.0;
     /// (executions + reduced skips) / executions; 1.0 when nothing was
@@ -229,6 +237,7 @@ class ProgressTicker final : public TraceObserver {
   void on_run_end(std::int64_t total_steps, bool quiescent) override;
   void on_violation(std::string_view message) override;
   void on_reduced(std::int64_t subtrees) override;
+  void on_stateful_cut(std::int64_t cuts) override;
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -244,6 +253,7 @@ class ProgressTicker final : public TraceObserver {
   std::int64_t executions_ = 0;
   std::int64_t reduced_ = 0;
   std::int64_t violations_ = 0;
+  std::int64_t stateful_cuts_ = 0;
 };
 
 /// Collects violation messages (on_violation events) in arrival order.

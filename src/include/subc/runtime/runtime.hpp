@@ -115,6 +115,21 @@ class Context {
   /// reported as done. Never returns (unwinds when the world is torn down).
   [[noreturn]] void hang();
 
+  /// True when the driver asked for world-state fingerprints (stateful
+  /// exploration). Objects use it to skip state-hash computation — and the
+  /// report calls below — on the non-stateful hot path.
+  [[nodiscard]] bool fingerprinting() const noexcept;
+
+  /// Fingerprint reports, called by ported objects inside the granted step
+  /// (no-ops unless `fingerprinting()`). `observe_fp` folds a value this
+  /// process observed (a read result, an rmw return) into its running
+  /// hash; `commit_fp` publishes `obj`'s post-commit state hash into the
+  /// world fingerprint. A granted step that makes *neither* report poisons
+  /// the fingerprint for the rest of the execution — the explorer then
+  /// takes no stateful cuts on it (sound degradation for unported objects).
+  void observe_fp(std::uint64_t v);
+  void commit_fp(const ObjectId& obj, std::uint64_t state_hash);
+
   /// The owning runtime (for algorithm helpers that need global info).
   [[nodiscard]] Runtime& runtime() const noexcept { return *runtime_; }
 
@@ -181,6 +196,13 @@ class StepContext {
 
   /// Records this process's task output, as `Context::decide`.
   void decide(Value v);
+
+  /// Fingerprint capability + reports, exactly as on `Context` — the two
+  /// context types expose identical signatures so object cores templated on
+  /// the context fold identical fingerprint sequences on both engines.
+  [[nodiscard]] bool fingerprinting() const noexcept;
+  void observe_fp(std::uint64_t v);
+  void commit_fp(const ObjectId& obj, std::uint64_t state_hash);
 
   /// The owning runtime.
   [[nodiscard]] Runtime& runtime() const noexcept { return *runtime_; }
@@ -308,6 +330,18 @@ class Runtime {
   void check_pid(int pid) const;
   std::size_t collect_enabled(int* enabled, Access* footprints) const;
   int attach_proc(Proc* proc);
+
+  // --- World-state fingerprinting (stateful exploration) ------------------
+  // Maintained incrementally only when the driver wants it (`fp_on_`):
+  // `fp_world_` is the XOR of every process's running observation-chain
+  // hash and every reported object's post-commit state hash. Each fold
+  // XORs the old term out, mixes, and XORs the new term in — O(1) per
+  // event. docs/explorer.md "Stateful exploration" gives the soundness
+  // argument for what is (and isn't) folded.
+  void fp_fold(int pid, std::uint64_t v);
+  void fp_observe(int pid, std::uint64_t v);
+  void fp_commit(std::uint32_t object_id, std::uint64_t state_hash);
+
   ScheduleDriver* driver_ = nullptr;
   TraceObserver* observer_ = nullptr;
 
@@ -323,6 +357,24 @@ class Runtime {
   std::int64_t total_steps_ = 0;
   std::uint32_t next_object_id_ = 1;
   bool started_ = false;
+
+  bool fp_on_ = false;          ///< driver wants fingerprints (set in run())
+  bool fp_valid_ = true;        ///< poisoned by a silent granted step
+  bool fp_step_reported_ = false;  ///< did the current grant report?
+  std::uint64_t fp_world_ = 0;
+  /// Per-object post-commit state-hash terms, indexed by object id. Only
+  /// ever touched in stateful runs, so the allocation stays off the
+  /// non-stateful hot path.
+  std::vector<std::uint64_t> fp_objects_;
 };
+
+// Inline so the objects' per-step capability guard compiles to one load and
+// branch on the non-stateful hot path (no out-of-line call).
+inline bool Context::fingerprinting() const noexcept {
+  return runtime_->fp_on_;
+}
+inline bool StepContext::fingerprinting() const noexcept {
+  return runtime_->fp_on_;
+}
 
 }  // namespace subc

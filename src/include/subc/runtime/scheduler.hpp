@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "subc/runtime/hashing.hpp"
 #include "subc/runtime/value.hpp"
 
 namespace subc {
@@ -97,6 +98,24 @@ class SchedulePolicy {
   /// it here so one policy can soundly span several runtimes in one
   /// execution.
   virtual void begin_run() {}
+
+  /// Stateful exploration capability: when true, the kernel accumulates an
+  /// incremental world-state fingerprint and reports it through
+  /// `on_state_fp` / `on_run_fp`. Off by default so non-stateful runs pay
+  /// only one branch per kernel event for the whole machinery.
+  [[nodiscard]] virtual bool wants_state_fp() const { return false; }
+
+  /// Reported by the kernel at every scheduling decision point (before the
+  /// crash branch point, so a cut covers the crash branching too), with the
+  /// current world fingerprint. `valid` is false once any granted step made
+  /// no fingerprint report (an unported object stepped): the execution's
+  /// fingerprints are then meaningless and must drive no cuts.
+  virtual void on_state_fp(std::uint64_t /*fp*/, bool /*valid*/) {}
+
+  /// Reported by the kernel when a `Runtime::run` finishes, with the final
+  /// world fingerprint. Lets a policy spanning several runtimes in one
+  /// execution chain completed-runtime state into later probes.
+  virtual void on_run_fp(std::uint64_t /*fp*/, bool /*valid*/) {}
 };
 
 /// Historical name for `SchedulePolicy`, kept so existing worlds and tests
@@ -175,6 +194,15 @@ struct SleepCut {};
 /// `std::exception` for the same reason as `FrontierCut`.
 struct StuckCut {};
 
+/// Thrown by `ReplayDriver` in stateful mode when the kernel reports a
+/// world fingerprint whose (state, sleep-set) pair is already in the
+/// visited set: the subtree below the current partial execution reconverges
+/// with an already-explored one and is abandoned. Like `SleepCut` it proves
+/// redundancy rather than ending an execution, so the explorer counts it in
+/// `Result::stateful_cuts` and charges no execution budget. Not derived
+/// from `std::exception` for the same reason as `FrontierCut`.
+struct StatefulCut {};
+
 /// Replays a recorded decision prefix and extends it with first options;
 /// records the arity of every decision point. This is the explorer's
 /// workhorse (stateless model checking): see explorer.hpp.
@@ -228,6 +256,11 @@ class ReplayDriver final : public SchedulePolicy {
     crashes_run_ = 0;
     crash_floor_ = 0;
   }
+  [[nodiscard]] bool wants_state_fp() const override {
+    return visited_ != nullptr;
+  }
+  void on_state_fp(std::uint64_t fp, bool valid) override;
+  void on_run_fp(std::uint64_t fp, bool valid) override;
 
   /// Full decision string of the execution driven so far.
   [[nodiscard]] const std::vector<Decision>& trace() const noexcept {
@@ -268,6 +301,15 @@ class ReplayDriver final : public SchedulePolicy {
   /// instead of a hang. 0 (the default) disables the quota.
   void set_step_quota(std::int64_t quota) noexcept { step_quota_ = quota; }
 
+  /// Enables stateful exploration: at every *fresh* decision point (the
+  /// replayed prefix never probes — restart-DFS revisits its own prefix
+  /// states once per sibling, and cutting those would cut the search's own
+  /// backbone) the kernel-reported world fingerprint is keyed with the
+  /// current sleep set and checked against `set`; a hit throws
+  /// `StatefulCut`. The pointee must outlive the driver and may be shared
+  /// across threads. Pass nullptr (the default) to disable.
+  void set_stateful(detail::VisitedSet* set) noexcept { visited_ = set; }
+
   /// Scheduling options skipped by the reduction so far (each is a subtree
   /// the search proved redundant and never entered).
   [[nodiscard]] std::int64_t reduced() const noexcept { return reduced_; }
@@ -295,6 +337,11 @@ class ReplayDriver final : public SchedulePolicy {
   int crash_floor_ = 0;
   std::int64_t step_quota_ = 0;
   std::int64_t steps_ = 0;
+  detail::VisitedSet* visited_ = nullptr;
+  /// Chained final fingerprints of completed runtimes in this execution,
+  /// so probes in a later runtime are keyed on the whole execution's state.
+  std::uint64_t base_fp_ = 0;
+  bool base_fp_valid_ = true;
 };
 
 /// Renders a decision string for diagnostics ("2/3 0/2 1/4 ...").

@@ -10,25 +10,15 @@ GacObject::GacObject(int n, int i) : n_(n), i_(i) {
 }
 
 Value GacObject::propose(Context& ctx, Value v) {
-  if (v == kBottom) {
-    throw SimError("propose(⊥) is illegal");
-  }
+  check_proposal(v);
   ctx.sched_point(id_, AccessKind::kRmw);
-  if (static_cast<int>(arrivals_.size()) >= capacity()) {
-    ctx.hang();
-  }
-  return serve(v);
+  return step_propose(ctx, v);
 }
 
-Value GacObject::step_propose(StepContext& ctx, Value v) {
+void GacObject::check_proposal(Value v) {
   if (v == kBottom) {
     throw SimError("propose(⊥) is illegal");
   }
-  if (static_cast<int>(arrivals_.size()) >= capacity()) {
-    ctx.hang();  // caller must return from step() immediately
-    return kBottom;
-  }
-  return serve(v);
 }
 
 Value GacObject::serve(Value v) {

@@ -23,10 +23,10 @@ WrnObject::WrnObject(int k)
 Value WrnObject::wrn(Context& ctx, int index, Value v) {
   check_params(k_, index, v);
   ctx.sched_point(id_, AccessKind::kRmw);
-  return step_wrn(index, v);
+  return step_wrn(ctx, index, v);
 }
 
-Value WrnObject::step_wrn(int index, Value v) {
+Value WrnObject::apply_wrn(int index, Value v) {
   check_params(k_, index, v);
   slots_[static_cast<std::size_t>(index)] = v;
   return slots_[static_cast<std::size_t>((index + 1) % k_)];
@@ -51,29 +51,27 @@ OneShotWrnObject::OneShotWrnObject(int k)
 Value OneShotWrnObject::wrn(Context& ctx, int index, Value v) {
   check_params(k_, index, v);
   ctx.sched_point(id_, AccessKind::kRmw);
-  const auto i = static_cast<std::size_t>(index);
-  if (used_[i]) {
-    // "Any attempt to invoke 1sWRN with the same index twice is illegal,
-    // and hangs the system in a manner that cannot be detected."
-    ctx.hang();
-  }
-  return commit(i, v);
+  return step_wrn(ctx, index, v);
 }
 
-Value OneShotWrnObject::step_wrn(StepContext& ctx, int index, Value v) {
+void OneShotWrnObject::check_args(int index, Value v) const {
   check_params(k_, index, v);
-  const auto i = static_cast<std::size_t>(index);
-  if (used_[i]) {
-    ctx.hang();  // caller must return from step() immediately
-    return kBottom;
-  }
-  return commit(i, v);
 }
 
 Value OneShotWrnObject::commit(std::size_t i, Value v) {
   used_[i] = true;
   slots_[i] = v;
   return slots_[(i + 1) % static_cast<std::size_t>(k_)];
+}
+
+std::uint64_t OneShotWrnObject::state_hash() const {
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (int i = 0; i < k_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto v = static_cast<std::uint64_t>(slots_[idx]);
+    h = detail::mix64(h ^ v ^ (used_[idx] ? 0x8000000000000000ULL : 0));
+  }
+  return h;
 }
 
 }  // namespace subc

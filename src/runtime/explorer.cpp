@@ -7,6 +7,7 @@
 #include <deque>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "subc/checking/checkpoint.hpp"
 #include "subc/checking/violation_log.hpp"
 #include "subc/runtime/bounded_queue.hpp"
+#include "subc/runtime/hashing.hpp"
 #include "subc/runtime/observer.hpp"
 #include "subc/runtime/value.hpp"
 
@@ -46,6 +48,13 @@ constexpr std::int64_t kBudgetBatch = 64;
 // have used sits (or will be refunded) elsewhere.
 struct SearchState {
   std::int64_t max_executions = 0;
+  /// Stateful exploration's visited set (null unless `Options::stateful`),
+  /// shared by every participant: a cut taken because *any* worker already
+  /// explored the (state, sleep-set) pair is sound — by induction on total
+  /// step count (each recorded decision strictly extends the per-process
+  /// step spine, so state reachability is a DAG), the continuations below
+  /// an equal pair are behaviour-identical.
+  std::unique_ptr<detail::VisitedSet> visited;
   ViolationLog log;
   // Stuck-execution diagnostics, aggregated like violations (least canonical
   // index wins) but on a separate log: a stuck execution never cancels work
@@ -142,8 +151,9 @@ struct SubtreeStats {
   std::int64_t executions = 0;
   std::int64_t pruned = 0;
   std::int64_t reduced = 0;
-  std::int64_t crashed = 0;  ///< executions in which >= 1 crash landed
-  std::int64_t stuck = 0;    ///< executions cut by the step-quota watchdog
+  std::int64_t crashed = 0;   ///< executions in which >= 1 crash landed
+  std::int64_t stuck = 0;     ///< executions cut by the step-quota watchdog
+  std::int64_t stateful = 0;  ///< subtrees cut by stateful exploration
   std::optional<std::string> violation;
   std::vector<Decision> trace;
   /// First (in DFS order, i.e. canonically least within the unit) stuck
@@ -171,12 +181,14 @@ ExplorerSnapshot snapshot_proto(const Explorer::Options& opts,
   s.max_crashes = opts.max_crashes;
   s.step_quota = opts.step_quota;
   s.reduction = opts.reduction == Reduction::kSleepSets;
+  s.stateful = opts.stateful;
   if (base != nullptr) {
     s.executions = base->executions;
     s.pruned = base->pruned;
     s.reduced = base->reduced;
     s.crashed = base->crashed;
     s.stuck = base->stuck;
+    s.stateful_cuts = base->stateful_cuts;
     s.stuck_message = base->stuck_message;
     s.stuck_trace = base->stuck_trace;
   }
@@ -273,6 +285,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
     driver.set_reduction(opts.reduction == Reduction::kSleepSets);
     driver.set_max_crashes(opts.max_crashes);
     driver.set_step_quota(opts.step_quota);
+    driver.set_stateful(state.visited.get());
     bool stuck_now = false;
     try {
       if (std::optional<std::string> violation =
@@ -297,6 +310,14 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       ++stats.pruned;  // cut probes consume no budget
     } catch (const SleepCut&) {
       // Redundant subtree, not an execution — consumes no budget.
+    } catch (const StatefulCut&) {
+      // The (state, sleep-set) pair at this decision point was already
+      // explored: the subtree below is behaviour-identical to one already
+      // searched. Like a reduction skip, consumes no budget.
+      ++stats.stateful;
+      if (opts.observer != nullptr) {
+        opts.observer->on_stateful_cut(1);
+      }
     } catch (const StuckCut&) {
       // Step quota tripped: the run did real work, so it counts as a
       // (stuck) execution and consumes budget; its unexplored continuations
@@ -338,6 +359,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       s.reduced += stats.reduced;
       s.crashed += stats.crashed;
       s.stuck += stats.stuck;
+      s.stateful_cuts += stats.stateful;
       if (!s.stuck_message && stats.stuck_message) {
         s.stuck_message = stats.stuck_message;
         s.stuck_trace = stats.stuck_trace;
@@ -355,7 +377,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
 // reduction skips that occurred at (and while advancing past) it, so that
 // tallies truncated at a winning violation stay exact.
 struct EventMeta {
-  enum class Kind { kExecution, kPruned, kSkip, kUnit };
+  enum class Kind { kExecution, kPruned, kSkip, kStateful, kUnit };
   Kind kind = Kind::kExecution;
   std::int64_t reduced = 0;
   bool crashed = false;  ///< kExecution: >= 1 crash landed in the execution
@@ -400,6 +422,7 @@ Explorer::Result finish_serial(SubtreeStats stats) {
   result.reduced_subtrees = stats.reduced;
   result.crashed_executions = stats.crashed;
   result.stuck_executions = stats.stuck;
+  result.stateful_cuts = stats.stateful;
   if (stats.stuck_message) {
     result.first_stuck = StuckExecution{std::move(*stats.stuck_message),
                                         std::move(stats.stuck_trace)};
@@ -428,6 +451,11 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
                                   std::int64_t budget_total) {
   SearchState state;
   state.max_executions = budget_total;
+  if (opts.stateful) {
+    state.visited =
+        std::make_unique<detail::VisitedSet>(
+            static_cast<std::size_t>(opts.stateful_capacity));
+  }
   const std::size_t depth = opts.frontier_depth > 0
                                 ? static_cast<std::size_t>(opts.frontier_depth)
                                 : auto_frontier_depth(threads);
@@ -518,6 +546,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
             s.reduced += rec.stats.reduced;
             s.crashed += rec.stats.crashed;
             s.stuck += rec.stats.stuck;
+            s.stateful_cuts += rec.stats.stateful;
             ++u;
             continue;
           }
@@ -534,6 +563,9 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
               break;
             case EventMeta::Kind::kPruned:
               ++s.pruned;
+              break;
+            case EventMeta::Kind::kStateful:
+              ++s.stateful_cuts;
               break;
             default:
               break;  // kSkip: carried entirely in `reduced`
@@ -572,6 +604,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
       driver.set_reduction(opts.reduction == Reduction::kSleepSets);
       driver.set_max_crashes(opts.max_crashes);
       driver.set_step_quota(opts.step_quota);
+      driver.set_stateful(state.visited.get());
       EventMeta ev;
       bool is_unit = false;
       bool stuck_now = false;
@@ -597,6 +630,13 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         ev.kind = EventMeta::Kind::kPruned;
       } catch (const SleepCut&) {
         ev.kind = EventMeta::Kind::kSkip;
+      } catch (const StatefulCut&) {
+        // Already-visited (state, sleep-set) pair above the frontier: the
+        // whole subtree (units included) is redundant. No budget consumed.
+        ev.kind = EventMeta::Kind::kStateful;
+        if (opts.observer != nullptr) {
+          opts.observer->on_stateful_cut(1);
+        }
       } catch (const StuckCut&) {
         // A shallow execution can trip the quota too (quota < frontier
         // depth's worth of picks); same accounting as in explore_subtree.
@@ -746,16 +786,24 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         break;
       case EventMeta::Kind::kSkip:
         break;  // reduction skips carried in the `reduced` field above
+      case EventMeta::Kind::kStateful:
+        ++result.stateful_cuts;
+        break;
       case EventMeta::Kind::kUnit:
         result.executions += unit_records[u].stats.executions;
         result.pruned_subtrees += unit_records[u].stats.pruned;
         result.reduced_subtrees += unit_records[u].stats.reduced;
         result.crashed_executions += unit_records[u].stats.crashed;
         result.stuck_executions += unit_records[u].stats.stuck;
+        result.stateful_cuts += unit_records[u].stats.stateful;
         all_finished = all_finished && unit_records[u].stats.finished;
         ++u;
         break;
     }
+  }
+  if (state.visited != nullptr) {
+    result.stateful_states =
+        static_cast<std::int64_t>(state.visited->size());
   }
   if (win) {
     result.violation = win->message;
@@ -784,6 +832,7 @@ Explorer::Result result_from_snapshot(const ExplorerSnapshot& s) {
   r.reduced_subtrees = s.reduced;
   r.crashed_executions = s.crashed;
   r.stuck_executions = s.stuck;
+  r.stateful_cuts = s.stateful_cuts;
   r.complete = s.complete;
   if (s.violation) {
     r.violation = s.violation;
@@ -803,6 +852,7 @@ ExplorerSnapshot snapshot_of_result(const Explorer::Options& opts,
   s.reduced = r.reduced_subtrees;
   s.crashed = r.crashed_executions;
   s.stuck = r.stuck_executions;
+  s.stateful_cuts = r.stateful_cuts;
   s.done = true;
   s.complete = r.complete;
   if (r.violation) {
@@ -835,6 +885,17 @@ void validate_options(const Explorer::Options& opts) {
     throw SimError("Explorer::Options::step_quota must be non-negative, got " +
                    std::to_string(opts.step_quota));
   }
+  if (opts.stateful_capacity <= 0) {
+    throw SimError(
+        "Explorer::Options::stateful_capacity must be positive, got " +
+        std::to_string(opts.stateful_capacity));
+  }
+  if (opts.stateful && opts.prune) {
+    // A pruned subtree is marked visited without having been explored, so a
+    // later stateful cut on its fingerprint would skip unexplored behaviour.
+    throw SimError(
+        "Explorer::Options::stateful cannot be combined with a prune hook");
+  }
   if (opts.checkpoint_every <= 0) {
     throw SimError("Explorer::Options::checkpoint_every must be positive, "
                    "got " +
@@ -861,6 +922,11 @@ Explorer::Result explore_impl(const ExecutionBody& body,
   if (threads <= 1) {
     SearchState state;
     state.max_executions = budget;
+    if (opts.stateful) {
+      state.visited =
+          std::make_unique<detail::VisitedSet>(
+            static_cast<std::size_t>(opts.stateful_capacity));
+    }
     SerialCheckpoint cp{&opts.checkpoint_path, opts.checkpoint_every, &proto,
                         0};
     SerialCheckpoint* sink = opts.checkpoint_path.empty() ? nullptr : &cp;
@@ -868,6 +934,10 @@ Explorer::Result explore_impl(const ExecutionBody& body,
                                          /*floor=*/0, opts, state,
                                          /*my_index=*/0, sink);
     result = finish_serial(std::move(stats));
+    if (state.visited != nullptr) {
+      result.stateful_states =
+          static_cast<std::int64_t>(state.visited->size());
+    }
   } else {
     result = explore_parallel(body, opts, threads, std::move(initial_prefix),
                               proto, budget);
@@ -879,6 +949,7 @@ Explorer::Result explore_impl(const ExecutionBody& body,
   result.reduced_subtrees += proto.reduced;
   result.crashed_executions += proto.crashed;
   result.stuck_executions += proto.stuck;
+  result.stateful_cuts += proto.stateful_cuts;
   if (proto.stuck_message) {
     result.first_stuck =
         StuckExecution{*proto.stuck_message, proto.stuck_trace};
@@ -1027,10 +1098,12 @@ Explorer::Result Explorer::resume(const ExecutionBody& body,
   if (snap.max_executions != opts.max_executions ||
       snap.max_crashes != opts.max_crashes ||
       snap.step_quota != opts.step_quota ||
-      snap.reduction != (opts.reduction == Reduction::kSleepSets)) {
+      snap.reduction != (opts.reduction == Reduction::kSleepSets) ||
+      snap.stateful != opts.stateful) {
     throw SimError("Explorer::resume: snapshot " + snapshot_path +
                    " was taken under different options (max_executions, "
-                   "max_crashes, step_quota and reduction must match)");
+                   "max_crashes, step_quota, reduction and stateful must "
+                   "match)");
   }
   if (snap.done || opts.max_executions - snap.executions <= 0) {
     // Finished searches (and watermarks that already spent the whole

@@ -52,6 +52,12 @@ void ObserverChain::on_reduced(std::int64_t subtrees) {
   }
 }
 
+void ObserverChain::on_stateful_cut(std::int64_t cuts) {
+  for (TraceObserver* s : sinks_) {
+    s->on_stateful_cut(cuts);
+  }
+}
+
 void ObserverChain::on_violation(std::string_view message) {
   for (TraceObserver* s : sinks_) {
     s->on_violation(message);
@@ -246,6 +252,11 @@ void ProgressTicker::on_reduced(std::int64_t subtrees) {
   reduced_ += subtrees;
 }
 
+void ProgressTicker::on_stateful_cut(std::int64_t cuts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stateful_cuts_ += cuts;
+}
+
 void ProgressTicker::maybe_tick_locked() {
   const auto now = std::chrono::steady_clock::now();
   const std::chrono::duration<double> since_tick = now - last_tick_;
@@ -263,7 +274,8 @@ void ProgressTicker::maybe_tick_locked() {
                       : 1.0;
   *out_ << "[progress] execs=" << executions_ << " exec/s=" << rate
         << " reduced=" << reduced_ << " (x" << factor
-        << ") violations=" << violations_ << '\n';
+        << ") stateful=" << stateful_cuts_ << " violations=" << violations_
+        << '\n';
 }
 
 ProgressTicker::Snapshot ProgressTicker::snapshot() const {
@@ -272,6 +284,7 @@ ProgressTicker::Snapshot ProgressTicker::snapshot() const {
   s.executions = executions_;
   s.reduced = reduced_;
   s.violations = violations_;
+  s.stateful_cuts = stateful_cuts_;
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start_;
   s.elapsed_seconds = elapsed.count();

@@ -34,6 +34,9 @@ struct Runtime::Proc {
   ProcState state = ProcState::kRunning;
   Engine engine;
   std::int64_t steps = 0;
+  /// Stateful exploration: this process's running observation-chain hash
+  /// (one term of the world fingerprint). 0 until run() seeds it.
+  std::uint64_t fp_chain = 0;
   /// Footprint of the pending step, announced at the sched_point /
   /// SUBC_STEP_POINT that suspended the process. Default (unknown) until
   /// the first announcement and after any footprint-less one.
@@ -167,11 +170,44 @@ std::size_t Runtime::collect_enabled(int* enabled, Access* footprints) const {
   return n;
 }
 
+// --- World-state fingerprint folds (stateful exploration) ----------------
+// All three are only ever called with `fp_on_` true; the callers guard, so
+// the non-stateful hot path pays one predictable branch per event.
+
+void Runtime::fp_fold(int pid, std::uint64_t v) {
+  Proc& p = *procs_[static_cast<std::size_t>(pid)];
+  fp_world_ ^= p.fp_chain;
+  p.fp_chain = detail::mix64(p.fp_chain ^ v);
+  fp_world_ ^= p.fp_chain;
+}
+
+void Runtime::fp_observe(int pid, std::uint64_t v) {
+  fp_fold(pid, detail::mix64(detail::kFpObserveSalt ^ v));
+  fp_step_reported_ = true;
+}
+
+void Runtime::fp_commit(std::uint32_t object_id, std::uint64_t state_hash) {
+  // The object announced a footprint before this step, so its id is set.
+  SUBC_ASSERT(object_id != 0);
+  const std::size_t id = object_id;
+  if (fp_objects_.size() <= id) {
+    fp_objects_.resize(id + 1, 0);
+  }
+  fp_world_ ^= fp_objects_[id];
+  fp_objects_[id] =
+      detail::mix64(state_hash ^ detail::mix64(detail::kFpObjectSalt ^ id));
+  fp_world_ ^= fp_objects_[id];
+  fp_step_reported_ = true;
+}
+
 void Runtime::advance(Proc& proc) {
   if (proc.engine == Engine::kFiber) {
     proc.fiber->resume();
     if (proc.fiber->finished() && proc.state == ProcState::kRunning) {
       proc.state = ProcState::kDone;
+      if (fp_on_) {
+        fp_fold(proc.ctx.pid(), detail::kFpDoneSalt);
+      }
     }
     return;
   }
@@ -193,6 +229,20 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   started_ = true;
   driver_ = &driver;
   driver.begin_run();
+  // Stateful exploration: seed every process's observation chain before any
+  // code (including priming prologues) can fold into it. The chain seeds
+  // encode the pid, so the world fingerprint distinguishes "who did what"
+  // without any further per-fold pid mixing.
+  fp_on_ = driver.wants_state_fp();
+  if (fp_on_) {
+    fp_world_ = 0;
+    fp_valid_ = true;
+    for (std::size_t i = 0; i < num_procs_; ++i) {
+      Proc* proc = procs_[i];
+      proc->fp_chain = detail::mix64(detail::kFpProcSalt ^ i);
+      fp_world_ ^= proc->fp_chain;
+    }
+  }
   if (observer_ != nullptr) {
     observer_->on_run_begin(num_processes());
   }
@@ -225,6 +275,14 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
       throw SimError("step bound exceeded with processes still runnable (" +
                      std::to_string(max_steps) + " steps)");
     }
+    // Stateful exploration: report the world fingerprint at every decision
+    // point, *before* the crash branch point — a visited-set cut then skips
+    // the whole crash branching below this state too, which is sound
+    // because equal fingerprints imply equal crash folds and hence equal
+    // remaining crash budget. A StatefulCut thrown here unwinds the run.
+    if (fp_on_) {
+      driver.on_state_fp(fp_world_, fp_valid_);
+    }
     // Fault injection: consult the policy before the pick. Crashed pids are
     // retired here, so the pick below only ever sees survivors. Bits for
     // pids that are not enabled are ignored (guards against a policy that
@@ -256,7 +314,24 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     }
     ++total_steps_;
     ++proc.steps;
-    advance(proc);
+    if (fp_on_) {
+      // Fold the grant itself (per-proc step counts are the monotone spine
+      // of the fingerprint: no state can repeat within one execution), then
+      // demand that the step reports something — a granted step that folds
+      // nothing ran an unported operation, and its effects are invisible to
+      // the fingerprint, so the whole execution's fingerprints are poisoned.
+      fp_step_reported_ = false;
+      fp_fold(pid, detail::kFpStepSalt);
+      advance(proc);
+      if (!fp_step_reported_) {
+        fp_valid_ = false;
+      }
+    } else {
+      advance(proc);
+    }
+  }
+  if (fp_on_) {
+    driver.on_run_fp(fp_world_, fp_valid_);
   }
   driver_ = nullptr;
 
@@ -281,6 +356,12 @@ void Runtime::crash(int pid) {
   Proc& proc = *procs_[pid];
   if (proc.state == ProcState::kRunning) {
     proc.state = ProcState::kCrashed;
+    // The crash write-footprints the victim in the fingerprint: worlds that
+    // differ only in who has crashed must not alias (the crashed set also
+    // determines how much of the crash budget remains).
+    if (fp_on_ && started_) {
+      fp_fold(pid, detail::kFpCrashSalt);
+    }
     if (observer_ != nullptr) {
       observer_->on_crash(pid, total_steps_);
     }
@@ -317,6 +398,13 @@ std::uint32_t Context::choose(std::uint32_t arity) {
   }
   const std::uint32_t c = runtime_->driver_->choose(arity);
   SUBC_ASSERT(c < arity);
+  // The chosen value is process-visible nondeterminism: fold it so worlds
+  // whose processes observed different choices cannot alias. A choose alone
+  // does not count as a fingerprint report — the operation around it may
+  // still mutate unported state.
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::mix64(detail::kFpChooseSalt ^ c));
+  }
   if (runtime_->observer_ != nullptr) {
     runtime_->observer_->on_choose(pid_, arity, c);
   }
@@ -332,12 +420,35 @@ void Context::decide(Value v) {
     throw SimError("process " + std::to_string(pid_) + " decided twice");
   }
   slot = v;
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::mix64(detail::kFpDecideSalt ^
+                                          static_cast<std::uint64_t>(v)));
+  }
 }
 
 void Context::hang() {
+  // Hang is a report by convention: hangable operations in the object zoo
+  // check-and-hang without mutating shared state, so the transition fold
+  // captures the step completely.
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::kFpHungSalt);
+    runtime_->fp_step_reported_ = true;
+  }
   runtime_->procs_[static_cast<std::size_t>(pid_)]->state = ProcState::kHung;
   for (;;) {
     Fiber::yield();  // Only a kill-unwind ever resumes us; yield() throws.
+  }
+}
+
+void Context::observe_fp(std::uint64_t v) {
+  if (runtime_->fp_on_) {
+    runtime_->fp_observe(pid_, v);
+  }
+}
+
+void Context::commit_fp(const ObjectId& obj, std::uint64_t state_hash) {
+  if (runtime_->fp_on_) {
+    runtime_->fp_commit(obj.id_, state_hash);
   }
 }
 
@@ -369,11 +480,19 @@ void StepContext::finish() {
   Runtime::Proc& proc = *runtime_->procs_[static_cast<std::size_t>(pid_)];
   if (proc.state == ProcState::kRunning) {
     proc.state = ProcState::kDone;
+    if (runtime_->fp_on_) {
+      runtime_->fp_fold(pid_, detail::kFpDoneSalt);
+    }
   }
   proc.step_advanced = true;
 }
 
 void StepContext::hang() {
+  // Mirrors Context::hang: the transition fold is the step's report.
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::kFpHungSalt);
+    runtime_->fp_step_reported_ = true;
+  }
   runtime_->procs_[static_cast<std::size_t>(pid_)]->state = ProcState::kHung;
 }
 
@@ -388,6 +507,9 @@ std::uint32_t StepContext::choose(std::uint32_t arity) {
   }
   const std::uint32_t c = runtime_->driver_->choose(arity);
   SUBC_ASSERT(c < arity);
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::mix64(detail::kFpChooseSalt ^ c));
+  }
   if (runtime_->observer_ != nullptr) {
     runtime_->observer_->on_choose(pid_, arity, c);
   }
@@ -403,6 +525,22 @@ void StepContext::decide(Value v) {
     throw SimError("process " + std::to_string(pid_) + " decided twice");
   }
   slot = v;
+  if (runtime_->fp_on_) {
+    runtime_->fp_fold(pid_, detail::mix64(detail::kFpDecideSalt ^
+                                          static_cast<std::uint64_t>(v)));
+  }
+}
+
+void StepContext::observe_fp(std::uint64_t v) {
+  if (runtime_->fp_on_) {
+    runtime_->fp_observe(pid_, v);
+  }
+}
+
+void StepContext::commit_fp(const ObjectId& obj, std::uint64_t state_hash) {
+  if (runtime_->fp_on_) {
+    runtime_->fp_commit(obj.id_, state_hash);
+  }
 }
 
 }  // namespace subc

@@ -231,6 +231,36 @@ std::uint64_t ReplayDriver::crash_requests(std::span<const int> enabled) {
   return std::uint64_t{1} << victim;
 }
 
+void ReplayDriver::on_state_fp(std::uint64_t fp, bool valid) {
+  // Probe only in fresh territory: while the replayed prefix is being
+  // consumed the execution walks states an earlier sibling already inserted
+  // on its way down, and cutting there would cut the restart-DFS's own
+  // backbone. (`pos_` does not advance across forced decisions, so forced
+  // points inside the prefix correctly count as replayed.)
+  if (visited_ == nullptr || pos_ < trace_.size()) {
+    return;
+  }
+  if (!valid || !base_fp_valid_) {
+    return;  // an unported object stepped somewhere: no cuts this execution
+  }
+  // Key on the (state, sleep-set) pair: a state revisited with a *different*
+  // sleep set constrains its continuations differently, so only the exact
+  // pair proves the subtree redundant (Godefroid's composition rule).
+  const std::uint64_t key = detail::mix64(
+      (base_fp_ ^ fp) ^ detail::mix64(sleep_ ^ detail::kFpSleepSalt));
+  if (visited_->check_and_insert(key)) {
+    throw StatefulCut{};
+  }
+}
+
+void ReplayDriver::on_run_fp(std::uint64_t fp, bool valid) {
+  if (visited_ == nullptr) {
+    return;
+  }
+  base_fp_ = detail::mix64(base_fp_ ^ detail::mix64(fp ^ detail::kFpRunSalt));
+  base_fp_valid_ = base_fp_valid_ && valid;
+}
+
 std::uint32_t ReplayDriver::choose(std::uint32_t arity) {
   if (arity == 0) {
     throw SimError("ReplayDriver::choose: arity must be >= 1");

@@ -137,11 +137,13 @@ const char* engine_name(Eng e) {
 }
 
 Explorer::Result explore(const ExecutionBody& body, Reduction reduction,
-                         int threads, int max_crashes) {
+                         int threads, int max_crashes,
+                         bool stateful = false) {
   Explorer::Options opts;
   opts.reduction = reduction;
   opts.threads = threads;
   opts.max_crashes = max_crashes;
+  opts.stateful = stateful;
   if (max_crashes > 0) {
     opts.step_quota = 100'000;
   }
@@ -214,6 +216,50 @@ void expect_pinned(const ExecutionBody& fiber_body,
   }
 }
 
+/// Stateful grid: the serial fiber run under `Options::stateful` is the
+/// reference. The stepped twin must reproduce it bit-for-bit *including*
+/// the stateful tallies (the two engines are required to fingerprint
+/// identically); parallel cells must reach the same verdict and
+/// completeness (the shared visited set makes the cut/execution split
+/// timing-dependent, never the verdict); and the verdict must agree with
+/// the unreduced search from `expect_pinned`. Any violation's trace must
+/// replay.
+void expect_stateful_equivalent(const ExecutionBody& fiber_body,
+                                const ExecutionBody& stepped_body,
+                                const char* world) {
+  for (const int max_crashes : {0, 1}) {
+    SCOPED_TRACE(std::string(world) +
+                 " stateful f=" + std::to_string(max_crashes));
+    const auto reference =
+        explore(fiber_body, Reduction::kSleepSets, 1, max_crashes,
+                /*stateful=*/true);
+    const auto plain =
+        explore(fiber_body, Reduction::kSleepSets, 1, max_crashes);
+    EXPECT_EQ(reference.ok(), plain.ok());
+    EXPECT_EQ(reference.complete, plain.complete);
+    EXPECT_LE(reference.executions, plain.executions);
+
+    const auto stepped = explore(stepped_body, Reduction::kSleepSets, 1,
+                                 max_crashes, /*stateful=*/true);
+    expect_identical(stepped, reference);
+    EXPECT_EQ(stepped.stateful_cuts, reference.stateful_cuts);
+    EXPECT_EQ(stepped.stateful_states, reference.stateful_states);
+
+    for (const Eng engine : {Eng::kFiber, Eng::kStepped}) {
+      const ExecutionBody& body =
+          engine == Eng::kFiber ? fiber_body : stepped_body;
+      SCOPED_TRACE(std::string("threads=4 engine=") + engine_name(engine));
+      const auto par = explore(body, Reduction::kSleepSets, 4, max_crashes,
+                               /*stateful=*/true);
+      EXPECT_EQ(par.ok(), reference.ok());
+      EXPECT_EQ(par.complete, reference.complete);
+      if (par.violation.has_value()) {
+        EXPECT_ANY_THROW(Explorer::replay(body, par.violating_trace));
+      }
+    }
+  }
+}
+
 // Captured from the pre-refactor explorer (PR 2 head): the policy/observer
 // re-architecture must not move any of these — and the stepped engine must
 // reproduce them exactly.
@@ -235,6 +281,26 @@ TEST(ExplorerEquivalencePin, WrnWorld) {
 TEST(ExplorerEquivalencePin, ClassicConsensusWorld) {
   expect_pinned(consensus_world(Eng::kFiber), consensus_world(Eng::kStepped),
                 {"consensus", 6, 2, 3});
+}
+
+TEST(ExplorerEquivalencePin, RegisterWorldStateful) {
+  expect_stateful_equivalent(register_world(Eng::kFiber),
+                             register_world(Eng::kStepped), "register");
+}
+
+TEST(ExplorerEquivalencePin, GacWorldStateful) {
+  expect_stateful_equivalent(gac_world(Eng::kFiber), gac_world(Eng::kStepped),
+                             "gac");
+}
+
+TEST(ExplorerEquivalencePin, WrnWorldStateful) {
+  expect_stateful_equivalent(wrn_world(Eng::kFiber), wrn_world(Eng::kStepped),
+                             "wrn");
+}
+
+TEST(ExplorerEquivalencePin, ClassicConsensusWorldStateful) {
+  expect_stateful_equivalent(consensus_world(Eng::kFiber),
+                             consensus_world(Eng::kStepped), "consensus");
 }
 
 }  // namespace

@@ -235,7 +235,7 @@ TEST(SteppedEngine, StateBlockDestructorRunsAtWorldTeardown) {
     void step(StepContext& ctx) {
       SUBC_STEP_BEGIN(ctx);
       SUBC_STEP_POINT(ctx, reg->oid(), AccessKind::kRead);
-      static_cast<void>(reg->step_read());
+      static_cast<void>(reg->step_read(ctx));
       SUBC_STEP_END(ctx);
     }
   };
