@@ -1,13 +1,34 @@
-// Experiment F8 — soak: a fixed wall-clock budget of randomized mixed
-// workloads over every major construction, validating everything on every
-// run. The release-quality reliability artifact: zero violations expected
-// across hundreds of thousands of executions.
+// Experiment F8 — soak: the release-quality reliability artifact, in two
+// stages.
 //
-//   bench_f8_soak [seconds-per-workload]   (default 2)
+// Stage 1 (legacy workloads): a fixed wall-clock budget of randomized mixed
+// schedules over every major construction, validating everything on every
+// run. Each workload draws from its own disjoint seed stream (stream w =
+// seeds [(w+1)<<32, (w+2)<<32)), so no two workloads replay overlapping
+// schedule prefixes and every failure reproduces from (workload, seed).
+// Step-quota `StuckCut`s are reported as structured diagnostics and the
+// soak continues; only spec violations fail the stage.
+//
+// Stage 2 (agreement as a service): a long-running multi-instance soak over
+// the instance layer (runtime/instance.hpp) — thousands of concurrent
+// 1sWRN / GAC / set-consensus instances multiplexed over one arena, with
+// nano-style weighted validators (quorum = 2/3 of total weight), a
+// deterministic virtual clock driving op arrival jitter and timeouts,
+// decision-latency percentiles in ticks, instance-table GC, and a spot
+// linearizability / agreement audit sampling decided instances' history
+// segments into the fingerprint checker. Violations must be 0 and the
+// table must drain to 0 live instances at exit.
+//
+//   bench_f8_soak [seconds-per-workload] [soak-seconds] [audit-percent]
+//                 (defaults 2, 4, 25; pass 0 seconds to skip a stage —
+//                  check.sh --soak-smoke runs `0 5 100`)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <unordered_map>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "subc/algorithms/adopt_commit.hpp"
@@ -21,6 +42,7 @@
 #include "subc/core/tasks.hpp"
 #include "subc/objects/wrn.hpp"
 #include "subc/runtime/explorer.hpp"
+#include "subc/runtime/instance.hpp"
 
 namespace {
 
@@ -32,32 +54,322 @@ struct Workload {
   ExecutionBody body;
 };
 
-long soak_one(const Workload& workload, double seconds, bool* ok) {
-  long runs = 0;
-  std::uint64_t seed = 1;
+struct SoakOutcome {
+  long runs = 0;   ///< validated executions
+  long stuck = 0;  ///< step-quota diagnostics (not failures)
+  bool ok = true;
+};
+
+SoakOutcome soak_one(const Workload& workload, double seconds,
+                     std::uint64_t seed_base) {
+  SoakOutcome out;
+  std::uint64_t seed = seed_base;
   const auto deadline =
       Clock::now() + std::chrono::duration<double>(seconds);
   while (Clock::now() < deadline) {
     RandomDriver driver(seed++);
     try {
       workload.body(driver);
+    } catch (const StuckCut&) {
+      // Step-quota watchdog: a livelocked schedule is a structured
+      // diagnostic, not a soak abort (it is not derived from
+      // std::exception precisely so bodies cannot swallow it — report it
+      // here, at the harness boundary).
+      ++out.stuck;
+      std::printf("  .. %s stuck at seed %llu (step-quota watchdog)\n",
+                  workload.name,
+                  static_cast<unsigned long long>(seed - 1));
+      continue;
     } catch (const std::exception& e) {
       std::printf("  !! %s violated at seed %llu: %s\n", workload.name,
                   static_cast<unsigned long long>(seed - 1), e.what());
-      *ok = false;
-      return runs;
+      out.ok = false;
+      return out;
     }
-    ++runs;
+    ++out.runs;
   }
-  return runs;
+  return out;
+}
+
+// --- Stage 2: the agreement-as-a-service soak ----------------------------
+
+/// nano-style fixed validator set: 16 validators whose weights sum to
+/// 1000; a decision commits once served proposals cover quorum weight.
+/// (The `fixed_validators` rig in SNIPPETS.md is the exemplar; 667 = 2/3.)
+constexpr int kValidators = 16;
+constexpr unsigned kWeights[kValidators] = {180, 140, 120, 100, 90, 80, 70,
+                                            60,  45,  35,  25,  20, 15, 10,
+                                            6,   4};
+constexpr unsigned kQuorumNum = 2, kQuorumDen = 3;
+
+constexpr int kOpenPerTick = 60;    ///< instances opened per virtual tick
+constexpr int kHorizonTicks = 25;   ///< op arrival jitter window
+constexpr int kTimeoutTicks = 40;   ///< undecided past this → timed out, GC'd
+constexpr int kLingerTicks = 5;     ///< decided instances stay auditable
+
+/// Bench-side per-instance bookkeeping (the table holds object state +
+/// history; the service holds quorum progress and scheduling).
+struct SoakMeta {
+  unsigned total_weight = 0;
+  unsigned served_weight = 0;
+  std::vector<Value> proposals;
+  std::vector<Value> responses;
+  int spec_k = 0;       ///< 1sWRN k / GAC agreement / set-consensus k
+  bool decided = false;
+};
+
+struct SoakOp {
+  InstanceId id;
+  int validator;
+  int slot;
+  Value value;
+};
+
+struct SoakResult {
+  std::int64_t ops = 0;
+  std::int64_t decided = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t audited = 0;
+  std::int64_t violations = 0;
+  std::int64_t ticks = 0;
+  std::int64_t peak_live = 0;
+  std::int64_t live_at_exit = 0;
+  std::int64_t blocks_carved = 0;
+  std::int64_t block_reuses = 0;
+  double ops_per_sec = 0.0;
+  double p50_ticks = 0.0;
+  double p99_ticks = 0.0;
+};
+
+double percentile(std::vector<std::int64_t>& xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(xs.size() - 1) + 0.5);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                   xs.end());
+  return static_cast<double>(xs[idx]);
+}
+
+/// Audits one decided instance: 1sWRN history segments go through the
+/// linearizability checker (hashed fingerprint memo); GAC / set-consensus
+/// segments are checked for validity (responses ⊆ proposals) and
+/// k-agreement (≤ spec_k distinct responses).
+bool audit_instance(InstanceTable& table, InstanceId id, const SoakMeta& meta) {
+  const InstanceBlock& block = table.at(id);
+  if (block.kind == InstanceKind::kOneShotWrn) {
+    try {
+      require_linearizable(OneShotWrnSpec{block.wrn.k}, block.history);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+  int distinct = 0;
+  std::vector<Value> seen;
+  for (const Value r : meta.responses) {
+    bool valid = false;
+    for (const Value p : meta.proposals) {
+      valid = valid || p == r;
+    }
+    if (!valid) {
+      return false;  // response was never proposed
+    }
+    bool dup = false;
+    for (const Value s : seen) {
+      dup = dup || s == r;
+    }
+    if (!dup) {
+      seen.push_back(r);
+      ++distinct;
+    }
+  }
+  return distinct <= meta.spec_k;
+}
+
+SoakResult run_service_soak(double seconds, int audit_percent) {
+  InstanceTable table;
+  std::unordered_map<InstanceId, SoakMeta> metas;
+  // Ring buffers over the virtual clock: ops to apply, decided instances to
+  // GC, deadlines to enforce. Slot = tick % ring size.
+  constexpr int kRing = kHorizonTicks + kTimeoutTicks + kLingerTicks + 2;
+  std::vector<std::vector<SoakOp>> op_ring(kRing);
+  std::vector<std::vector<InstanceId>> gc_ring(kRing);
+  std::vector<std::vector<InstanceId>> deadline_ring(kRing);
+
+  SoakResult res;
+  std::vector<std::int64_t> latencies;
+  std::uint64_t rng = 0xf8f8f8f8ULL;
+  const auto pick = [&rng](std::uint64_t bound) {
+    rng = subc::detail::mix64(rng);
+    return rng % bound;
+  };
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(seconds);
+  std::int64_t tick = 0;
+  bool opening = seconds > 0.0;
+
+  while (opening || table.stats().live > 0) {
+    ++tick;
+    if (opening && Clock::now() >= deadline) {
+      opening = false;  // stop admitting; drain to quiescence
+    }
+
+    if (opening) {
+      for (int j = 0; j < kOpenPerTick; ++j) {
+        // Participant set: 3..6 distinct validators, weight-diverse.
+        const int participants = 3 + static_cast<int>(pick(4));
+        int chosen[6];
+        int got = 0;
+        while (got < participants) {
+          const int v = static_cast<int>(pick(kValidators));
+          bool dup = false;
+          for (int c = 0; c < got; ++c) {
+            dup = dup || chosen[c] == v;
+          }
+          if (!dup) {
+            chosen[got++] = v;
+          }
+        }
+
+        const int kind_sel = static_cast<int>(pick(3));
+        InstanceId id = 0;
+        SoakMeta meta;
+        if (kind_sel == 0) {
+          // 1sWRN_k with one slot per participant (k >= 2 guaranteed).
+          id = table.open(InstanceKind::kOneShotWrn, participants, 0, tick);
+          meta.spec_k = participants;
+        } else if (kind_sel == 1) {
+          const int level = static_cast<int>(pick(3));  // GAC(n, 0..2)
+          id = table.open(InstanceKind::kGac, participants, level, tick);
+          meta.spec_k = level + 1;
+        } else {
+          // (n, k)-set-consensus with n = participants + 1 > k >= 1.
+          const int k = 1 + static_cast<int>(pick(
+                            static_cast<std::uint64_t>(participants) - 1));
+          id = table.open(InstanceKind::kSetConsensus, participants + 1, k,
+                          tick);
+          meta.spec_k = k;
+        }
+
+        for (int c = 0; c < participants; ++c) {
+          const int validator = chosen[c];
+          // Quorum is judged against the instance's full participant
+          // weight, offline members included: an offline heavyweight
+          // (> 1/3 of the instance weight) makes quorum unreachable — that
+          // is what the timeout lane and undecided-GC exist to exercise.
+          meta.total_weight += kWeights[validator];
+          if (pick(16) == 0) {
+            continue;  // ~1/16 of participants are offline
+          }
+          const auto at =
+              tick + 1 + static_cast<std::int64_t>(pick(kHorizonTicks));
+          const Value proposal = static_cast<Value>(1000 + validator);
+          meta.proposals.push_back(proposal);
+          op_ring[static_cast<std::size_t>(at % kRing)].push_back(
+              SoakOp{id, validator, c, proposal});
+        }
+        deadline_ring[static_cast<std::size_t>((tick + kTimeoutTicks) % kRing)]
+            .push_back(id);
+        metas.emplace(id, std::move(meta));
+      }
+    }
+
+    // Apply this tick's ops.
+    auto& ops = op_ring[static_cast<std::size_t>(tick % kRing)];
+    for (const SoakOp& op : ops) {
+      const auto it = metas.find(op.id);
+      if (it == metas.end() || table.find(op.id) == nullptr) {
+        continue;  // instance already reclaimed (timed out)
+      }
+      SoakMeta& meta = it->second;
+      bool hung = false;
+      const Value out =
+          table.apply(op.id, op.validator, op.slot, op.value,
+                      subc::detail::mix64(op.id ^ static_cast<std::uint64_t>(
+                                                      op.validator)),
+                      &hung);
+      ++res.ops;
+      if (hung) {
+        ++res.violations;  // the service never issues illegal ops
+        std::printf("  !! instance %llu: unexpected hang\n",
+                    static_cast<unsigned long long>(op.id));
+        continue;
+      }
+      meta.responses.push_back(out);
+      meta.served_weight += kWeights[static_cast<std::size_t>(op.validator)];
+      if (!meta.decided &&
+          meta.served_weight * kQuorumDen >= meta.total_weight * kQuorumNum) {
+        meta.decided = true;
+        table.decide(op.id, tick);
+        ++res.decided;
+        const InstanceBlock& block = table.at(op.id);
+        latencies.push_back(tick - block.opened_at);
+        if (static_cast<int>(subc::detail::mix64(op.id) % 100) <
+            audit_percent) {
+          ++res.audited;
+          if (!audit_instance(table, op.id, meta)) {
+            ++res.violations;
+            std::printf("  !! instance %llu (%s): audit violation\n",
+                        static_cast<unsigned long long>(op.id),
+                        to_string(block.kind));
+          }
+        }
+        gc_ring[static_cast<std::size_t>((tick + kLingerTicks) % kRing)]
+            .push_back(op.id);
+      }
+    }
+    ops.clear();
+
+    // Reclaim decided instances whose linger window closed.
+    auto& gcs = gc_ring[static_cast<std::size_t>(tick % kRing)];
+    for (const InstanceId id : gcs) {
+      table.gc(id);
+      metas.erase(id);
+    }
+    gcs.clear();
+
+    // Enforce deadlines: still-undecided instances time out and are GC'd.
+    auto& deadlines = deadline_ring[static_cast<std::size_t>(tick % kRing)];
+    for (const InstanceId id : deadlines) {
+      const auto it = metas.find(id);
+      if (it == metas.end() || it->second.decided) {
+        continue;
+      }
+      table.gc(id);
+      metas.erase(it);
+      ++res.timed_out;
+    }
+    deadlines.clear();
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  res.ticks = tick;
+  res.peak_live = table.stats().peak_live;
+  res.live_at_exit = table.stats().live;
+  res.blocks_carved = table.stats().blocks_carved;
+  res.block_reuses = table.stats().block_reuses;
+  res.ops_per_sec = static_cast<double>(res.ops) / std::max(elapsed, 1e-9);
+  res.p50_ticks = percentile(latencies, 0.50);
+  res.p99_ticks = percentile(latencies, 0.99);
+  return res;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const double seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
-  std::printf("F8: soak — %.1f s of adversarial schedules per workload\n\n",
-              seconds);
+  const double soak_seconds = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const int audit_percent =
+      argc > 3 ? std::min(100, std::max(0, std::atoi(argv[3]))) : 25;
+  std::printf(
+      "F8: soak — %.1f s of adversarial schedules per workload, %.1f s "
+      "agreement-as-a-service (audit %d%%)\n\n",
+      seconds, soak_seconds, audit_percent);
 
   const std::vector<Workload> workloads{
       {"algorithm2_k6",
@@ -166,32 +478,93 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   long total = 0;
-  std::printf("%-34s %12s %14s\n", "workload", "runs", "runs/sec");
+  long total_stuck = 0;
+  std::printf("%-34s %12s %14s %8s %18s\n", "workload", "runs", "runs/sec",
+              "stuck", "seed_base");
   std::vector<subc_bench::Json> rows;
-  for (const auto& workload : workloads) {
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const Workload& workload = workloads[w];
+    // Disjoint, reproducible seed streams: workload w draws from
+    // [(w+1)<<32, (w+2)<<32), so no two workloads share a schedule prefix.
+    const std::uint64_t seed_base = (static_cast<std::uint64_t>(w) + 1) << 32;
     const auto start = Clock::now();
-    const long runs = soak_one(workload, seconds, &ok);
+    const SoakOutcome outcome = soak_one(workload, seconds, seed_base);
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
-    total += runs;
-    const double per_sec = runs / std::max(elapsed, 1e-9);
-    std::printf("%-34s %12ld %14.0f\n", workload.name, runs, per_sec);
+    ok = ok && outcome.ok;
+    total += outcome.runs;
+    total_stuck += outcome.stuck;
+    const double per_sec = outcome.runs / std::max(elapsed, 1e-9);
+    std::printf("%-34s %12ld %14.0f %8ld %#18llx\n", workload.name,
+                outcome.runs, per_sec, outcome.stuck,
+                static_cast<unsigned long long>(seed_base));
     subc_bench::Json row;
     row.set("workload", workload.name)
-        .set("runs", static_cast<std::int64_t>(runs))
-        .set("runs_per_sec", per_sec);
+        .set("runs", static_cast<std::int64_t>(outcome.runs))
+        .set("runs_per_sec", per_sec)
+        .set("stuck_runs", static_cast<std::int64_t>(outcome.stuck))
+        .set("seed_base", static_cast<std::int64_t>(seed_base));
     rows.push_back(row);
   }
-  std::printf("\ntotal validated executions: %ld, violations: %s\n", total,
-              ok ? "0" : "SOME (see above)");
+  std::printf("\ntotal validated executions: %ld, stuck: %ld, violations: %s\n",
+              total, total_stuck, ok ? "0" : "SOME (see above)");
+
+  // --- Stage 2: agreement as a service ------------------------------------
+  const SoakResult soak = run_service_soak(soak_seconds, audit_percent);
+  std::printf(
+      "\nservice soak: %lld ops (%.0f ops/s) over %lld ticks\n"
+      "  decisions %lld (p50 %.0f ticks, p99 %.0f ticks), timed out %lld\n"
+      "  peak live instances %lld, gc'd %lld, live at exit %lld\n"
+      "  blocks carved %lld, block reuses %lld\n"
+      "  audited %lld, violations %lld\n",
+      static_cast<long long>(soak.ops), soak.ops_per_sec,
+      static_cast<long long>(soak.ticks), static_cast<long long>(soak.decided),
+      soak.p50_ticks, soak.p99_ticks, static_cast<long long>(soak.timed_out),
+      static_cast<long long>(soak.peak_live),
+      static_cast<long long>(soak.decided + soak.timed_out),
+      static_cast<long long>(soak.live_at_exit),
+      static_cast<long long>(soak.blocks_carved),
+      static_cast<long long>(soak.block_reuses),
+      static_cast<long long>(soak.audited),
+      static_cast<long long>(soak.violations));
+
+  // Self-gates: no violations, the table fully drained, and (whenever the
+  // service stage ran at all) the concurrency high-water mark the ROADMAP
+  // promises.
+  if (soak.violations != 0) {
+    ok = false;
+  }
+  if (soak.live_at_exit != 0) {
+    std::printf("  !! instance table leaked %lld live instances\n",
+                static_cast<long long>(soak.live_at_exit));
+    ok = false;
+  }
+  if (soak_seconds > 0.0 && soak.peak_live < 1000) {
+    std::printf("  !! peak live instances %lld < 1000\n",
+                static_cast<long long>(soak.peak_live));
+    ok = false;
+  }
+
   subc_bench::Json out;
   out.set("bench", "F8")
       .set("seconds_per_workload", seconds)
+      .set("soak_seconds", soak_seconds)
+      .set("audit_percent", audit_percent)
       .set("total_runs", static_cast<std::int64_t>(total))
+      .set("total_stuck", static_cast<std::int64_t>(total_stuck))
       .set("workloads", rows)
       .set("pass", ok);
-  // This bench never drives the exhaustive explorer; stamp the neutral
-  // reduction telemetry every BENCH_<ID>.json carries.
+  subc_bench::set_soak_fields(out, soak.ops_per_sec, soak.p50_ticks,
+                              soak.p99_ticks, soak.peak_live,
+                              soak.decided + soak.timed_out, soak.audited,
+                              soak.violations);
+  out.set("soak_decisions", soak.decided)
+      .set("soak_timed_out", soak.timed_out)
+      .set("soak_ticks", soak.ticks)
+      .set("soak_blocks_carved", soak.blocks_carved)
+      .set("soak_block_reuses", soak.block_reuses);
+  // The legacy stage never drives the exhaustive explorer; stamp the
+  // neutral reduction telemetry every BENCH_<ID>.json carries.
   subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);

@@ -248,6 +248,24 @@ inline void set_stateful_fields(Json& json, std::int64_t stateful_cuts,
                : 0.0);
 }
 
+/// Stamps the agreement-as-a-service soak telemetry (bench_f8's
+/// multi-instance harness over runtime/instance.hpp): sustained operation
+/// throughput, decision-latency percentiles in virtual-clock ticks, the
+/// instance-table high-water mark and GC volume, and the audit sampler's
+/// totals. `soak_violations` must stay 0 — the soak self-gates on it.
+inline void set_soak_fields(Json& json, double ops_per_sec, double p50_ticks,
+                            double p99_ticks, std::int64_t peak_live,
+                            std::int64_t instances_gcd, std::int64_t audited,
+                            std::int64_t violations) {
+  json.set("soak_ops_per_sec", ops_per_sec);
+  json.set("soak_p50_ticks", p50_ticks);
+  json.set("soak_p99_ticks", p99_ticks);
+  json.set("soak_peak_live", peak_live);
+  json.set("soak_instances_gcd", instances_gcd);
+  json.set("soak_audited", audited);
+  json.set("soak_violations", violations);
+}
+
 /// Allocation-counter snapshot (`subc::alloc_counters()`): arena growth and
 /// reuse plus fiber-stack pool hits across everything the bench ran so far.
 /// Reuse counters climbing while chunk/alloc counters stay flat is the
@@ -268,6 +286,12 @@ inline Json alloc_counter_cell() {
            static_cast<std::int64_t>(c.stepped_block_reuses));
   cell.set("stepped_block_bytes",
            static_cast<std::int64_t>(c.stepped_block_bytes));
+  cell.set("instance_blocks_carved",
+           static_cast<std::int64_t>(c.instance_blocks_carved));
+  cell.set("instance_block_reuses",
+           static_cast<std::int64_t>(c.instance_block_reuses));
+  cell.set("instance_block_bytes",
+           static_cast<std::int64_t>(c.instance_block_bytes));
   return cell;
 }
 

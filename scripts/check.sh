@@ -33,6 +33,13 @@
 #                                 AddressSanitizer — proves stateful cuts
 #                                 stay sound and both engines fingerprint
 #                                 identically before anything ships
+#   scripts/check.sh --soak-smoke multi-instance service gate only: ~5 s of
+#                                 bench_f8_soak's agreement-as-a-service
+#                                 stage under AddressSanitizer with the
+#                                 audit sampler at 100% — the bench
+#                                 self-gates on zero violations, >=1000
+#                                 concurrent live instances, and a fully
+#                                 drained instance table at exit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +48,7 @@ PERF_SMOKE=0
 STEPPER_SMOKE=0
 CRASH_SMOKE=0
 STATEFUL_SMOKE=0
+SOAK_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
@@ -48,8 +56,9 @@ for arg in "$@"; do
     --stepper-smoke) STEPPER_SMOKE=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
     --stateful-smoke) STATEFUL_SMOKE=1 ;;
+    --soak-smoke) SOAK_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke|--stateful-smoke]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke|--stateful-smoke|--soak-smoke]" >&2
       exit 2
       ;;
   esac
@@ -185,6 +194,29 @@ if [[ "${STATEFUL_SMOKE}" == "1" ]]; then
   build-asan/tests/stateful_exploration_test
   build-asan/tests/equivalence_pin_test --gtest_filter='*Stateful*'
   echo "STATEFUL SMOKE PASSED"
+  exit 0
+fi
+
+# --- Soak smoke: the multi-instance service gate -------------------------
+# ~5 s of agreement-as-a-service traffic (thousands of concurrent 1sWRN /
+# GAC / set-consensus instances over one InstanceTable) under ASan, with
+# every decided instance audited (audit-percent 100). The bench self-gates:
+# zero audit violations, the >=1000 concurrent-live-instance high-water
+# mark, and zero live instances left in the table at exit (block recycling,
+# not monotone arena growth). The legacy randomized-schedule stage is
+# skipped (0 s) — this gate is about the instance layer, and the full pass
+# still soaks the legacy workloads from the Release bench stage. Results
+# land in a scratch directory so checked-in bench-results/ stay untouched.
+if [[ "${SOAK_SMOKE}" == "1" ]]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan --target bench_f8_soak
+  ROOT="$(pwd)"
+  SCRATCH="$(mktemp -d)"
+  trap 'rm -rf "${SCRATCH}"' EXIT
+  (cd "${SCRATCH}" && "${ROOT}/build-asan/bench/bench_f8_soak" 0 5 100)
+  echo "SOAK SMOKE PASSED"
   exit 0
 fi
 

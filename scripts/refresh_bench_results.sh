@@ -84,6 +84,20 @@ if [[ "${CHECK}" == "1" ]]; then
       FAIL=1
     fi
   done
+  # The F8 artifact must carry the agreement-as-a-service soak cells
+  # (set_soak_fields in bench/bench_util.hpp). The generic key-set diff
+  # would accept a bench that silently stopped stamping them on *both*
+  # sides, so the required keys are pinned by name.
+  # (grep without -q: early exit would SIGPIPE the key_set python under
+  # pipefail even when the key is present.)
+  for key in soak_ops_per_sec soak_p50_ticks soak_p99_ticks soak_peak_live \
+             soak_instances_gcd soak_audited soak_violations; do
+    if ! key_set bench-results/BENCH_F8.json 2>/dev/null \
+        | grep -x "${key}" >/dev/null; then
+      echo "refresh-bench: STALE — bench-results/BENCH_F8.json missing soak cell ${key}" >&2
+      FAIL=1
+    fi
+  done
   [[ "${FAIL}" == "0" ]] || exit 1
   echo "BENCH RESULTS CURRENT"
   exit 0

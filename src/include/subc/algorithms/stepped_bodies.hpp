@@ -12,6 +12,7 @@
 #include "subc/algorithms/classic_consensus.hpp"
 #include "subc/objects/onk.hpp"
 #include "subc/objects/register.hpp"
+#include "subc/objects/set_consensus_object.hpp"
 #include "subc/objects/swap.hpp"
 #include "subc/objects/wrn.hpp"
 #include "subc/runtime/stepper.hpp"
@@ -91,6 +92,25 @@ struct SteppedGacProposer {
     SUBC_STEP_BEGIN(ctx);
     SUBC_STEP_POINT(ctx, gac->oid(), AccessKind::kRmw);
     SUBC_STEP_CALL(ctx, got_, gac->step_propose(ctx, value));
+    ctx.decide(got_);
+    SUBC_STEP_END(ctx);
+  }
+};
+
+/// Proposes `value` on an (n,k)-set-consensus object and decides the result
+/// (hangs past capacity, exactly like the fiber form). Routes through the
+/// same `set_consensus_propose` core as the fiber form and the instance
+/// layer (runtime/instance.hpp).
+struct SteppedSetConsensusProposer {
+  SetConsensusObject* object;
+  Value value;
+
+  Value got_ = kBottom;
+
+  void step(StepContext& ctx) {
+    SUBC_STEP_BEGIN(ctx);
+    SUBC_STEP_POINT(ctx, object->oid(), AccessKind::kChoose);
+    SUBC_STEP_CALL(ctx, got_, object->step_propose(ctx, value));
     ctx.decide(got_);
     SUBC_STEP_END(ctx);
   }

@@ -32,7 +32,50 @@
 
 namespace subc {
 
-/// Deterministic cyclic-group-arrival object GAC(n, i).
+/// Detached state of a GAC(n, i) object: pure data, no world binding
+/// (multi-instance runtime, runtime/instance.hpp).
+struct GacState {
+  int n = 0;
+  int i = 0;
+  std::vector<Value> arrivals;
+
+  /// (Re)initialises for a fresh GAC(n, i); keeps the arrival buffer's
+  /// capacity so recycled instance blocks stop allocating in steady state.
+  void reset(int n_arg, int i_arg);
+};
+
+/// m_i: invocation capacity before GAC(n, i) hangs.
+[[nodiscard]] constexpr int gac_capacity(int n, int i) noexcept {
+  return n * (i + 1) + i;
+}
+
+/// Argument validation shared by every GAC entry point (throws SimError).
+void gac_check_proposal(Value v);
+
+/// The sequential GAC arrival body, engine- and fingerprint-free.
+Value gac_serve(GacState* st, Value v);
+
+/// The atomic GAC propose core: runs inside a granted step (or a service
+/// context) against the explicit state block. Past-capacity arrivals hang
+/// the process (`ctx.hang()`) and return ⊥ — stepped/service callers must
+/// cut short (the fiber `Context::hang` never returns). Fingerprint
+/// reports: observe the winner, commit the arrival list.
+template <class Ctx>
+Value gac_propose(Ctx& ctx, const ObjectId& id, GacState* st, Value v) {
+  gac_check_proposal(v);
+  if (static_cast<int>(st->arrivals.size()) >= gac_capacity(st->n, st->i)) {
+    ctx.hang();      // never returns on the fiber engine
+    return kBottom;  // stepped/service caller must cut short
+  }
+  const Value out = gac_serve(st, v);
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(out));
+    ctx.commit_fp(id, detail::fp_of(st->arrivals));
+  }
+  return out;
+}
+
+/// Deterministic cyclic-group-arrival object GAC(n, i), bound to one world.
 class GacObject {
  public:
   GacObject(int n, int i);
@@ -40,50 +83,35 @@ class GacObject {
   /// Proposes `v`; returns the arrival-order-determined winner proposal.
   Value propose(Context& ctx, Value v);
 
-  [[nodiscard]] int n() const noexcept { return n_; }
-  [[nodiscard]] int level() const noexcept { return i_; }
+  [[nodiscard]] int n() const noexcept { return state_.n; }
+  [[nodiscard]] int level() const noexcept { return state_.i; }
 
   /// m_i: invocation capacity before the object hangs.
-  [[nodiscard]] int capacity() const noexcept { return capacity_static(n_, i_); }
+  [[nodiscard]] int capacity() const noexcept {
+    return capacity_static(state_.n, state_.i);
+  }
   /// j_i: maximum number of distinct outputs.
-  [[nodiscard]] int agreement() const noexcept { return i_ + 1; }
+  [[nodiscard]] int agreement() const noexcept { return state_.i + 1; }
 
   static int capacity_static(int n, int i) noexcept {
-    return n * (i + 1) + i;
+    return gac_capacity(n, i);
   }
 
   /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
   /// Past-capacity arrivals hang the process (`StepContext::hang`) and
-  /// return ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp). The
-  /// core is templated on the context so both engines share it, including
-  /// the fingerprint reports for stateful exploration (observe the winner,
-  /// commit the arrival list; the hang path reports via the transition
-  /// fold).
+  /// return ⊥ — call through `SUBC_STEP_CALL` (runtime/stepper.hpp). Routes
+  /// through the same `gac_propose` core as the fiber form and the instance
+  /// layer, fingerprint reports included.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
   Value step_propose(Ctx& ctx, Value v) {
-    check_proposal(v);
-    if (static_cast<int>(arrivals_.size()) >= capacity()) {
-      ctx.hang();      // never returns on the fiber engine
-      return kBottom;  // stepped caller must cut short (SUBC_STEP_CALL)
-    }
-    const Value out = serve(v);
-    if (ctx.fingerprinting()) {
-      ctx.observe_fp(detail::fp_of(out));
-      ctx.commit_fp(id_, detail::fp_of(arrivals_));
-    }
-    return out;
+    return gac_propose(ctx, id_, &state_, v);
   }
 
  private:
-  static void check_proposal(Value v);
-  Value serve(Value v);
-
   ObjectId id_;
-  int n_;
-  int i_;
-  std::vector<Value> arrivals_;
+  GacState state_;
 };
 
 /// The conjunction object O_{n,k}: components GAC(n, 0) .. GAC(n, k−1).

@@ -10,13 +10,42 @@
 
 namespace subc {
 
+/// Detached state of an atomic register (multi-instance runtime,
+/// runtime/instance.hpp): pure data, no world binding.
+template <class T = Value>
+struct RegisterState {
+  T value{};
+};
+
+/// The atomic read core: observe the value (when `T` fingerprints).
+template <class Ctx, class T>
+[[nodiscard]] const T& register_read(Ctx& ctx, const RegisterState<T>* st) {
+  if constexpr (requires { detail::fp_of(st->value); }) {
+    if (ctx.fingerprinting()) {
+      ctx.observe_fp(detail::fp_of(st->value));
+    }
+  }
+  return st->value;
+}
+
+/// The atomic write core: commit the post-state (when `T` fingerprints).
+template <class Ctx, class T>
+void register_write(Ctx& ctx, const ObjectId& id, RegisterState<T>* st, T v) {
+  st->value = std::move(v);
+  if constexpr (requires { detail::fp_of(st->value); }) {
+    if (ctx.fingerprinting()) {
+      ctx.commit_fp(id, detail::fp_of(st->value));
+    }
+  }
+}
+
 /// A multi-writer multi-reader atomic register holding a `T`.
 /// `T` defaults to `Value`; composite payloads (e.g. the snapshot arrays
 /// Algorithm 5 announces in its `O[]` array) instantiate other `T`s.
 template <class T = Value>
 class Register {
  public:
-  explicit Register(T initial = T{}) : value_(std::move(initial)) {}
+  explicit Register(T initial = T{}) : state_{std::move(initial)} {}
 
   /// Atomic read.
   T read(Context& ctx) {
@@ -32,42 +61,32 @@ class Register {
 
   /// Non-step peek for validators/test assertions *after* a run. Never call
   /// from process code: it would bypass the step model.
-  [[nodiscard]] const T& peek() const noexcept { return value_; }
+  [[nodiscard]] const T& peek() const noexcept { return state_.value; }
 
   /// Stepped-engine access (runtime/stepper.hpp): the body announces the
   /// footprint itself — `SUBC_STEP_POINT(ctx, reg.oid(), kind)` — then runs
-  /// the atomic operation body via `step_*` inside the granted step. The
-  /// cores are templated on the context type and shared with the fiber
-  /// forms above, so both engines make identical fingerprint reports
-  /// (stateful exploration, docs/explorer.md): a read *observes* the value,
-  /// a write *commits* the post-state. Registers holding a `T` without a
+  /// the atomic operation body via `step_*` inside the granted step. Both
+  /// forms route through the `register_read`/`register_write` cores above,
+  /// so every path makes identical fingerprint reports (stateful
+  /// exploration, docs/explorer.md): a read *observes* the value, a write
+  /// *commits* the post-state. Registers holding a `T` without a
   /// `detail::fp_of` overload report nothing, which soundly poisons the
   /// fingerprint for executions that step them.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
   [[nodiscard]] const T& step_read(Ctx& ctx) const {
-    if constexpr (requires { detail::fp_of(value_); }) {
-      if (ctx.fingerprinting()) {
-        ctx.observe_fp(detail::fp_of(value_));
-      }
-    }
-    return value_;
+    return register_read(ctx, &state_);
   }
 
   template <class Ctx>
   void step_write(Ctx& ctx, T v) {
-    value_ = std::move(v);
-    if constexpr (requires { detail::fp_of(value_); }) {
-      if (ctx.fingerprinting()) {
-        ctx.commit_fp(id_, detail::fp_of(value_));
-      }
-    }
+    register_write(ctx, id_, &state_, std::move(v));
   }
 
  private:
   ObjectId id_;
-  T value_;
+  RegisterState<T> state_;
 };
 
 /// A fixed-size array of independent atomic registers.

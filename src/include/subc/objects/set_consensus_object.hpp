@@ -6,6 +6,14 @@
 // returns an element of the set; all subsequent proposes hang the system
 // undetectably. Nondeterminism is resolved adversarially through
 // `Context::choose`, so the exhaustive explorer enumerates every behaviour.
+//
+// State/core split (multi-instance runtime, runtime/instance.hpp): the
+// object state is a plain `SetConsensusState` block and the propose body is
+// the free `set_consensus_propose` core taking an explicit state pointer,
+// so one arena can serve thousands of concurrent set-consensus instances
+// outside any simulated world. The core makes no fingerprint reports —
+// set-consensus worlds stay unported for stateful exploration, which
+// soundly poisons their fingerprints (docs/explorer.md).
 #pragma once
 
 #include <vector>
@@ -15,14 +23,66 @@
 
 namespace subc {
 
-/// Nondeterministic (n,k)-set-consensus object.
-class SetConsensusObject {
- public:
-  SetConsensusObject(int n, int k) : n_(n), k_(k) {
-    if (k < 1 || n <= k) {
+/// Detached state of an (n,k)-set-consensus object.
+struct SetConsensusState {
+  int n = 0;
+  int k = 0;
+  int proposals = 0;
+  std::vector<Value> set;
+
+  void reset(int n_arg, int k_arg) {
+    if (k_arg < 1 || n_arg <= k_arg) {
       throw SimError("SetConsensusObject requires 1 <= k < n");
     }
+    n = n_arg;
+    k = k_arg;
+    proposals = 0;
+    set.clear();
   }
+
+  [[nodiscard]] bool contains(Value v) const {
+    for (const Value x : set) {
+      if (x == v) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// The atomic set-consensus propose core: runs inside a granted step (or a
+/// service context) against the explicit state block. The (n+1)-th propose
+/// hangs the process (`ctx.hang()`) and returns ⊥ — stepped/service callers
+/// must cut short (the fiber `Context::hang` never returns). Nondeterminism
+/// is resolved through `ctx.choose`, so the adversary shape is identical on
+/// every path.
+template <class Ctx>
+Value set_consensus_propose(Ctx& ctx, SetConsensusState* st, Value v) {
+  if (v == kBottom) {
+    throw SimError("propose(⊥) is illegal");
+  }
+  if (st->proposals == st->n) {
+    ctx.hang();      // never returns on the fiber engine
+    return kBottom;  // stepped/service caller must cut short
+  }
+  ++st->proposals;
+  if (st->set.empty()) {
+    st->set.push_back(v);
+  } else if (static_cast<int>(st->set.size()) < st->k && !st->contains(v)) {
+    // Adversary decides whether this proposal joins the value set.
+    if (ctx.choose(2) == 1) {
+      st->set.push_back(v);
+    }
+  }
+  // Adversary picks which element of the set this propose returns.
+  const auto idx = ctx.choose(static_cast<std::uint32_t>(st->set.size()));
+  return st->set[idx];
+}
+
+/// Nondeterministic (n,k)-set-consensus object, bound to one world.
+class SetConsensusObject {
+ public:
+  SetConsensusObject(int n, int k) { state_.reset(n, k); }
 
   /// Proposes `v`; returns an adversarially chosen element of the value set.
   Value propose(Context& ctx, Value v) {
@@ -30,41 +90,26 @@ class SetConsensusObject {
       throw SimError("propose(⊥) is illegal");
     }
     ctx.sched_point(id_, AccessKind::kChoose);
-    if (proposals_ == n_) {
-      ctx.hang();
-    }
-    ++proposals_;
-    if (set_.empty()) {
-      set_.push_back(v);
-    } else if (static_cast<int>(set_.size()) < k_ && !contains(v)) {
-      // Adversary decides whether this proposal joins the value set.
-      if (ctx.choose(2) == 1) {
-        set_.push_back(v);
-      }
-    }
-    // Adversary picks which element of the set this propose returns.
-    const auto idx = ctx.choose(static_cast<std::uint32_t>(set_.size()));
-    return set_[idx];
+    return step_propose(ctx, v);
   }
 
-  [[nodiscard]] int capacity() const noexcept { return n_; }
-  [[nodiscard]] int agreement() const noexcept { return k_; }
+  /// Stepped-engine form: announce `{oid(), kChoose}`, run inside the
+  /// grant through `SUBC_STEP_CALL` so the hang path cuts the body short.
+  /// Routes through the same `set_consensus_propose` core as the fiber form
+  /// and the instance layer.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+
+  template <class Ctx>
+  Value step_propose(Ctx& ctx, Value v) {
+    return set_consensus_propose(ctx, &state_, v);
+  }
+
+  [[nodiscard]] int capacity() const noexcept { return state_.n; }
+  [[nodiscard]] int agreement() const noexcept { return state_.k; }
 
  private:
-  [[nodiscard]] bool contains(Value v) const {
-    for (const Value x : set_) {
-      if (x == v) {
-        return true;
-      }
-    }
-    return false;
-  }
-
   ObjectId id_;
-  int n_;
-  int k_;
-  int proposals_ = 0;
-  std::vector<Value> set_;
+  SetConsensusState state_;
 };
 
 }  // namespace subc

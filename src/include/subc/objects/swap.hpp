@@ -1,6 +1,11 @@
 // Atomic swap register. The paper notes (§3) that WRN_2 *is* a SWAP object,
 // whose consensus number is 2 [Herlihy]; we provide the classic object both
 // for that boundary test and for general substrate completeness.
+//
+// State/core split (multi-instance runtime, runtime/instance.hpp): the
+// state is a plain `SwapState` block and the atomic bodies are free cores
+// taking an explicit state pointer, shared by the fiber form, the stepped
+// form and the instance layer.
 #pragma once
 
 #include <utility>
@@ -10,10 +15,37 @@
 
 namespace subc {
 
+/// Detached state of a swap register.
+struct SwapState {
+  Value value = kBottom;
+};
+
+/// The atomic swap commit core: write `v`, return the previous value.
+/// Fingerprint reports: observe the previous value, commit the new state.
+template <class Ctx>
+Value swap_commit(Ctx& ctx, const ObjectId& id, SwapState* st,
+                  Value v) noexcept {
+  const Value prev = std::exchange(st->value, v);
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(prev));
+    ctx.commit_fp(id, detail::fp_of(st->value));
+  }
+  return prev;
+}
+
+/// The atomic read core: observe the current value.
+template <class Ctx>
+[[nodiscard]] Value swap_read(Ctx& ctx, const SwapState* st) noexcept {
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(st->value));
+  }
+  return st->value;
+}
+
 /// Register with an atomic swap (write-and-return-previous) operation.
 class SwapRegister {
  public:
-  explicit SwapRegister(Value initial = kBottom) : value_(initial) {}
+  explicit SwapRegister(Value initial = kBottom) : state_{initial} {}
 
   /// Atomically writes `v` and returns the previous value.
   Value swap(Context& ctx, Value v) {
@@ -29,32 +61,22 @@ class SwapRegister {
 
   /// Stepped-engine access (runtime/stepper.hpp): announce with `oid()` at
   /// the step point, run the atomic body via `step_*` inside the grant.
-  /// The cores are shared with the fiber forms and report fingerprints for
-  /// stateful exploration: swap observes the previous value and commits the
-  /// new state, read observes the value.
+  /// Both forms route through the `swap_commit`/`swap_read` cores above.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
   Value step_swap(Ctx& ctx, Value v) noexcept {
-    const Value prev = std::exchange(value_, v);
-    if (ctx.fingerprinting()) {
-      ctx.observe_fp(detail::fp_of(prev));
-      ctx.commit_fp(id_, detail::fp_of(value_));
-    }
-    return prev;
+    return swap_commit(ctx, id_, &state_, v);
   }
 
   template <class Ctx>
   [[nodiscard]] Value step_read(Ctx& ctx) const noexcept {
-    if (ctx.fingerprinting()) {
-      ctx.observe_fp(detail::fp_of(value_));
-    }
-    return value_;
+    return swap_read(ctx, &state_);
   }
 
  private:
   ObjectId id_;
-  Value value_;
+  SwapState state_;
 };
 
 }  // namespace subc

@@ -11,6 +11,15 @@
 // For k = 2, WRN_2 is a SWAP object (consensus number 2). For k ≥ 3 the
 // paper proves consensus number 1 but strictly more power than registers —
 // the witness objects for the sub-consensus hierarchy.
+//
+// State/core split (multi-instance runtime, docs/explorer.md): the object
+// state lives in a plain struct (`WrnState`, `OneShotWrnState`) and the
+// atomic commit body is a free function core taking an explicit state-block
+// pointer (`wrn_commit`, `one_shot_wrn_commit`). The member classes below
+// bind one state block to one world; the `InstanceTable`
+// (runtime/instance.hpp) carves thousands of such blocks from one arena and
+// drives the same cores outside any simulated world. Both execution engines
+// and the service path therefore share one commit body per object.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +32,42 @@
 
 namespace subc {
 
-/// The deterministic WRN_k object (Algorithm 1).
+/// Detached state of a WRN_k object: pure data, no world binding.
+struct WrnState {
+  int k = 0;
+  std::vector<Value> slots;
+
+  /// (Re)initialises for a fresh WRN_k; reuses the slot buffer's capacity,
+  /// so recycled instance blocks stop allocating in steady state.
+  void reset(int k_arg) {
+    k = k_arg;
+    slots.assign(static_cast<std::size_t>(k_arg), kBottom);
+  }
+};
+
+/// Argument validation shared by every WRN entry point (throws SimError).
+void wrn_check_params(int k, int index, Value v);
+
+/// The sequential WRN body (Algorithm 1), engine- and fingerprint-free:
+/// slot[i] = v; return slot[(i+1) mod k].
+Value wrn_apply(WrnState* st, int index, Value v);
+
+/// The atomic WRN commit core: runs inside a granted step (or a service
+/// context), applies Algorithm 1 to the explicit state block, and makes the
+/// fingerprint reports (observe the returned neighbour slot, commit the
+/// post-write slot vector) both engines and the instance layer share.
+template <class Ctx>
+Value wrn_commit(Ctx& ctx, const ObjectId& id, WrnState* st, int index,
+                 Value v) {
+  const Value out = wrn_apply(st, index, v);
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(out));
+    ctx.commit_fp(id, detail::fp_of(st->slots));
+  }
+  return out;
+}
+
+/// The deterministic WRN_k object (Algorithm 1), bound to one world.
 class WrnObject {
  public:
   explicit WrnObject(int k);
@@ -31,36 +75,68 @@ class WrnObject {
   /// Atomically: slot[i] = v; return slot[(i+1) mod k].
   Value wrn(Context& ctx, int index, Value v);
 
-  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int k() const noexcept { return state_.k; }
 
   /// Post-run peek at a slot (never call from process code).
   [[nodiscard]] Value peek(int index) const;
 
   /// Stepped-engine access (runtime/stepper.hpp): announce
   /// `{oid(), kRmw}` at the step point, run the atomic body via `step_wrn`
-  /// inside the granted step. The core is shared with the fiber form and
-  /// reports fingerprints for stateful exploration: it observes the
-  /// returned neighbour slot and commits the post-write slot vector.
+  /// inside the granted step. Routes through the same `wrn_commit` core as
+  /// the fiber form and the instance layer.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
   Value step_wrn(Ctx& ctx, int index, Value v) {
-    const Value out = apply_wrn(index, v);
-    if (ctx.fingerprinting()) {
-      ctx.observe_fp(detail::fp_of(out));
-      ctx.commit_fp(id_, detail::fp_of(slots_));
-    }
-    return out;
+    return wrn_commit(ctx, id_, &state_, index, v);
   }
 
  private:
-  /// The sequential WRN body (Algorithm 1), engine- and fingerprint-free.
-  Value apply_wrn(int index, Value v);
-
   ObjectId id_;
-  int k_;
-  std::vector<Value> slots_;
+  WrnState state_;
 };
+
+/// Detached state of a 1sWRN_k object.
+struct OneShotWrnState {
+  int k = 0;
+  std::vector<Value> slots;
+  std::vector<bool> used;
+
+  void reset(int k_arg) {
+    k = k_arg;
+    slots.assign(static_cast<std::size_t>(k_arg), kBottom);
+    used.assign(static_cast<std::size_t>(k_arg), false);
+  }
+};
+
+/// Slots + used bits, mixed exactly like OneShotWrnSpec::hash — the
+/// per-object commit term of the world fingerprint.
+[[nodiscard]] std::uint64_t one_shot_wrn_state_hash(const OneShotWrnState& st);
+
+/// The atomic 1sWRN commit core. On index reuse it hangs the process
+/// (`ctx.hang()`) and returns ⊥ — stepped/service callers must cut short
+/// (the fiber `Context::hang` never returns). Fingerprint reports: observe
+/// the returned slot, commit slots + used bits.
+template <class Ctx>
+Value one_shot_wrn_commit(Ctx& ctx, const ObjectId& id, OneShotWrnState* st,
+                          int index, Value v) {
+  wrn_check_params(st->k, index, v);
+  const auto i = static_cast<std::size_t>(index);
+  if (st->used[i]) {
+    // "Any attempt to invoke 1sWRN with the same index twice is illegal,
+    // and hangs the system in a manner that cannot be detected."
+    ctx.hang();      // never returns on the fiber engine
+    return kBottom;  // stepped/service caller must cut short
+  }
+  st->used[i] = true;
+  st->slots[i] = v;
+  const Value out = st->slots[(i + 1) % static_cast<std::size_t>(st->k)];
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(out));
+    ctx.commit_fp(id, one_shot_wrn_state_hash(*st));
+  }
+  return out;
+}
 
 /// The one-shot variant 1sWRN_k: reusing an index hangs undetectably.
 class OneShotWrnObject {
@@ -70,45 +146,24 @@ class OneShotWrnObject {
   /// As WrnObject::wrn, but each index is usable at most once.
   Value wrn(Context& ctx, int index, Value v);
 
-  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int k() const noexcept { return state_.k; }
 
   /// Stepped-engine form: announce `{oid(), kRmw}`, run inside the grant.
   /// On index reuse it hangs the process (`StepContext::hang`) and returns
   /// ⊥ — call through `SUBC_STEP_CALL` so the body cuts short, mirroring
-  /// the fiber form where `Context::hang` never returns (the core is
-  /// templated on the context so both engines share it, fingerprint
-  /// reports included: observe the returned slot, commit slots + used
-  /// bits; the hang path reports via the hang transition fold itself).
+  /// the fiber form where `Context::hang` never returns. Routes through the
+  /// same `one_shot_wrn_commit` core as the fiber form and the instance
+  /// layer.
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
   Value step_wrn(Ctx& ctx, int index, Value v) {
-    check_args(index, v);
-    const auto i = static_cast<std::size_t>(index);
-    if (used_[i]) {
-      // "Any attempt to invoke 1sWRN with the same index twice is illegal,
-      // and hangs the system in a manner that cannot be detected."
-      ctx.hang();      // never returns on the fiber engine
-      return kBottom;  // stepped caller must cut short (SUBC_STEP_CALL)
-    }
-    const Value out = commit(i, v);
-    if (ctx.fingerprinting()) {
-      ctx.observe_fp(detail::fp_of(out));
-      ctx.commit_fp(id_, state_hash());
-    }
-    return out;
+    return one_shot_wrn_commit(ctx, id_, &state_, index, v);
   }
 
  private:
-  void check_args(int index, Value v) const;
-  Value commit(std::size_t i, Value v);
-  /// Slots + used bits, mixed like OneShotWrnSpec::hash.
-  [[nodiscard]] std::uint64_t state_hash() const;
-
   ObjectId id_;
-  int k_;
-  std::vector<Value> slots_;
-  std::vector<bool> used_;
+  OneShotWrnState state_;
 };
 
 /// Sequential specification of 1sWRN_k for the linearizability checker

@@ -50,6 +50,14 @@ struct AllocCounters {
   std::uint64_t stepped_block_reuses = 0;
   /// Bytes of stepped state carved (requested, not padded).
   std::uint64_t stepped_block_bytes = 0;
+  /// Instance state blocks carved fresh from an InstanceTable's arena
+  /// (runtime/instance.hpp).
+  std::uint64_t instance_blocks_carved = 0;
+  /// Instance opens served from the table's GC free list (block recycled,
+  /// no carve) — the steady state of a long-running instance churn.
+  std::uint64_t instance_block_reuses = 0;
+  /// Bytes of instance state carved (requested, not padded).
+  std::uint64_t instance_block_bytes = 0;
 };
 
 namespace detail {
@@ -62,6 +70,9 @@ struct AllocCounterCells {
   std::atomic<std::uint64_t> stepped_blocks_carved{0};
   std::atomic<std::uint64_t> stepped_block_reuses{0};
   std::atomic<std::uint64_t> stepped_block_bytes{0};
+  std::atomic<std::uint64_t> instance_blocks_carved{0};
+  std::atomic<std::uint64_t> instance_block_reuses{0};
+  std::atomic<std::uint64_t> instance_block_bytes{0};
 };
 AllocCounterCells& alloc_counter_cells() noexcept;
 }  // namespace detail

@@ -49,6 +49,17 @@ inline constexpr std::uint64_t kFpHungSalt = 0xd6e8feb86659fd93ULL;
 inline constexpr std::uint64_t kFpCrashSalt = 0xa0761d6478bd642fULL;
 inline constexpr std::uint64_t kFpSleepSalt = 0xe7037ed1a0b428dbULL;
 inline constexpr std::uint64_t kFpRunSalt = 0x589965cc75374cc3ULL;
+/// Instance-domain salt (multi-instance runtime, runtime/instance.hpp):
+/// every logical instance folds `mix64(instance_id ^ kFpInstanceSalt)` into
+/// its fingerprints, so two instances with identical local histories can
+/// never alias in a shared memo or visited set.
+inline constexpr std::uint64_t kFpInstanceSalt = 0x8ebc6af09c88c6e3ULL;
+
+/// The fingerprint domain of instance `id`: the per-instance term every
+/// instance-level fingerprint folds (see InstanceTable::world_fingerprint).
+inline constexpr std::uint64_t fp_instance_domain(std::uint64_t id) noexcept {
+  return mix64(id ^ kFpInstanceSalt);
+}
 
 /// Value folds for object state hashes. `fp_of` is overloaded per state
 /// shape; objects whose state has no overload simply do not report a

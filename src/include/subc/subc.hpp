@@ -15,6 +15,7 @@
 #include "subc/runtime/explorer.hpp"
 #include "subc/runtime/fiber.hpp"
 #include "subc/runtime/history.hpp"
+#include "subc/runtime/instance.hpp"
 #include "subc/runtime/runtime.hpp"
 #include "subc/runtime/scheduler.hpp"
 #include "subc/runtime/value.hpp"

@@ -2,33 +2,40 @@
 
 namespace subc {
 
-GacObject::GacObject(int n, int i) : n_(n), i_(i) {
-  if (n < 1 || i < 0) {
-    throw SimError("GAC(n, i) requires n >= 1, i >= 0");
-  }
-  arrivals_.reserve(static_cast<std::size_t>(capacity()));
+void GacState::reset(int n_arg, int i_arg) {
+  n = n_arg;
+  i = i_arg;
+  arrivals.clear();
+  arrivals.reserve(static_cast<std::size_t>(gac_capacity(n_arg, i_arg)));
 }
 
-Value GacObject::propose(Context& ctx, Value v) {
-  check_proposal(v);
-  ctx.sched_point(id_, AccessKind::kRmw);
-  return step_propose(ctx, v);
-}
-
-void GacObject::check_proposal(Value v) {
+void gac_check_proposal(Value v) {
   if (v == kBottom) {
     throw SimError("propose(⊥) is illegal");
   }
 }
 
-Value GacObject::serve(Value v) {
-  const int t = static_cast<int>(arrivals_.size()) + 1;  // 1-based arrival
-  arrivals_.push_back(v);
-  if (t <= n_ * (i_ + 1)) {
-    const int block = (t - 1) / n_;
-    return arrivals_[static_cast<std::size_t>(block * n_)];
+Value gac_serve(GacState* st, Value v) {
+  const int t = static_cast<int>(st->arrivals.size()) + 1;  // 1-based arrival
+  st->arrivals.push_back(v);
+  if (t <= st->n * (st->i + 1)) {
+    const int block = (t - 1) / st->n;
+    return st->arrivals[static_cast<std::size_t>(block * st->n)];
   }
-  return arrivals_[0];  // wrap-around arrivals adopt block 0's value
+  return st->arrivals[0];  // wrap-around arrivals adopt block 0's value
+}
+
+GacObject::GacObject(int n, int i) {
+  if (n < 1 || i < 0) {
+    throw SimError("GAC(n, i) requires n >= 1, i >= 0");
+  }
+  state_.reset(n, i);
+}
+
+Value GacObject::propose(Context& ctx, Value v) {
+  gac_check_proposal(v);
+  ctx.sched_point(id_, AccessKind::kRmw);
+  return step_propose(ctx, v);
 }
 
 OnkObject::OnkObject(int n, int k) : n_(n), k_(k) {

@@ -2,8 +2,7 @@
 
 namespace subc {
 
-namespace {
-void check_params(int k, int index, Value v) {
+void wrn_check_params(int k, int index, Value v) {
   if (index < 0 || index >= k) {
     throw SimError("WRN index out of range: " + std::to_string(index));
   }
@@ -11,67 +10,54 @@ void check_params(int k, int index, Value v) {
     throw SimError("WRN(i, ⊥) is illegal");
   }
 }
-}  // namespace
 
-WrnObject::WrnObject(int k)
-    : k_(k), slots_(static_cast<std::size_t>(k), kBottom) {
+Value wrn_apply(WrnState* st, int index, Value v) {
+  wrn_check_params(st->k, index, v);
+  st->slots[static_cast<std::size_t>(index)] = v;
+  return st->slots[static_cast<std::size_t>((index + 1) % st->k)];
+}
+
+std::uint64_t one_shot_wrn_state_hash(const OneShotWrnState& st) {
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (int i = 0; i < st.k; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto v = static_cast<std::uint64_t>(st.slots[idx]);
+    h = detail::mix64(h ^ v ^ (st.used[idx] ? 0x8000000000000000ULL : 0));
+  }
+  return h;
+}
+
+WrnObject::WrnObject(int k) {
   if (k < 2) {
     throw SimError("WRN_k requires k >= 2");
   }
+  state_.reset(k);
 }
 
 Value WrnObject::wrn(Context& ctx, int index, Value v) {
-  check_params(k_, index, v);
+  wrn_check_params(state_.k, index, v);
   ctx.sched_point(id_, AccessKind::kRmw);
   return step_wrn(ctx, index, v);
-}
-
-Value WrnObject::apply_wrn(int index, Value v) {
-  check_params(k_, index, v);
-  slots_[static_cast<std::size_t>(index)] = v;
-  return slots_[static_cast<std::size_t>((index + 1) % k_)];
 }
 
 Value WrnObject::peek(int index) const {
-  if (index < 0 || index >= k_) {
+  if (index < 0 || index >= state_.k) {
     throw SimError("WRN peek index out of range");
   }
-  return slots_[static_cast<std::size_t>(index)];
+  return state_.slots[static_cast<std::size_t>(index)];
 }
 
-OneShotWrnObject::OneShotWrnObject(int k)
-    : k_(k),
-      slots_(static_cast<std::size_t>(k), kBottom),
-      used_(static_cast<std::size_t>(k), false) {
+OneShotWrnObject::OneShotWrnObject(int k) {
   if (k < 2) {
     throw SimError("1sWRN_k requires k >= 2");
   }
+  state_.reset(k);
 }
 
 Value OneShotWrnObject::wrn(Context& ctx, int index, Value v) {
-  check_params(k_, index, v);
+  wrn_check_params(state_.k, index, v);
   ctx.sched_point(id_, AccessKind::kRmw);
   return step_wrn(ctx, index, v);
-}
-
-void OneShotWrnObject::check_args(int index, Value v) const {
-  check_params(k_, index, v);
-}
-
-Value OneShotWrnObject::commit(std::size_t i, Value v) {
-  used_[i] = true;
-  slots_[i] = v;
-  return slots_[(i + 1) % static_cast<std::size_t>(k_)];
-}
-
-std::uint64_t OneShotWrnObject::state_hash() const {
-  std::uint64_t h = 0x6a09e667f3bcc909ULL;
-  for (int i = 0; i < k_; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const auto v = static_cast<std::uint64_t>(slots_[idx]);
-    h = detail::mix64(h ^ v ^ (used_[idx] ? 0x8000000000000000ULL : 0));
-  }
-  return h;
 }
 
 }  // namespace subc

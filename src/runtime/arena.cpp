@@ -23,6 +23,12 @@ AllocCounters alloc_counters() noexcept {
       c.stepped_block_reuses.load(std::memory_order_relaxed);
   out.stepped_block_bytes =
       c.stepped_block_bytes.load(std::memory_order_relaxed);
+  out.instance_blocks_carved =
+      c.instance_blocks_carved.load(std::memory_order_relaxed);
+  out.instance_block_reuses =
+      c.instance_block_reuses.load(std::memory_order_relaxed);
+  out.instance_block_bytes =
+      c.instance_block_bytes.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -1,0 +1,187 @@
+#include "subc/runtime/instance.hpp"
+
+namespace subc {
+
+const char* to_string(InstanceKind kind) noexcept {
+  switch (kind) {
+    case InstanceKind::kOneShotWrn:
+      return "one_shot_wrn";
+    case InstanceKind::kGac:
+      return "gac";
+    case InstanceKind::kSetConsensus:
+      return "set_consensus";
+  }
+  return "unknown";
+}
+
+InstanceTable::~InstanceTable() {
+  // Arena storage is released by the lease; the blocks' non-trivial members
+  // (history, state vectors) must be destructed by hand.
+  for (InstanceBlock* block : carved_) {
+    block->~InstanceBlock();
+  }
+}
+
+InstanceBlock* InstanceTable::acquire_block() {
+  auto& cells = detail::alloc_counter_cells();
+  if (!free_.empty()) {
+    InstanceBlock* block = free_.back();
+    free_.pop_back();
+    ++stats_.block_reuses;
+    cells.instance_block_reuses.fetch_add(1, std::memory_order_relaxed);
+    return block;
+  }
+  auto* block = arena_->create<InstanceBlock>();
+  carved_.push_back(block);
+  ++stats_.blocks_carved;
+  cells.instance_blocks_carved.fetch_add(1, std::memory_order_relaxed);
+  cells.instance_block_bytes.fetch_add(sizeof(InstanceBlock),
+                                       std::memory_order_relaxed);
+  return block;
+}
+
+InstanceId InstanceTable::open(InstanceKind kind, int a, int b,
+                               std::int64_t now) {
+  InstanceBlock* block = acquire_block();
+  const InstanceId id = next_id_++;
+  block->id = id;
+  block->kind = kind;
+  block->phase = InstancePhase::kOpen;
+  block->fp_domain = detail::fp_instance_domain(id);
+  block->fp_local = 0;
+  block->opened_at = now;
+  block->decided_at = -1;
+  switch (kind) {
+    case InstanceKind::kOneShotWrn:
+      if (a < 2) {
+        throw SimError("instance 1sWRN_k requires k >= 2");
+      }
+      block->wrn.reset(a);
+      break;
+    case InstanceKind::kGac:
+      if (a < 1 || b < 0) {
+        throw SimError("instance GAC(n, i) requires n >= 1, i >= 0");
+      }
+      block->gac.reset(a, b);
+      break;
+    case InstanceKind::kSetConsensus:
+      block->setc.reset(a, b);  // validates 1 <= k < n itself
+      break;
+  }
+  live_.emplace(id, block);
+  ++stats_.opened;
+  stats_.live = static_cast<std::int64_t>(live_.size());
+  if (stats_.live > stats_.peak_live) {
+    stats_.peak_live = stats_.live;
+  }
+  return id;
+}
+
+InstanceBlock* InstanceTable::find(InstanceId id) noexcept {
+  const auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+const InstanceBlock* InstanceTable::find(InstanceId id) const noexcept {
+  const auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+InstanceBlock& InstanceTable::at(InstanceId id) {
+  InstanceBlock* block = find(id);
+  if (block == nullptr) {
+    throw SimError("no such instance: " + std::to_string(id));
+  }
+  return *block;
+}
+
+Value InstanceTable::apply(InstanceId id, int pid, int slot, Value v,
+                           std::uint64_t choice_seed, bool* hung) {
+  InstanceBlock& block = at(id);
+  InstanceOpContext ctx(&block, choice_seed, pid);
+  std::size_t handle = 0;
+  Value out = kBottom;
+  switch (block.kind) {
+    case InstanceKind::kOneShotWrn:
+      handle = block.history.invoke(pid, {static_cast<Value>(slot), v});
+      out = one_shot_wrn_commit(ctx, block.oid, &block.wrn, slot, v);
+      break;
+    case InstanceKind::kGac:
+      handle = block.history.invoke(pid, {v});
+      out = gac_propose(ctx, block.oid, &block.gac, v);
+      break;
+    case InstanceKind::kSetConsensus:
+      handle = block.history.invoke(pid, {v});
+      out = set_consensus_propose(ctx, &block.setc, v);
+      // The set-consensus core makes no fingerprint reports (its worlds
+      // stay unported for stateful exploration); fold the response here so
+      // the instance's local fingerprint still covers every op.
+      if (!ctx.hung()) {
+        ctx.observe_fp(detail::fp_of(out));
+      }
+      break;
+  }
+  ++stats_.ops;
+  if (ctx.hung()) {
+    // A hung invocation never responds; leave the history entry pending.
+    *hung = true;
+    return kBottom;
+  }
+  *hung = false;
+  block.history.respond(handle, {out});
+  return out;
+}
+
+void InstanceTable::decide(InstanceId id, std::int64_t now) {
+  InstanceBlock& block = at(id);
+  if (block.phase == InstancePhase::kDecided) {
+    return;
+  }
+  block.phase = InstancePhase::kDecided;
+  block.decided_at = now;
+  ++stats_.decided;
+}
+
+bool InstanceTable::gc(InstanceId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) {
+    return false;
+  }
+  InstanceBlock* block = it->second;
+  live_.erase(it);
+  block->history.clear();  // returns entry buffers to the pool
+  free_.push_back(block);
+  ++stats_.gcd;
+  stats_.live = static_cast<std::int64_t>(live_.size());
+  return true;
+}
+
+std::size_t InstanceTable::gc_decided(std::int64_t decided_before) {
+  std::size_t reclaimed = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    InstanceBlock* block = it->second;
+    if (block->phase == InstancePhase::kDecided &&
+        block->decided_at <= decided_before) {
+      it = live_.erase(it);
+      block->history.clear();
+      free_.push_back(block);
+      ++stats_.gcd;
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.live = static_cast<std::int64_t>(live_.size());
+  return reclaimed;
+}
+
+std::uint64_t InstanceTable::local_fingerprint(InstanceId id) {
+  return at(id).fp_local;
+}
+
+std::uint64_t InstanceTable::world_fingerprint(InstanceId id) {
+  const InstanceBlock& block = at(id);
+  return detail::mix64(block.fp_domain ^ block.fp_local);
+}
+
+}  // namespace subc
