@@ -52,6 +52,17 @@ class Json {
     return set(key, static_cast<std::int64_t>(v));
   }
   Json& set(const std::string& key, const Json& v) { return put(key, v.str()); }
+  Json& set(const std::string& key, const std::vector<std::int64_t>& xs) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += std::to_string(xs[i]);
+    }
+    out += "]";
+    return put(key, std::move(out));
+  }
   Json& set(const std::string& key, const std::vector<Json>& rows) {
     std::string out = "[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -253,10 +264,18 @@ inline void set_stateful_fields(Json& json, std::int64_t stateful_cuts,
 /// throughput, decision-latency percentiles in virtual-clock ticks, the
 /// instance-table high-water mark and GC volume, and the audit sampler's
 /// totals. `soak_violations` must stay 0 — the soak self-gates on it.
+/// The sharding cells describe the headline (multi-shard) configuration:
+/// `soak_shards` workers, per-shard applied-op counts in `soak_shard_ops`,
+/// cross-shard dedup memo hits, and `soak_scaling_x` — the aggregate ops/s
+/// of the headline configuration over the 1-shard configuration (stamped as
+/// measured even on hosts with too few cores for the scaling self-gate).
 inline void set_soak_fields(Json& json, double ops_per_sec, double p50_ticks,
                             double p99_ticks, std::int64_t peak_live,
                             std::int64_t instances_gcd, std::int64_t audited,
-                            std::int64_t violations) {
+                            std::int64_t violations, std::int64_t shards = 1,
+                            const std::vector<std::int64_t>& shard_ops = {},
+                            std::int64_t dedup_hits = 0,
+                            double scaling_x = 1.0) {
   json.set("soak_ops_per_sec", ops_per_sec);
   json.set("soak_p50_ticks", p50_ticks);
   json.set("soak_p99_ticks", p99_ticks);
@@ -264,14 +283,17 @@ inline void set_soak_fields(Json& json, double ops_per_sec, double p50_ticks,
   json.set("soak_instances_gcd", instances_gcd);
   json.set("soak_audited", audited);
   json.set("soak_violations", violations);
+  json.set("soak_shards", shards);
+  json.set("soak_shard_ops", shard_ops);
+  json.set("soak_dedup_hits", dedup_hits);
+  json.set("soak_scaling_x", scaling_x);
 }
 
 /// Allocation-counter snapshot (`subc::alloc_counters()`): arena growth and
 /// reuse plus fiber-stack pool hits across everything the bench ran so far.
 /// Reuse counters climbing while chunk/alloc counters stay flat is the
 /// allocation-free hot path working as designed.
-inline Json alloc_counter_cell() {
-  const subc::AllocCounters c = subc::alloc_counters();
+inline Json alloc_counter_cell(const subc::AllocCounters& c) {
   Json cell;
   cell.set("arena_chunks", static_cast<std::int64_t>(c.arena_chunks));
   cell.set("arena_bytes", static_cast<std::int64_t>(c.arena_bytes));
@@ -293,6 +315,10 @@ inline Json alloc_counter_cell() {
   cell.set("instance_block_bytes",
            static_cast<std::int64_t>(c.instance_block_bytes));
   return cell;
+}
+
+inline Json alloc_counter_cell() {
+  return alloc_counter_cell(subc::alloc_counters());
 }
 
 /// Writes `json` to `path` (+ trailing newline), stamping the process-wide

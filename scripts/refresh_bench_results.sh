@@ -91,7 +91,8 @@ if [[ "${CHECK}" == "1" ]]; then
   # (grep without -q: early exit would SIGPIPE the key_set python under
   # pipefail even when the key is present.)
   for key in soak_ops_per_sec soak_p50_ticks soak_p99_ticks soak_peak_live \
-             soak_instances_gcd soak_audited soak_violations; do
+             soak_instances_gcd soak_audited soak_violations soak_shards \
+             soak_shard_ops soak_dedup_hits soak_scaling_x; do
     if ! key_set bench-results/BENCH_F8.json 2>/dev/null \
         | grep -x "${key}" >/dev/null; then
       echo "refresh-bench: STALE — bench-results/BENCH_F8.json missing soak cell ${key}" >&2

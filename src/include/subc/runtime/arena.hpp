@@ -80,6 +80,13 @@ AllocCounterCells& alloc_counter_cells() noexcept;
 /// Snapshot of the process-wide allocation counters.
 [[nodiscard]] AllocCounters alloc_counters() noexcept;
 
+/// The counters accumulated since `since` (field-wise difference against the
+/// current snapshot). Multi-stage benches snapshot before each stage and
+/// stamp per-stage deltas instead of cumulative process-wide totals, so each
+/// stage's allocation behavior is attributable on its own.
+[[nodiscard]] AllocCounters alloc_counters_delta(
+    const AllocCounters& since) noexcept;
+
 /// Chunked bump allocator. Not thread-safe; lease one per worker.
 class MonotonicArena {
  public:

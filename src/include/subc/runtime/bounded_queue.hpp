@@ -92,6 +92,19 @@ class BoundedQueue {
     return true;
   }
 
+  /// Approximate occupancy: racy by nature (producers and consumers move
+  /// the cursors concurrently), exact once traffic quiesces. The sharded
+  /// service samples this for inbox-occupancy telemetry; never use it to
+  /// decide emptiness — that is what try_pop's return value is for.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  /// The rounded-up power-of-two capacity.
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
  private:
   struct Cell {
     std::atomic<std::size_t> seq{0};

@@ -54,11 +54,24 @@ inline constexpr std::uint64_t kFpRunSalt = 0x589965cc75374cc3ULL;
 /// its fingerprints, so two instances with identical local histories can
 /// never alias in a shared memo or visited set.
 inline constexpr std::uint64_t kFpInstanceSalt = 0x8ebc6af09c88c6e3ULL;
+/// Request-domain salt (sharded agreement service, runtime/service.hpp):
+/// a client-supplied logical-request fingerprint folds through this salt to
+/// form its key in the cross-shard decided-request dedup memo, so request
+/// keys live in their own domain and can never alias instance domains.
+inline constexpr std::uint64_t kFpRequestSalt = 0x4cf5ad432745937fULL;
 
 /// The fingerprint domain of instance `id`: the per-instance term every
 /// instance-level fingerprint folds (see InstanceTable::world_fingerprint).
 inline constexpr std::uint64_t fp_instance_domain(std::uint64_t id) noexcept {
   return mix64(id ^ kFpInstanceSalt);
+}
+
+/// The dedup-memo key of logical request `request_fp` (sharded service):
+/// the domain-folded form every shard probes and records, mirroring
+/// `fp_instance_domain` for instances.
+inline constexpr std::uint64_t fp_request_domain(
+    std::uint64_t request_fp) noexcept {
+  return mix64(request_fp ^ kFpRequestSalt);
 }
 
 /// Value folds for object state hashes. `fp_of` is overloaded per state

@@ -158,12 +158,26 @@ class InstanceTable {
   InstanceTable(const InstanceTable&) = delete;
   InstanceTable& operator=(const InstanceTable&) = delete;
 
+  /// Throws SimError when (kind, a, b) is not a valid instance shape. The
+  /// sharded service calls this client-side so a malformed open request
+  /// fails at the submitting thread, never inside a shard worker.
+  static void validate_open(InstanceKind kind, int a, int b);
+
   /// Opens a fresh instance of `kind` at virtual time `now`.
   /// Parameter meaning per kind:
   ///   kOneShotWrn:   a = k (slot count), b ignored
   ///   kGac:          a = n, b = i (level)
   ///   kSetConsensus: a = n, b = k
   InstanceId open(InstanceKind kind, int a, int b = 0, std::int64_t now = 0);
+
+  /// As `open`, but under a caller-assigned id. The sharded service assigns
+  /// ids from one process-wide counter so `mix64(id)` routing is stable and
+  /// fingerprint domains never alias across shard tables; each table then
+  /// hosts a sparse slice of the id space. Throws when `id` is 0 or already
+  /// live in this table. Mixing with auto-id `open` stays safe: the
+  /// auto-assign cursor is bumped past every assigned id.
+  InstanceId open_assigned(InstanceId id, InstanceKind kind, int a, int b = 0,
+                           std::int64_t now = 0);
 
   /// Looks an instance up; nullptr when absent (never opened, or GC'd).
   [[nodiscard]] InstanceBlock* find(InstanceId id) noexcept;

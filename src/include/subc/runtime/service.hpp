@@ -1,0 +1,275 @@
+// The sharded agreement service: one InstanceTable per worker thread.
+//
+// The instance layer (runtime/instance.hpp) serves thousands of concurrent
+// agreement instances from ONE thread — the table is single-threaded by
+// design, exactly like one Runtime per explorer worker. `ShardedService`
+// scales that out without ever sharing a table: N worker threads, each
+// owning one `InstanceTable` over its own `ArenaLease`, fed through
+// per-shard MPSC inboxes built on the Vyukov `bounded_queue.hpp` ring. A
+// client op routes to shard `mix64(instance_id) % shards`; ids are assigned
+// from one process-wide counter at submit time, so routing is a pure
+// function of the id and the shard's worker is the only thread that ever
+// touches its table, its metas, or its arena.
+//
+// Backpressure mirrors the explorer's frontier ring: `try_push` failing on
+// a full inbox makes the *producer* absorb the pressure (spin-yield until a
+// slot frees) — an op, once accepted by `open`/`submit`, is never dropped.
+//
+// Cross-shard dedup: every open may carry a client-supplied logical-request
+// fingerprint (`request_fp` — e.g. a hash of the request's origin and
+// sequence number). When an instance decides, its shard records
+// (fp_request_domain(request_fp) → decided value) in a shared lock-free
+// `DecisionMemo` (the explorer `VisitedSet`'s CAS-claim shape, extended
+// with a published value per key). A replayed request — routed to ANY
+// shard, since a replay gets a fresh id — probes the memo first and
+// short-circuits to the recorded decision instead of re-running agreement.
+// Soundness: the memo is an at-most-once *record* of a decision, never a
+// requirement — a lookup miss (absent, still publishing, or saturated)
+// just runs agreement again, and the key CAS guarantees exactly one
+// recording wins, so every replay that hits observes the same decision.
+//
+// Placement: workers are pinned to distinct usable cores
+// (`pthread_setaffinity_np`, topology probed from the process affinity
+// mask at startup; `ServiceOptions::pin_workers = false` opts out; non-
+// Linux builds degrade to unpinned). docs/explorer.md "Sharded agreement
+// service".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "subc/runtime/hashing.hpp"
+#include "subc/runtime/instance.hpp"
+#include "subc/runtime/value.hpp"
+
+namespace subc {
+
+/// Service-level instance identity: globally unique across all shards
+/// (one process-wide counter), assigned at submit time so the client knows
+/// the route before the worker sees the message. Never 0, never reused.
+using ServiceId = InstanceId;
+
+/// CPUs this process may run on (the sched_getaffinity mask, in index
+/// order). Empty when the probe is unavailable (non-Linux). Shard worker i
+/// pins to `usable_cpus()[i % size]`.
+[[nodiscard]] std::vector<int> usable_cpus();
+
+/// Fixed-capacity lock-free memo of decided requests: 64-bit request-domain
+/// key → recorded decision. Modeled on the explorer's `VisitedSet` (CAS-
+/// claimed open addressing, 0-sentinel empty keys, saturation = stop
+/// recording), extended with a value published per key: `record` claims the
+/// key slot by CAS — exactly one concurrent recorder wins — then publishes
+/// the value with a release store; `lookup` only reports keys whose value
+/// is fully published, so a reader can never observe a half-recorded
+/// decision. All outcomes of a miss are sound: the caller just runs
+/// agreement itself.
+class DecisionMemo {
+ public:
+  /// `capacity` = maximum number of recorded decisions; slots are sized to
+  /// the next power of two at most ~70% loaded.
+  explicit DecisionMemo(std::size_t capacity);
+
+  DecisionMemo(const DecisionMemo&) = delete;
+  DecisionMemo& operator=(const DecisionMemo&) = delete;
+
+  /// The recorded decision for `key`, or nullopt when unknown (never
+  /// recorded, recording still in flight, or dropped at saturation).
+  [[nodiscard]] std::optional<Value> lookup(std::uint64_t key) const noexcept;
+
+  /// Records `decided` for `key`. Returns true iff this call won the
+  /// recording race; false when the key is already claimed (by any caller,
+  /// published or not) or the memo is saturated.
+  bool record(std::uint64_t key, Value decided) noexcept;
+
+  /// Recorded (claimed) keys.
+  [[nodiscard]] std::int64_t size() const noexcept;
+  [[nodiscard]] std::size_t slot_count() const noexcept { return num_slots_; }
+  [[nodiscard]] bool saturated() const noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};
+    /// 0 = unpublished, 1 = value readable (release/acquire pairing).
+    std::atomic<std::uint64_t> published{0};
+    std::atomic<Value> value{kBottom};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t num_slots_ = 0;
+  std::size_t max_size_ = 0;
+  std::atomic<std::size_t> size_{0};
+};
+
+struct ServiceOptions {
+  /// Worker threads — one InstanceTable each.
+  int shards = 1;
+  /// Per-shard inbox ring capacity (rounded up to a power of two).
+  std::size_t inbox_capacity = 8192;
+  /// Max inbox messages a worker absorbs per virtual tick. This is the
+  /// admission throttle: it bounds how many instances can go live per tick,
+  /// which bounds each shard's live set regardless of producer speed.
+  int drain_batch = 512;
+  /// Pin shard workers to distinct usable cores (opt-out flag). Pin
+  /// failures degrade to unpinned, recorded per shard in `ShardStats`.
+  bool pin_workers = true;
+  /// Quorum rule: an instance decides once the served participant weight
+  /// reaches `total_weight * quorum_num / quorum_den`.
+  unsigned quorum_num = 2;
+  unsigned quorum_den = 3;
+  /// Max op arrival delay in virtual ticks (the jitter window).
+  int horizon_ticks = 25;
+  /// Undecided past this many ticks after open → timed out, reclaimed.
+  int timeout_ticks = 40;
+  /// Decided instances stay in the table (auditable) this many ticks.
+  int linger_ticks = 5;
+  /// Capacity of the shared cross-shard `DecisionMemo`.
+  std::size_t dedup_capacity = std::size_t{1} << 20;
+};
+
+/// What a shard worker hands the decide callback — pointers are worker-
+/// owned and valid only for the duration of the callback.
+struct DecidedView {
+  int shard = 0;
+  ServiceId id = 0;
+  /// The decided instance: kind, object state, per-instance history segment
+  /// (feeds the linearizability checker directly).
+  const InstanceBlock* block = nullptr;
+  /// Every value submitted for this instance / every response served.
+  const std::vector<Value>* proposals = nullptr;
+  const std::vector<Value>* responses = nullptr;
+  /// The agreement bound the opener declared (audit: ≤ spec_k distinct).
+  int spec_k = 0;
+  /// The recorded decision (first response served).
+  Value decided = kBottom;
+  std::int64_t latency_ticks = 0;
+  /// The instance's world fingerprint at decision (domain-folded — never
+  /// aliases across instances or shards).
+  std::uint64_t world_fp = 0;
+};
+
+/// Per-shard telemetry, snapshotted by the worker as it exits; read via
+/// `stats()` after `stop()`.
+struct ShardStats {
+  int shard = 0;
+  bool pinned = false;
+  int cpu = -1;  ///< core the worker pinned to (-1 when unpinned)
+  std::int64_t ticks = 0;
+  std::int64_t msgs_open = 0;  ///< open messages drained
+  std::int64_t msgs_op = 0;    ///< op messages drained
+  std::int64_t opened = 0;     ///< instances opened (msgs_open − dedup hits)
+  std::int64_t ops = 0;        ///< operations applied through the table
+  /// Ops whose instance this shard never opened (dedup'd open) or had
+  /// already reclaimed when the op message arrived.
+  std::int64_t orphan_ops = 0;
+  /// Scheduled ops whose instance was reclaimed before their arrival tick.
+  std::int64_t skipped_ops = 0;
+  std::int64_t hung_ops = 0;  ///< ops the object core refused (illegal)
+  std::int64_t decided = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t dedup_hits = 0;     ///< opens short-circuited by the memo
+  std::int64_t dedup_records = 0;  ///< decisions this shard recorded
+  std::int64_t gc_sweeps = 0;      ///< instances reclaimed (either lane)
+  std::int64_t peak_live = 0;
+  std::int64_t live_at_exit = 0;
+  std::int64_t blocks_carved = 0;
+  std::int64_t block_reuses = 0;
+  std::size_t inbox_peak = 0;  ///< max sampled inbox occupancy
+  /// Decision-latency histogram: index = latency in ticks (clamped to the
+  /// timeout), value = decisions. Percentiles merge across shards exactly.
+  std::vector<std::int64_t> latency_hist;
+};
+
+/// What an open request declares about its instance.
+struct OpenSpec {
+  InstanceKind kind = InstanceKind::kOneShotWrn;
+  int a = 0;  ///< per-kind meaning, see InstanceTable::open
+  int b = 0;
+  /// Logical-request fingerprint for cross-shard dedup; 0 = no dedup.
+  std::uint64_t request_fp = 0;
+  /// Full participant weight quorum is judged against (> 0).
+  unsigned total_weight = 0;
+  /// Agreement bound for audits (k for 1sWRN/set-consensus, i+1 for GAC).
+  int spec_k = 0;
+};
+
+/// One client operation against an open instance.
+struct OpSpec {
+  int validator = 0;    ///< submitting participant (history pid)
+  unsigned weight = 0;  ///< its quorum weight
+  int slot = 0;         ///< 1sWRN index; ignored by the other kinds
+  Value value = kBottom;
+  /// Virtual-tick arrival delay, clamped to [1, horizon_ticks].
+  int delay_ticks = 1;
+};
+
+class ShardedService {
+ public:
+  /// Called by the deciding shard's worker thread, instance still live.
+  using DecidedCallback = std::function<void(const DecidedView&)>;
+
+  explicit ShardedService(const ServiceOptions& opts,
+                          DecidedCallback on_decided = {});
+  ~ShardedService();  // stops (drains and joins) if still running
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// The routing rule: `mix64(id) % shards`, a pure function of the id.
+  [[nodiscard]] static int shard_of(ServiceId id, int shards) noexcept {
+    return static_cast<int>(detail::mix64(id) %
+                            static_cast<std::uint64_t>(shards));
+  }
+  [[nodiscard]] int shard_of(ServiceId id) const noexcept {
+    return shard_of(id, opts_.shards);
+  }
+
+  /// Admits a new instance: assigns its globally-unique id, validates the
+  /// shape client-side, and enqueues the open on its shard. Thread-safe.
+  /// Throws SimError on a bad shape, zero total_weight, or after stop().
+  ServiceId open(const OpenSpec& spec);
+
+  /// Enqueues one operation on `id`'s shard. Thread-safe. Throws after
+  /// stop(). Ops for ids the shard does not know (dedup'd or already
+  /// reclaimed) are counted as orphans and dropped by the worker.
+  void submit(ServiceId id, const OpSpec& op);
+
+  /// Stops admission, lets every worker drain its inbox and tick its table
+  /// to quiescence (all instances decided+lingered or timed out, hence
+  /// GC'd), then joins. Callers must stop producing first: open/submit
+  /// concurrent with stop() throw. Idempotent.
+  void stop();
+  [[nodiscard]] bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Per-shard telemetry; valid after stop() (throws before).
+  [[nodiscard]] const std::vector<ShardStats>& stats() const;
+
+  [[nodiscard]] const DecisionMemo& memo() const noexcept { return memo_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  struct Shard;
+  struct Msg;
+
+  void enqueue(int shard, Msg&& msg);
+  void worker_main(int shard);
+
+  ServiceOptions opts_;
+  DecidedCallback on_decided_;
+  DecisionMemo memo_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> cpus_;  ///< topology probe result at startup
+  std::atomic<ServiceId> next_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::vector<ShardStats> stats_;
+};
+
+}  // namespace subc

@@ -18,6 +18,7 @@
 #include "subc/runtime/instance.hpp"
 #include "subc/runtime/runtime.hpp"
 #include "subc/runtime/scheduler.hpp"
+#include "subc/runtime/service.hpp"
 #include "subc/runtime/value.hpp"
 
 #include "subc/objects/compare_and_swap.hpp"

@@ -32,6 +32,28 @@ AllocCounters alloc_counters() noexcept {
   return out;
 }
 
+AllocCounters alloc_counters_delta(const AllocCounters& since) noexcept {
+  const AllocCounters now = alloc_counters();
+  AllocCounters out;
+  out.arena_chunks = now.arena_chunks - since.arena_chunks;
+  out.arena_bytes = now.arena_bytes - since.arena_bytes;
+  out.arena_reuses = now.arena_reuses - since.arena_reuses;
+  out.fiber_stack_reuses = now.fiber_stack_reuses - since.fiber_stack_reuses;
+  out.fiber_stack_allocs = now.fiber_stack_allocs - since.fiber_stack_allocs;
+  out.stepped_blocks_carved =
+      now.stepped_blocks_carved - since.stepped_blocks_carved;
+  out.stepped_block_reuses =
+      now.stepped_block_reuses - since.stepped_block_reuses;
+  out.stepped_block_bytes = now.stepped_block_bytes - since.stepped_block_bytes;
+  out.instance_blocks_carved =
+      now.instance_blocks_carved - since.instance_blocks_carved;
+  out.instance_block_reuses =
+      now.instance_block_reuses - since.instance_block_reuses;
+  out.instance_block_bytes =
+      now.instance_block_bytes - since.instance_block_bytes;
+  return out;
+}
+
 namespace {
 // Arenas retained per thread for reuse across worlds. Bounded so a burst of
 // nested Runtimes cannot pin memory forever; excess arenas are simply freed.

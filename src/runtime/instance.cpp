@@ -40,10 +40,44 @@ InstanceBlock* InstanceTable::acquire_block() {
   return block;
 }
 
+void InstanceTable::validate_open(InstanceKind kind, int a, int b) {
+  switch (kind) {
+    case InstanceKind::kOneShotWrn:
+      if (a < 2) {
+        throw SimError("instance 1sWRN_k requires k >= 2");
+      }
+      break;
+    case InstanceKind::kGac:
+      if (a < 1 || b < 0) {
+        throw SimError("instance GAC(n, i) requires n >= 1, i >= 0");
+      }
+      break;
+    case InstanceKind::kSetConsensus:
+      if (b < 1 || b >= a) {
+        throw SimError("instance (n, k)-set-consensus requires 1 <= k < n");
+      }
+      break;
+  }
+}
+
 InstanceId InstanceTable::open(InstanceKind kind, int a, int b,
                                std::int64_t now) {
+  return open_assigned(next_id_, kind, a, b, now);
+}
+
+InstanceId InstanceTable::open_assigned(InstanceId id, InstanceKind kind,
+                                        int a, int b, std::int64_t now) {
+  if (id == 0) {
+    throw SimError("instance id 0 is reserved");
+  }
+  if (live_.find(id) != live_.end()) {
+    throw SimError("instance id already live: " + std::to_string(id));
+  }
+  validate_open(kind, a, b);  // before acquiring: a bad shape leaks no block
   InstanceBlock* block = acquire_block();
-  const InstanceId id = next_id_++;
+  if (id >= next_id_) {
+    next_id_ = id + 1;
+  }
   block->id = id;
   block->kind = kind;
   block->phase = InstancePhase::kOpen;
@@ -53,19 +87,13 @@ InstanceId InstanceTable::open(InstanceKind kind, int a, int b,
   block->decided_at = -1;
   switch (kind) {
     case InstanceKind::kOneShotWrn:
-      if (a < 2) {
-        throw SimError("instance 1sWRN_k requires k >= 2");
-      }
       block->wrn.reset(a);
       break;
     case InstanceKind::kGac:
-      if (a < 1 || b < 0) {
-        throw SimError("instance GAC(n, i) requires n >= 1, i >= 0");
-      }
       block->gac.reset(a, b);
       break;
     case InstanceKind::kSetConsensus:
-      block->setc.reset(a, b);  // validates 1 <= k < n itself
+      block->setc.reset(a, b);
       break;
   }
   live_.emplace(id, block);

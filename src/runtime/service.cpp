@@ -1,0 +1,486 @@
+#include "subc/runtime/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "subc/runtime/bounded_queue.hpp"
+
+namespace subc {
+
+std::vector<int> usable_cpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) {
+    return {};
+  }
+  std::vector<int> out;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) {
+      out.push_back(cpu);
+    }
+  }
+  return out;
+#else
+  return {};
+#endif
+}
+
+// --- DecisionMemo ---------------------------------------------------------
+
+DecisionMemo::DecisionMemo(std::size_t capacity) {
+  std::size_t slots = 64;
+  while (slots * 7 < capacity * 10) {
+    slots *= 2;
+  }
+  slots_ = std::make_unique<Slot[]>(slots);
+  num_slots_ = slots;
+  max_size_ = slots * 7 / 10;
+}
+
+std::optional<Value> DecisionMemo::lookup(std::uint64_t key) const noexcept {
+  key += (key == 0);
+  const std::uint64_t mask = num_slots_ - 1;
+  for (std::uint64_t i = key & mask;; i = (i + 1) & mask) {
+    const std::uint64_t cur = slots_[i].key.load(std::memory_order_acquire);
+    if (cur == 0) {
+      return std::nullopt;  // absent
+    }
+    if (cur == key) {
+      if (slots_[i].published.load(std::memory_order_acquire) == 0) {
+        return std::nullopt;  // recording in flight: sound miss
+      }
+      return slots_[i].value.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool DecisionMemo::record(std::uint64_t key, Value decided) noexcept {
+  key += (key == 0);
+  const std::uint64_t mask = num_slots_ - 1;
+  for (std::uint64_t i = key & mask;; i = (i + 1) & mask) {
+    std::uint64_t cur = slots_[i].key.load(std::memory_order_relaxed);
+    if (cur == key) {
+      return false;  // already claimed (published or in flight)
+    }
+    if (cur == 0) {
+      if (size_.load(std::memory_order_relaxed) >= max_size_) {
+        return false;  // saturated: sound, just no more dedup
+      }
+      if (slots_[i].key.compare_exchange_strong(cur, key,
+                                                std::memory_order_acq_rel)) {
+        slots_[i].value.store(decided, std::memory_order_relaxed);
+        slots_[i].published.store(1, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (cur == key) {  // lost the claim race to an identical key
+        return false;
+      }
+      // Lost to a different key: keep probing from this slot.
+    }
+  }
+}
+
+std::int64_t DecisionMemo::size() const noexcept {
+  return static_cast<std::int64_t>(size_.load(std::memory_order_relaxed));
+}
+
+bool DecisionMemo::saturated() const noexcept {
+  return size_.load(std::memory_order_relaxed) >= max_size_;
+}
+
+// --- ShardedService -------------------------------------------------------
+
+/// One inbox message: a flat union of the open and op shapes (one message
+/// type keeps the ring homogeneous, like the explorer's WorkItem).
+struct ShardedService::Msg {
+  enum class Kind : std::uint8_t { kNone, kOpen, kOp };
+  Kind kind = Kind::kNone;
+  ServiceId id = 0;
+  // kOpen
+  InstanceKind ikind = InstanceKind::kOneShotWrn;
+  int a = 0;
+  int b = 0;
+  std::uint64_t request_fp = 0;
+  unsigned total_weight = 0;
+  int spec_k = 0;
+  // kOp
+  int validator = 0;
+  unsigned weight = 0;
+  int slot = 0;
+  Value value = kBottom;
+  int delay = 1;
+};
+
+struct ShardedService::Shard {
+  explicit Shard(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+
+  BoundedQueue<Msg> inbox;
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// Worker is parked on `cv`; producers only take the lock to wake when
+  /// this is set (the 200 µs wait backstop bounds any lost wakeup).
+  std::atomic<bool> parked{false};
+  std::thread worker;
+};
+
+ShardedService::ShardedService(const ServiceOptions& opts,
+                               DecidedCallback on_decided)
+    : opts_(opts),
+      on_decided_(std::move(on_decided)),
+      memo_(opts.dedup_capacity == 0 ? 1 : opts.dedup_capacity),
+      cpus_(usable_cpus()) {
+  if (opts_.shards < 1) {
+    throw SimError("ServiceOptions::shards must be >= 1");
+  }
+  if (opts_.drain_batch < 1) {
+    throw SimError("ServiceOptions::drain_batch must be >= 1");
+  }
+  if (opts_.horizon_ticks < 1 || opts_.timeout_ticks < 1 ||
+      opts_.linger_ticks < 0) {
+    throw SimError(
+        "ServiceOptions ticks: horizon >= 1, timeout >= 1, linger >= 0");
+  }
+  if (opts_.quorum_num < 1 || opts_.quorum_den < 1) {
+    throw SimError("ServiceOptions quorum must be a positive fraction");
+  }
+  if (opts_.dedup_capacity == 0) {
+    throw SimError("ServiceOptions::dedup_capacity must be >= 1");
+  }
+  stats_.resize(static_cast<std::size_t>(opts_.shards));
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int s = 0; s < opts_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(opts_.inbox_capacity));
+  }
+  for (int s = 0; s < opts_.shards; ++s) {
+    shards_[static_cast<std::size_t>(s)]->worker =
+        std::thread([this, s] { worker_main(s); });
+  }
+}
+
+ShardedService::~ShardedService() { stop(); }
+
+void ShardedService::enqueue(int shard, Msg&& msg) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw SimError("sharded service: open/submit after stop()");
+  }
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  // Producer backpressure, frontier-ring style: a full inbox makes the
+  // producer absorb the pressure. Accepted messages are never dropped.
+  while (!sh.inbox.try_push(std::move(msg))) {
+    if (sh.parked.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(sh.mutex);
+      sh.cv.notify_one();
+    }
+    std::this_thread::yield();
+  }
+  if (sh.parked.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(sh.mutex);
+    sh.cv.notify_one();
+  }
+}
+
+ServiceId ShardedService::open(const OpenSpec& spec) {
+  InstanceTable::validate_open(spec.kind, spec.a, spec.b);
+  if (spec.total_weight == 0) {
+    throw SimError("OpenSpec::total_weight must be > 0");
+  }
+  const ServiceId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Msg msg;
+  msg.kind = Msg::Kind::kOpen;
+  msg.id = id;
+  msg.ikind = spec.kind;
+  msg.a = spec.a;
+  msg.b = spec.b;
+  msg.request_fp = spec.request_fp;
+  msg.total_weight = spec.total_weight;
+  msg.spec_k = spec.spec_k;
+  enqueue(shard_of(id), std::move(msg));
+  return id;
+}
+
+void ShardedService::submit(ServiceId id, const OpSpec& op) {
+  Msg msg;
+  msg.kind = Msg::Kind::kOp;
+  msg.id = id;
+  msg.validator = op.validator;
+  msg.weight = op.weight;
+  msg.slot = op.slot;
+  msg.value = op.value;
+  msg.delay = op.delay_ticks < 1 ? 1
+              : op.delay_ticks > opts_.horizon_ticks ? opts_.horizon_ticks
+                                                     : op.delay_ticks;
+  enqueue(shard_of(id), std::move(msg));
+}
+
+void ShardedService::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    // Someone else is stopping / stopped; wait for the joins to finish.
+    while (!stopped_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mutex);
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    if (sh->worker.joinable()) {
+      sh->worker.join();
+    }
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+const std::vector<ShardStats>& ShardedService::stats() const {
+  if (!stopped()) {
+    throw SimError("sharded service: stats() before stop()");
+  }
+  return stats_;
+}
+
+namespace {
+
+/// Worker-local per-instance bookkeeping (the table holds object state and
+/// history; the worker holds quorum progress and the audit material).
+struct Meta {
+  unsigned total_weight = 0;
+  unsigned served_weight = 0;
+  int spec_k = 0;
+  bool decided = false;
+  std::uint64_t request_fp = 0;
+  std::int64_t opened_tick = 0;
+  std::vector<Value> proposals;
+  std::vector<Value> responses;
+};
+
+struct PendingOp {
+  ServiceId id = 0;
+  int validator = 0;
+  unsigned weight = 0;
+  int slot = 0;
+  Value value = kBottom;
+};
+
+}  // namespace
+
+void ShardedService::worker_main(int shard) {
+  ShardStats st;
+  st.shard = shard;
+#ifdef __linux__
+  if (opts_.pin_workers && !cpus_.empty()) {
+    const int cpu =
+        cpus_[static_cast<std::size_t>(shard) % cpus_.size()];
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+      st.pinned = true;
+      st.cpu = cpu;
+    }
+  }
+#endif
+
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  InstanceTable table;
+  std::unordered_map<ServiceId, Meta> metas;
+  // Time-ordered lanes over the virtual clock, ring-indexed by tick — the
+  // same shape as the pre-sharding soak harness. Every schedule offset
+  // (op delay ≤ horizon, deadline = timeout, GC = linger) fits in R.
+  const std::size_t ring =
+      static_cast<std::size_t>(opts_.horizon_ticks + opts_.timeout_ticks +
+                               opts_.linger_ticks + 2);
+  std::vector<std::vector<PendingOp>> op_ring(ring);
+  std::vector<std::vector<ServiceId>> gc_ring(ring);
+  std::vector<std::vector<ServiceId>> deadline_ring(ring);
+  st.latency_hist.assign(static_cast<std::size_t>(opts_.timeout_ticks) + 1,
+                         0);
+
+  std::int64_t tick = 0;
+  const auto lane = [&](std::int64_t at) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(at) % ring);
+  };
+
+  const auto handle = [&](const Msg& msg) {
+    if (msg.kind == Msg::Kind::kOpen) {
+      ++st.msgs_open;
+      if (msg.request_fp != 0) {
+        // Cross-shard dedup: a recorded decision for this logical request
+        // short-circuits the whole instance.
+        if (memo_.lookup(detail::fp_request_domain(msg.request_fp))
+                .has_value()) {
+          ++st.dedup_hits;
+          return;
+        }
+      }
+      table.open_assigned(msg.id, msg.ikind, msg.a, msg.b, tick);
+      ++st.opened;
+      Meta meta;
+      meta.total_weight = msg.total_weight;
+      meta.spec_k = msg.spec_k;
+      meta.request_fp = msg.request_fp;
+      meta.opened_tick = tick;
+      metas.emplace(msg.id, std::move(meta));
+      deadline_ring[lane(tick + opts_.timeout_ticks)].push_back(msg.id);
+      return;
+    }
+    ++st.msgs_op;
+    const auto it = metas.find(msg.id);
+    if (it == metas.end()) {
+      ++st.orphan_ops;  // dedup'd open, or instance already reclaimed
+      return;
+    }
+    it->second.proposals.push_back(msg.value);
+    op_ring[lane(tick + msg.delay)].push_back(
+        PendingOp{msg.id, msg.validator, msg.weight, msg.slot, msg.value});
+  };
+
+  for (;;) {
+    const std::size_t occupancy = sh.inbox.approx_size();
+    if (occupancy > st.inbox_peak) {
+      st.inbox_peak = occupancy;
+    }
+    int drained = 0;
+    Msg msg;
+    while (drained < opts_.drain_batch && sh.inbox.try_pop(msg)) {
+      handle(msg);
+      ++drained;
+    }
+
+    if (drained == 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Drain-out mode: exit once the inbox is empty and every pending
+        // instance has decided+lingered or timed out; tick freely until
+        // then — virtual time needs no pacing once admission has stopped.
+        if (metas.empty()) {
+          if (!sh.inbox.try_pop(msg)) {
+            break;
+          }
+          handle(msg);
+        }
+      } else {
+        // Input-starved while live: park instead of spinning the virtual
+        // clock ahead of the producers (on saturated hosts the producers
+        // need this core — racing ticks here would time instances out
+        // before their ops ever get pushed). A push notifies when parked;
+        // the wait backstop bounds any lost wakeup AND paces the clock to
+        // at most ~1 tick per 200 µs of silence, so deadlines still fire
+        // for instances whose producers went quiet for good.
+        {
+          std::unique_lock<std::mutex> lk(sh.mutex);
+          sh.parked.store(true, std::memory_order_release);
+          sh.cv.wait_for(lk, std::chrono::microseconds(200));
+          sh.parked.store(false, std::memory_order_release);
+        }
+        if (metas.empty()) {
+          continue;  // nothing to tick until input arrives
+        }
+      }
+    }
+
+    // One virtual tick: apply this tick's ops, then the GC lane, then the
+    // deadline lane — the pre-sharding soak order, per shard.
+    ++tick;
+    ++st.ticks;
+
+    auto& ops = op_ring[lane(tick)];
+    for (const PendingOp& op : ops) {
+      const auto it = metas.find(op.id);
+      if (it == metas.end()) {
+        ++st.skipped_ops;  // reclaimed between scheduling and arrival
+        continue;
+      }
+      Meta& meta = it->second;
+      bool hung = false;
+      const Value out = table.apply(
+          op.id, op.validator, op.slot, op.value,
+          detail::mix64(op.id ^ static_cast<std::uint64_t>(op.validator)),
+          &hung);
+      ++st.ops;
+      if (hung) {
+        ++st.hung_ops;
+        continue;
+      }
+      meta.responses.push_back(out);
+      meta.served_weight += op.weight;
+      if (!meta.decided &&
+          static_cast<std::uint64_t>(meta.served_weight) * opts_.quorum_den >=
+              static_cast<std::uint64_t>(meta.total_weight) *
+                  opts_.quorum_num) {
+        meta.decided = true;
+        table.decide(op.id, tick);
+        ++st.decided;
+        const std::int64_t latency = tick - meta.opened_tick;
+        const auto bucket = static_cast<std::size_t>(
+            latency < 0 ? 0
+            : latency >= static_cast<std::int64_t>(st.latency_hist.size())
+                ? st.latency_hist.size() - 1
+                : static_cast<std::size_t>(latency));
+        ++st.latency_hist[bucket];
+        const Value decided_value = meta.responses.front();
+        if (meta.request_fp != 0 &&
+            memo_.record(detail::fp_request_domain(meta.request_fp),
+                         decided_value)) {
+          ++st.dedup_records;
+        }
+        if (on_decided_) {
+          DecidedView view;
+          view.shard = shard;
+          view.id = op.id;
+          view.block = &table.at(op.id);
+          view.proposals = &meta.proposals;
+          view.responses = &meta.responses;
+          view.spec_k = meta.spec_k;
+          view.decided = decided_value;
+          view.latency_ticks = latency;
+          view.world_fp = table.world_fingerprint(op.id);
+          on_decided_(view);
+        }
+        gc_ring[lane(tick + opts_.linger_ticks)].push_back(op.id);
+      }
+    }
+    ops.clear();
+
+    auto& gcs = gc_ring[lane(tick)];
+    for (const ServiceId id : gcs) {
+      if (table.gc(id)) {
+        ++st.gc_sweeps;
+      }
+      metas.erase(id);
+    }
+    gcs.clear();
+
+    auto& deadlines = deadline_ring[lane(tick)];
+    for (const ServiceId id : deadlines) {
+      const auto it = metas.find(id);
+      if (it == metas.end() || it->second.decided) {
+        continue;  // already reclaimed, or decided and waiting out linger
+      }
+      table.gc(id);
+      ++st.gc_sweeps;
+      metas.erase(it);
+      ++st.timed_out;
+    }
+    deadlines.clear();
+  }
+
+  st.peak_live = table.stats().peak_live;
+  st.live_at_exit = table.stats().live;
+  st.blocks_carved = table.stats().blocks_carved;
+  st.block_reuses = table.stats().block_reuses;
+  stats_[static_cast<std::size_t>(shard)] = std::move(st);
+}
+
+}  // namespace subc

@@ -71,12 +71,22 @@ TEST(Hashing, SaltsAreDistinct) {
       detail::kFpProcSalt,   detail::kFpStepSalt,  detail::kFpObserveSalt,
       detail::kFpObjectSalt, detail::kFpChooseSalt, detail::kFpDecideSalt,
       detail::kFpDoneSalt,   detail::kFpHungSalt,  detail::kFpCrashSalt,
-      detail::kFpSleepSalt,  detail::kFpRunSalt,   detail::kFpInstanceSalt};
+      detail::kFpSleepSalt,  detail::kFpRunSalt,   detail::kFpInstanceSalt,
+      detail::kFpRequestSalt};
   for (std::size_t i = 0; i < std::size(salts); ++i) {
     for (std::size_t j = i + 1; j < std::size(salts); ++j) {
       EXPECT_NE(salts[i], salts[j]) << i << " vs " << j;
     }
   }
+}
+
+TEST(Hashing, RequestDomainMirrorsInstanceDomain) {
+  // Same shape as fp_instance_domain, different salt: the dedup-memo keys
+  // of the sharded service can never alias instance-domain terms.
+  EXPECT_EQ(detail::fp_request_domain(7),
+            detail::mix64(7ULL ^ detail::kFpRequestSalt));
+  EXPECT_NE(detail::fp_request_domain(7), detail::fp_instance_domain(7));
+  EXPECT_NE(detail::fp_request_domain(7), detail::fp_request_domain(8));
 }
 
 TEST(VisitedSet, InsertThenHit) {

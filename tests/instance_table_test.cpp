@@ -227,6 +227,30 @@ TEST(InstanceTable, InstanceCoreMatchesSimulatedObject) {
   EXPECT_EQ(service, simulated);
 }
 
+TEST(InstanceTable, OpenAssignedHostsSparseIdSlices) {
+  // The sharded service assigns ids from a process-wide counter, so each
+  // shard's table sees a sparse, non-contiguous slice of the id space.
+  InstanceTable table;
+  EXPECT_EQ(table.open_assigned(7, InstanceKind::kGac, 3, 0), 7u);
+  EXPECT_EQ(table.open_assigned(3, InstanceKind::kGac, 3, 0), 3u);
+  EXPECT_EQ(table.at(7).fp_domain, detail::fp_instance_domain(7));
+
+  // id 0 is reserved; a live id cannot be reopened; validation still runs
+  // before any block is acquired (a bad shape leaks nothing).
+  EXPECT_THROW(table.open_assigned(0, InstanceKind::kGac, 3, 0), SimError);
+  EXPECT_THROW(table.open_assigned(7, InstanceKind::kGac, 3, 0), SimError);
+  const std::int64_t carved = table.stats().blocks_carved;
+  EXPECT_THROW(table.open_assigned(9, InstanceKind::kOneShotWrn, 1, 0),
+               SimError);
+  EXPECT_EQ(table.stats().blocks_carved, carved);
+
+  // Mixing with auto-id open stays safe: the cursor is bumped past every
+  // assigned id, so auto ids never collide with assigned ones.
+  const InstanceId next = table.open(InstanceKind::kGac, 3, 0);
+  EXPECT_EQ(next, 8u);
+  EXPECT_EQ(table.stats().live, 3);
+}
+
 TEST(InstanceTable, ToStringCoversKinds) {
   EXPECT_STREQ(to_string(InstanceKind::kOneShotWrn), "one_shot_wrn");
   EXPECT_STREQ(to_string(InstanceKind::kGac), "gac");

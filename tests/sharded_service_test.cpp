@@ -1,0 +1,395 @@
+// Unit tests for the sharded agreement service (runtime/service.hpp):
+// routing determinism, shard isolation (no fingerprint aliasing across
+// shard tables), the cross-shard decision memo's exactly-one-winner and
+// saturation behavior, dedup short-circuiting of replayed requests,
+// backpressured inboxes that never drop accepted ops, and drained tables
+// at exit. Run under TSan by `scripts/check.sh --service-smoke`.
+#include "subc/runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "subc/runtime/hashing.hpp"
+
+namespace subc {
+namespace {
+
+ServiceOptions fast_options(int shards) {
+  ServiceOptions opts;
+  opts.shards = shards;
+  opts.pin_workers = false;  // unit tests should not fight the scheduler
+  opts.horizon_ticks = 5;
+  opts.timeout_ticks = 12;
+  opts.linger_ticks = 2;
+  return opts;
+}
+
+/// Opens a GAC(3, 0) (= consensus) instance and submits a deciding quorum.
+ServiceId open_consensus(ShardedService& svc, Value v,
+                         std::uint64_t request_fp = 0) {
+  OpenSpec spec;
+  spec.kind = InstanceKind::kGac;
+  spec.a = 3;
+  spec.b = 0;
+  spec.request_fp = request_fp;
+  spec.total_weight = 3;
+  spec.spec_k = 1;
+  const ServiceId id = svc.open(spec);
+  for (int p = 0; p < 3; ++p) {
+    svc.submit(id, OpSpec{/*validator=*/p, /*weight=*/1, /*slot=*/0,
+                          /*value=*/v + p, /*delay_ticks=*/1 + p});
+  }
+  return id;
+}
+
+template <typename Pred>
+bool wait_until(Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ShardedService, RoutingIsAPureFunctionOfTheId) {
+  for (ServiceId id = 1; id <= 1000; ++id) {
+    // One shard: everything routes to it.
+    EXPECT_EQ(ShardedService::shard_of(id, 1), 0);
+    // The route is deterministic and in range for every shard count.
+    for (int shards : {2, 4, 8}) {
+      const int s = ShardedService::shard_of(id, shards);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardedService::shard_of(id, shards));
+    }
+  }
+  // mix64 spreads dense ids: every shard of 4 sees traffic from 1..1000.
+  std::set<int> hit;
+  for (ServiceId id = 1; id <= 1000; ++id) {
+    hit.insert(ShardedService::shard_of(id, 4));
+  }
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardedService, DecidesAndReportsThroughTheCallback) {
+  std::mutex mu;
+  std::vector<DecidedView> views;  // pointers not retained past callback
+  std::vector<std::size_t> proposal_counts;
+  ShardedService svc(fast_options(2), [&](const DecidedView& view) {
+    std::lock_guard<std::mutex> lk(mu);
+    views.push_back(view);
+    views.back().block = nullptr;  // worker-owned; drop before returning
+    views.back().proposals = nullptr;
+    views.back().responses = nullptr;
+    proposal_counts.push_back(view.proposals->size());
+    EXPECT_NE(view.block, nullptr);
+    EXPECT_EQ(view.block->kind, InstanceKind::kGac);
+  });
+  const ServiceId id = open_consensus(svc, 100);
+  ASSERT_TRUE(wait_until([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return !views.empty();
+  }));
+  svc.stop();
+
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].id, id);
+  EXPECT_EQ(views[0].shard, svc.shard_of(id));
+  // GAC(3, 0) is consensus on the first arrival; delays order the arrivals.
+  EXPECT_EQ(views[0].decided, 100);
+  EXPECT_GE(views[0].latency_ticks, 1);
+  EXPECT_EQ(proposal_counts[0], 3u);
+
+  std::int64_t decided = 0;
+  std::int64_t live = 0;
+  for (const ShardStats& st : svc.stats()) {
+    decided += st.decided;
+    live += st.live_at_exit;
+  }
+  EXPECT_EQ(decided, 1);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(ShardedService, IdenticalHistoriesNeverAliasAcrossShards) {
+  // Every instance runs the exact same op sequence — identical *local*
+  // fingerprints by design — yet the world fingerprints reported at
+  // decision must all differ: each id owns its own fp domain, and shard
+  // tables host disjoint id slices.
+  constexpr int kInstances = 200;
+  std::mutex mu;
+  std::vector<std::uint64_t> world_fps;
+  ShardedService svc(fast_options(4), [&](const DecidedView& view) {
+    std::lock_guard<std::mutex> lk(mu);
+    world_fps.push_back(view.world_fp);
+  });
+  for (int i = 0; i < kInstances; ++i) {
+    open_consensus(svc, /*v=*/500);  // same values for every instance
+  }
+  ASSERT_TRUE(wait_until([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return world_fps.size() == kInstances;
+  }));
+  svc.stop();
+
+  const std::set<std::uint64_t> distinct(world_fps.begin(), world_fps.end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kInstances));
+  // Traffic really did spread over multiple tables.
+  int shards_used = 0;
+  for (const ShardStats& st : svc.stats()) {
+    shards_used += st.opened > 0 ? 1 : 0;
+    EXPECT_EQ(st.live_at_exit, 0);
+  }
+  EXPECT_GT(shards_used, 1);
+}
+
+TEST(DecisionMemo, ExactlyOneRecorderWins) {
+  DecisionMemo memo(1024);
+  const std::uint64_t key = detail::fp_request_domain(0xfeedULL);
+  constexpr int kThreads = 8;
+  std::atomic<int> wins{0};
+  std::atomic<Value> winner_value{kBottom};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (memo.record(key, /*decided=*/1000 + t)) {
+        wins.fetch_add(1);
+        winner_value.store(1000 + t);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(wins.load(), 1);
+  const auto hit = memo.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, winner_value.load());
+  EXPECT_EQ(memo.size(), 1);
+  // Late recorders of the same key always lose.
+  EXPECT_FALSE(memo.record(key, 42));
+  EXPECT_EQ(*memo.lookup(key), winner_value.load());
+}
+
+TEST(DecisionMemo, SaturationIsASoundNoOp) {
+  DecisionMemo memo(10);  // slots round up to 64, max load 44
+  const std::size_t max_records = memo.slot_count() * 7 / 10;
+  std::size_t recorded = 0;
+  std::uint64_t key = 1;
+  while (!memo.saturated()) {
+    ASSERT_TRUE(memo.record(detail::mix64(key++), 7));
+    ++recorded;
+    ASSERT_LE(recorded, max_records);
+  }
+  EXPECT_EQ(recorded, max_records);
+  // Saturated: further records are refused, lookups of them miss — the
+  // caller just runs agreement itself, which is always sound.
+  const std::uint64_t overflow = detail::mix64(key);
+  EXPECT_FALSE(memo.record(overflow, 9));
+  EXPECT_FALSE(memo.lookup(overflow).has_value());
+  // Recorded keys still hit.
+  EXPECT_EQ(*memo.lookup(detail::mix64(std::uint64_t{1})), 7);
+}
+
+TEST(ShardedService, ReplayedRequestsShortCircuitToTheRecordedDecision) {
+  constexpr std::uint64_t kRequestFp = 0x5eedULL;
+  constexpr int kReplays = 32;
+  std::atomic<int> decided_count{0};
+  std::atomic<Value> decided_value{kBottom};
+  ShardedService svc(fast_options(4), [&](const DecidedView& view) {
+    decided_value.store(view.decided);
+    decided_count.fetch_add(1);
+  });
+  open_consensus(svc, /*v=*/777, kRequestFp);
+  // Wait for the decision to be *recorded* before replaying, so every
+  // replayed open is guaranteed a memo hit.
+  ASSERT_TRUE(wait_until([&] { return decided_count.load() >= 1; }));
+  for (int i = 0; i < kReplays; ++i) {
+    // A replay gets a fresh id, hence (very likely) a different shard —
+    // the memo hit is what makes dedup *cross-shard*.
+    OpenSpec spec;
+    spec.kind = InstanceKind::kGac;
+    spec.a = 3;
+    spec.b = 0;
+    spec.request_fp = kRequestFp;
+    spec.total_weight = 3;
+    spec.spec_k = 1;
+    svc.open(spec);
+  }
+  svc.stop();
+
+  EXPECT_EQ(decided_count.load(), 1);
+  EXPECT_EQ(decided_value.load(), 777);
+  std::int64_t dedup_hits = 0;
+  std::int64_t dedup_records = 0;
+  std::int64_t opened = 0;
+  for (const ShardStats& st : svc.stats()) {
+    dedup_hits += st.dedup_hits;
+    dedup_records += st.dedup_records;
+    opened += st.opened;
+  }
+  EXPECT_EQ(dedup_hits, kReplays);
+  EXPECT_EQ(dedup_records, 1);
+  EXPECT_EQ(opened, 1);
+  const auto hit = svc.memo().lookup(detail::fp_request_domain(kRequestFp));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 777);
+}
+
+TEST(ShardedService, TinyBackpressuredInboxNeverDropsOps) {
+  // A 4-slot inbox against 4 producer threads: producers absorb the
+  // pressure (spin on try_push) and every accepted message is eventually
+  // drained — the accounting identities below only hold with zero drops.
+  ServiceOptions opts = fast_options(2);
+  opts.inbox_capacity = 4;
+  opts.drain_batch = 8;
+  ShardedService svc(opts);
+  constexpr int kProducers = 4;
+  constexpr int kOpensPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&svc, p] {
+      for (int i = 0; i < kOpensPerProducer; ++i) {
+        OpenSpec spec;
+        spec.kind = InstanceKind::kGac;
+        spec.a = 2;
+        spec.b = 0;
+        spec.total_weight = 2;
+        spec.spec_k = 1;
+        const ServiceId id = svc.open(spec);
+        svc.submit(id, OpSpec{0, 1, 0, 10 * p + 1, 1 + (i % 5)});
+        svc.submit(id, OpSpec{1, 1, 0, 10 * p + 2, 1 + ((i + 3) % 5)});
+      }
+    });
+  }
+  for (auto& th : producers) {
+    th.join();
+  }
+  svc.stop();
+
+  std::int64_t msgs_open = 0, msgs_op = 0, opened = 0, ops = 0;
+  std::int64_t orphans = 0, skipped = 0, decided = 0, timed_out = 0;
+  std::int64_t gc_sweeps = 0, live = 0;
+  std::size_t inbox_peak = 0;
+  for (const ShardStats& st : svc.stats()) {
+    msgs_open += st.msgs_open;
+    msgs_op += st.msgs_op;
+    opened += st.opened;
+    ops += st.ops;
+    orphans += st.orphan_ops;
+    skipped += st.skipped_ops;
+    decided += st.decided;
+    timed_out += st.timed_out;
+    gc_sweeps += st.gc_sweeps;
+    live += st.live_at_exit;
+    if (st.inbox_peak > inbox_peak) {
+      inbox_peak = st.inbox_peak;
+    }
+  }
+  // Every message submitted was drained by exactly one worker.
+  EXPECT_EQ(msgs_open, kProducers * kOpensPerProducer);
+  EXPECT_EQ(msgs_op, kProducers * kOpensPerProducer * 2);
+  // No request_fp → no dedup: every open became a live instance.
+  EXPECT_EQ(opened, msgs_open);
+  // Every op message was applied, orphaned, or skipped — never lost.
+  EXPECT_EQ(ops + orphans + skipped, msgs_op);
+  // Every instance resolves exactly one way: decided, or timed out when
+  // the tiny inbox delayed its ops past the deadline on a loaded host.
+  EXPECT_EQ(decided + timed_out, opened);
+  EXPECT_GT(decided, 0);
+  // Drained at exit: everything opened was reclaimed.
+  EXPECT_EQ(gc_sweeps, opened);
+  EXPECT_EQ(live, 0);
+  // The tiny ring really did cap occupancy.
+  EXPECT_LE(inbox_peak, 4u);
+}
+
+TEST(ShardedService, UnreachableQuorumTimesOutAndDrainsTheTables) {
+  ServiceOptions opts = fast_options(2);
+  constexpr int kInstances = 64;
+  ShardedService svc(opts);
+  for (int i = 0; i < kInstances; ++i) {
+    OpenSpec spec;
+    spec.kind = InstanceKind::kGac;
+    spec.a = 3;
+    spec.b = 0;
+    spec.total_weight = 100;  // one weight-1 op can never reach 2/3 of 100
+    spec.spec_k = 1;
+    const ServiceId id = svc.open(spec);
+    svc.submit(id, OpSpec{0, 1, 0, 5, 1});
+  }
+  svc.stop();
+
+  std::int64_t timed_out = 0;
+  for (const ShardStats& st : svc.stats()) {
+    timed_out += st.timed_out;
+    EXPECT_EQ(st.decided, 0);
+    // stop() drains to quiescence: the undecided stragglers were reclaimed
+    // by the deadline lane, not leaked.
+    EXPECT_EQ(st.live_at_exit, 0);
+    EXPECT_EQ(st.gc_sweeps, st.opened);
+  }
+  EXPECT_EQ(timed_out, kInstances);
+}
+
+TEST(ShardedService, ClientSideValidationAndStopSemantics) {
+  ShardedService svc(fast_options(1));
+  // Malformed shapes fail on the submitting thread, before any enqueue.
+  OpenSpec bad;
+  bad.kind = InstanceKind::kOneShotWrn;
+  bad.a = 1;  // 1sWRN needs k >= 2
+  bad.total_weight = 1;
+  EXPECT_THROW(svc.open(bad), SimError);
+  OpenSpec zero_weight;
+  zero_weight.kind = InstanceKind::kGac;
+  zero_weight.a = 3;
+  zero_weight.total_weight = 0;
+  EXPECT_THROW(svc.open(zero_weight), SimError);
+
+  svc.stop();
+  EXPECT_TRUE(svc.stopped());
+  OpenSpec ok;
+  ok.kind = InstanceKind::kGac;
+  ok.a = 3;
+  ok.total_weight = 3;
+  EXPECT_THROW(svc.open(ok), SimError);
+  EXPECT_THROW(svc.submit(1, OpSpec{0, 1, 0, 1, 1}), SimError);
+  svc.stop();  // idempotent
+}
+
+TEST(ShardedService, BadOptionsAreRejected) {
+  ServiceOptions opts;
+  opts.shards = 0;
+  EXPECT_THROW(ShardedService svc(opts), SimError);
+  opts = ServiceOptions{};
+  opts.drain_batch = 0;
+  EXPECT_THROW(ShardedService svc(opts), SimError);
+  opts = ServiceOptions{};
+  opts.horizon_ticks = 0;
+  EXPECT_THROW(ShardedService svc(opts), SimError);
+  opts = ServiceOptions{};
+  opts.dedup_capacity = 0;
+  EXPECT_THROW(ShardedService svc(opts), SimError);
+}
+
+TEST(ShardedService, StatsBeforeStopThrows) {
+  ShardedService svc(fast_options(1));
+  EXPECT_THROW(static_cast<void>(svc.stats()), SimError);
+  svc.stop();
+  EXPECT_EQ(svc.stats().size(), 1u);
+}
+
+}  // namespace
+}  // namespace subc
