@@ -185,6 +185,8 @@ int main() {
   subc_bench::set_crash_fields(out, crash_opts.max_crashes,
                                crash_result.crashed_executions,
                                crash_result.stuck_executions);
+  subc_bench::set_recovery_fields(out, crash_opts.max_recoveries,
+                                  crash_result.recovered_executions);
   subc_bench::write_json("BENCH_F2.json", out);
   std::printf("\nF2 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -401,6 +401,7 @@ void write_results_json() {
                                    reduced.executions);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);
+  subc_bench::set_recovery_fields(out, 0, 0);
   subc_bench::write_json("BENCH_F4.json", out);
 }
 

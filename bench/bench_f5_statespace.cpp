@@ -664,6 +664,8 @@ int main() {
   subc_bench::set_crash_fields(out, crash_opts.max_crashes,
                                crash_serial.crashed_executions,
                                crash_serial.stuck_executions);
+  subc_bench::set_recovery_fields(out, crash_opts.max_recoveries,
+                                  crash_serial.recovered_executions);
   subc_bench::write_json("BENCH_F5.json", out);
 
   std::printf("\nF5 %s\n", ok ? "PASS" : "FAIL");

@@ -661,6 +661,7 @@ int main(int argc, char** argv) {
   subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);
+  subc_bench::set_recovery_fields(out, 0, 0);
   subc_bench::write_json("BENCH_F8.json", out);
   std::printf("\nF8 %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

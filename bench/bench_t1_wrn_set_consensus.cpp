@@ -128,6 +128,7 @@ int main() {
   subc_bench::set_reduction_fields(out, total_reduced, total_executions);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);
+  subc_bench::set_recovery_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T1.json", out);
   std::printf("\nT1 %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;

@@ -142,6 +142,7 @@ int main() {
   subc_bench::set_reduction_fields(out, 0, 0);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);
+  subc_bench::set_recovery_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T4.json", out);
 
   std::printf(

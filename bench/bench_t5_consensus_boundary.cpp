@@ -178,6 +178,7 @@ int main() {
   subc_bench::set_reduction_fields(out, total_reduced, total_executions);
   subc_bench::set_policy_fields(out);
   subc_bench::set_crash_fields(out, 0, 0, 0);
+  subc_bench::set_recovery_fields(out, 0, 0);
   subc_bench::write_json("BENCH_T5.json", out);
 
   std::printf("\nT5 %s\n", ok ? "PASS" : "FAIL");

@@ -236,6 +236,17 @@ inline void set_crash_fields(Json& json, int max_crashes,
   json.set("stuck_executions", stuck_executions);
 }
 
+/// Stamps the crash-recovery telemetry (Explorer::Options::max_recoveries):
+/// the restart budget and how many explored executions actually restarted a
+/// crashed process. Benches that explore without recovery branching pass
+/// (0, 0) so every artifact carries the cells and the perf trajectory can
+/// tell "no restarts explored" from "field missing".
+inline void set_recovery_fields(Json& json, int max_recoveries,
+                                std::int64_t recovered_executions) {
+  json.set("max_recoveries", static_cast<std::int64_t>(max_recoveries));
+  json.set("recovered_executions", recovered_executions);
+}
+
 /// Stamps the stateful-exploration telemetry (Explorer::Options::stateful):
 /// the cuts taken, distinct states recorded, visited-set occupancy
 /// (states / capacity) and hit rate (cuts / (cuts + states) — the fraction

@@ -26,6 +26,14 @@
 #                                 must verify linearizable, and the
 #                                 doorway-ablated variant must report a
 #                                 violation — both deterministic
+#   scripts/check.sh --recovery-smoke crash-recovery gate only: the
+#                                 recovery-exploration suite (restartable
+#                                 processes, durable vs volatile objects,
+#                                 the recoverable-consensus machine-check)
+#                                 plus the recovery-axis equivalence pins,
+#                                 under Debug + AddressSanitizer — restart
+#                                 re-carves fiber stacks and stepped state
+#                                 blocks, exactly what ASan must watch
 #   scripts/check.sh --stateful-smoke stateful-exploration gate only: the
 #                                 hashing/visited-set suite, the stateful
 #                                 explorer suite, and the stateful half of
@@ -53,6 +61,7 @@ QUICK=0
 PERF_SMOKE=0
 STEPPER_SMOKE=0
 CRASH_SMOKE=0
+RECOVERY_SMOKE=0
 STATEFUL_SMOKE=0
 SOAK_SMOKE=0
 SERVICE_SMOKE=0
@@ -62,11 +71,12 @@ for arg in "$@"; do
     --perf-smoke) PERF_SMOKE=1 ;;
     --stepper-smoke) STEPPER_SMOKE=1 ;;
     --crash-smoke) CRASH_SMOKE=1 ;;
+    --recovery-smoke) RECOVERY_SMOKE=1 ;;
     --stateful-smoke) STATEFUL_SMOKE=1 ;;
     --soak-smoke) SOAK_SMOKE=1 ;;
     --service-smoke) SERVICE_SMOKE=1 ;;
     *)
-      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke|--stateful-smoke|--soak-smoke|--service-smoke]" >&2
+      echo "usage: scripts/check.sh [--quick|--perf-smoke|--stepper-smoke|--crash-smoke|--recovery-smoke|--stateful-smoke|--soak-smoke|--service-smoke]" >&2
       exit 2
       ;;
   esac
@@ -226,6 +236,30 @@ if [[ "${CRASH_SMOKE}" == "1" ]]; then
   cmake --build build --target crash_exploration_test
   build/tests/crash_exploration_test --gtest_filter='CrashExploration.Algorithm5LinearizableOverAllSingleCrashPlacements:CrashExploration.DoorwayAblationConvictedDeterministically'
   echo "CRASH SMOKE PASSED"
+  exit 0
+fi
+
+# --- Recovery smoke: the crash-recovery gate ------------------------------
+# Restart re-enters a crashed process from the top — destroying and
+# re-carving its fiber stack or restoring its stepped state block from the
+# pristine snapshot — while durable object state persists and volatile
+# state is wiped by crash-event hooks. All of that is lifetime-sensitive,
+# so the gate runs the recovery suite (restartable processes, the
+# durability axis, replay/shrink/jsonl of recovery decisions, the
+# recoverable-consensus machine-check) and the checkpoint suite's recovery
+# campaign under ASan, plus the full equivalence pins whose f=1 r=1 axis
+# requires both engines to restart bit-identically.
+if [[ "${RECOVERY_SMOKE}" == "1" ]]; then
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan --target recovery_exploration_test \
+    checkpoint_resume_test equivalence_pin_test
+  build-asan/tests/recovery_exploration_test
+  build-asan/tests/checkpoint_resume_test \
+    --gtest_filter='CheckpointResume.RecoveryExplorationCampaignResumes:CheckpointResume.DecisionStringsRoundTripIncludingCrashFlags'
+  build-asan/tests/equivalence_pin_test --gtest_filter='-*Stateful*'
+  echo "RECOVERY SMOKE PASSED"
   exit 0
 fi
 

@@ -13,6 +13,7 @@
 #include "subc/objects/onk.hpp"
 #include "subc/objects/register.hpp"
 #include "subc/objects/set_consensus_object.hpp"
+#include "subc/objects/sticky_register.hpp"
 #include "subc/objects/swap.hpp"
 #include "subc/objects/wrn.hpp"
 #include "subc/runtime/stepper.hpp"
@@ -131,6 +132,30 @@ struct SteppedOneShotWrn {
     SUBC_STEP_POINT(ctx, wrn->oid(), AccessKind::kRmw);
     SUBC_STEP_CALL(ctx, got_, wrn->step_wrn(ctx, index, value));
     *out = got_;
+    SUBC_STEP_END(ctx);
+  }
+};
+
+/// `consensus_from_sticky` as a state machine: stick own value, decide what
+/// stuck. The canonical recoverable-consensus proposer of the crash-
+/// recovery model (docs/adversaries.md): a recovered incarnation re-enters
+/// here from the top with `got_` reset by the engine's pristine-state
+/// restore, re-sticks against the surviving (durable) register, and is
+/// handed the original winner — which the decide-twice relaxation accepts
+/// as an idempotent re-decision. Against a *volatile* sticky register the
+/// wiped state lets a later incarnation stick a different value, which the
+/// machine-check convicts.
+struct SteppedStickyConsensus {
+  StickyRegister* sticky;
+  Value value;
+
+  Value got_ = kBottom;
+
+  void step(StepContext& ctx) {
+    SUBC_STEP_BEGIN(ctx);
+    SUBC_STEP_POINT(ctx, sticky->oid(), AccessKind::kRmw);
+    got_ = sticky->step_stick(ctx, value);
+    ctx.decide(got_);
     SUBC_STEP_END(ctx);
   }
 };

@@ -15,22 +15,29 @@
 // `Explorer::resume(body, path, opts)` reloads a snapshot and continues the
 // search from the watermark, producing the bit-identical final `Result` an
 // uninterrupted run reports (see docs/explorer.md). Snapshots are written
-// atomically (temp file + rename), so a crash mid-write leaves the previous
-// snapshot intact. Decision strings are encoded one token per decision,
-// "chosen/arity/enabled/sleep/crashflag", preserving the reduction metadata
-// and crash flags replay depends on — this is also the wire format the
-// distributed-sharding roadmap item will ship work units in.
+// atomically (temp file + rename, with a bounded retry on transient
+// filesystem failure), so a crash mid-write leaves the previous snapshot
+// intact. Decision strings are encoded one token per decision,
+// "chosen/arity/enabled/sleep/crashflag/recoverflag", preserving the
+// reduction metadata and crash/recovery flags replay depends on — this is
+// also the wire format the distributed-sharding roadmap item will ship work
+// units in. Five-field tokens from pre-recovery snapshots read back with
+// recoverflag = 0.
 #pragma once
 
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "subc/checking/trace_jsonl.hpp"
@@ -47,6 +54,9 @@ struct ExplorerSnapshot {
   // --- option echo ---
   std::int64_t max_executions = 0;
   int max_crashes = 0;
+  /// Recovery branching bound (Explorer::Options::max_recoveries). Absent
+  /// in pre-recovery snapshots, which read back as 0.
+  int max_recoveries = 0;
   std::int64_t step_quota = 0;
   bool reduction = false;  ///< sleep-set reduction on?
   /// Stateful exploration on? Echoed (and matched on resume) because the
@@ -62,6 +72,9 @@ struct ExplorerSnapshot {
   std::int64_t pruned = 0;
   std::int64_t reduced = 0;
   std::int64_t crashed = 0;
+  /// Executions with >= 1 recovery over the completed prefix (0 for
+  /// pre-recovery snapshots, which omit the field).
+  std::int64_t recovered = 0;
   std::int64_t stuck = 0;
   /// Stateful cuts over the completed prefix (0 for pre-stateful
   /// snapshots, which omit the field).
@@ -81,7 +94,7 @@ struct ExplorerSnapshot {
 };
 
 /// Renders a decision string as snapshot tokens
-/// ("chosen/arity/enabled/sleep/crashflag", space-separated).
+/// ("chosen/arity/enabled/sleep/crashflag/recoverflag", space-separated).
 inline std::string encode_decisions(
     std::span<const ReplayDriver::Decision> trace) {
   std::string out;
@@ -98,6 +111,8 @@ inline std::string encode_decisions(
     out += std::to_string(trace[i].sleep);
     out += '/';
     out += trace[i].crash ? '1' : '0';
+    out += '/';
+    out += trace[i].recover ? '1' : '0';
   }
   return out;
 }
@@ -138,6 +153,16 @@ inline std::vector<ReplayDriver::Decision> decode_decisions(
     }
     d.crash = *p == '1';
     ++p;
+    // Recovery flag: optional sixth field, absent in five-field tokens
+    // from pre-recovery snapshots (which read back as recover = false).
+    if (*p == '/') {
+      ++p;
+      if (*p != '0' && *p != '1') {
+        throw SimError("decode_decisions: bad recover flag in: " + text);
+      }
+      d.recover = *p == '1';
+      ++p;
+    }
     if (d.arity < 1 || d.chosen >= d.arity) {
       throw SimError("decode_decisions: inconsistent decision in: " + text);
     }
@@ -162,13 +187,21 @@ inline bool has_field(std::string_view line, std::string_view key) {
 
 /// Serializes `snap` to `path` atomically: the snapshot is staged as
 /// `<path>.tmp` and renamed over `path`, so readers (and a resume after a
-/// crash mid-write) always see a complete snapshot.
+/// crash mid-write) always see a complete snapshot. Transient filesystem
+/// failures (open, write, or rename) are retried with bounded backoff —
+/// three attempts, sleeping 1/4/16 ms between them — before a `SimError`
+/// carrying a structured diagnostic (attempts made, failing stage, errno)
+/// is thrown. The explorer catches failures of *periodic* snapshots so an
+/// exploration campaign survives a briefly unwritable checkpoint directory;
+/// the final snapshot's failure still propagates.
 inline void save_snapshot(const std::string& path,
                           const ExplorerSnapshot& snap) {
   namespace jd = jsonl_detail;
   std::string text = "{\"kind\":\"header\",\"version\":1,\"max_executions\":" +
                      std::to_string(snap.max_executions) +
                      ",\"max_crashes\":" + std::to_string(snap.max_crashes) +
+                     ",\"max_recoveries\":" +
+                     std::to_string(snap.max_recoveries) +
                      ",\"step_quota\":" + std::to_string(snap.step_quota) +
                      ",\"reduction\":\"";
   text += snap.reduction ? "sleep" : "none";
@@ -180,6 +213,7 @@ inline void save_snapshot(const std::string& path,
           ",\"pruned\":" + std::to_string(snap.pruned) +
           ",\"reduced\":" + std::to_string(snap.reduced) +
           ",\"crashed\":" + std::to_string(snap.crashed) +
+          ",\"recovered\":" + std::to_string(snap.recovered) +
           ",\"stuck\":" + std::to_string(snap.stuck) +
           ",\"stateful_cuts\":" + std::to_string(snap.stateful_cuts) +
           ",\"done\":";
@@ -205,20 +239,41 @@ inline void save_snapshot(const std::string& path,
   text += "\"}\n";
 
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      throw SimError("save_snapshot: cannot open " + tmp);
+  constexpr int kAttempts = 3;
+  constexpr int kBackoffMs[kAttempts] = {1, 4, 16};
+  const char* stage = "open";
+  int saved_errno = 0;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    errno = 0;
+    stage = "open";
+    bool ok = false;
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (out) {
+        stage = "write";
+        out << text;
+        out.flush();
+        ok = static_cast<bool>(out);
+      }
+      saved_errno = errno;
     }
-    out << text;
-    out.flush();
-    if (!out) {
-      throw SimError("save_snapshot: write to " + tmp + " failed");
+    if (ok) {
+      stage = "rename";
+      errno = 0;
+      if (std::rename(tmp.c_str(), path.c_str()) == 0) {
+        return;
+      }
+      saved_errno = errno;
+    }
+    if (attempt < kAttempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kBackoffMs[attempt - 1]));
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw SimError("save_snapshot: rename " + tmp + " -> " + path + " failed");
-  }
+  throw SimError("save_snapshot: " + path + " failed after " +
+                 std::to_string(kAttempts) + " attempts (stage: " + stage +
+                 ", errno: " + std::to_string(saved_errno) + " — " +
+                 std::strerror(saved_errno) + ")");
 }
 
 /// Loads a snapshot written by `save_snapshot`. Throws `SimError` when the
@@ -250,6 +305,11 @@ inline ExplorerSnapshot load_snapshot(const std::string& path) {
       snap.max_executions = jd::int_field_or_throw(line, "max_executions");
       snap.max_crashes =
           static_cast<int>(jd::int_field_or_throw(line, "max_crashes"));
+      // Absent in pre-recovery snapshots: reads back as 0.
+      if (cd::has_field(line, "max_recoveries")) {
+        snap.max_recoveries =
+            static_cast<int>(jd::int_field_or_throw(line, "max_recoveries"));
+      }
       snap.step_quota = jd::int_field_or_throw(line, "step_quota");
       snap.reduction = jd::string_field(line, "reduction") == "sleep";
       // Absent in pre-stateful snapshots: reads back as false.
@@ -260,6 +320,9 @@ inline ExplorerSnapshot load_snapshot(const std::string& path) {
       snap.pruned = jd::int_field_or_throw(line, "pruned");
       snap.reduced = jd::int_field_or_throw(line, "reduced");
       snap.crashed = jd::int_field_or_throw(line, "crashed");
+      if (cd::has_field(line, "recovered")) {
+        snap.recovered = jd::int_field_or_throw(line, "recovered");
+      }
       snap.stuck = jd::int_field_or_throw(line, "stuck");
       if (cd::has_field(line, "stateful_cuts")) {
         snap.stateful_cuts = jd::int_field_or_throw(line, "stateful_cuts");

@@ -18,6 +18,7 @@
 //   {"ev":"step","pid":1,"step":4,"obj":2,"kind":"write"}
 //   {"ev":"choose","pid":0,"arity":3,"chosen":1}
 //   {"ev":"crash","pid":2,"step":7}
+//   {"ev":"recover","pid":2,"step":11}
 //   {"ev":"invoke","pid":0,"handle":0,"t":3,"op":[0,100]}
 //   {"ev":"respond","pid":0,"handle":0,"t":9,"resp":[102]}
 //   {"ev":"violation","msg":"..."}
@@ -139,6 +140,11 @@ class JsonlTraceWriter final : public TraceObserver {
           ",\"step\":" + std::to_string(step) + "}");
   }
 
+  void on_recover(int pid, std::int64_t step) override {
+    write("{\"ev\":\"recover\",\"pid\":" + std::to_string(pid) +
+          ",\"step\":" + std::to_string(step) + "}");
+  }
+
   void on_invoke(int pid, std::size_t handle, std::int64_t time,
                  std::span<const Value> op) override {
     std::string line = "{\"ev\":\"invoke\",\"pid\":" + std::to_string(pid) +
@@ -195,6 +201,13 @@ struct CrashEvent {
   std::int64_t step = 0;
 };
 
+/// One recovery event recovered from a trace: crashed process `pid`
+/// restarted after `step` scheduler grants had been issued in its run.
+struct RecoverEvent {
+  int pid = -1;
+  std::int64_t step = 0;
+};
+
 /// Everything `parse_trace_jsonl` recovers from an exported trace.
 struct ParsedTrace {
   /// The operation history, rebuilt with original pids, arguments,
@@ -206,12 +219,15 @@ struct ParsedTrace {
   /// them to `render_history` via `TraceVizOptions::crashes` so crashed
   /// processes render instead of silently dropping out.
   std::vector<CrashEvent> crash_events;
+  /// Recovery events in emission order, with pid and step preserved.
+  std::vector<RecoverEvent> recover_events;
   /// Stuck-execution diagnostics (step-quota watchdog) in emission order.
   std::vector<std::string> stuck;
   std::int64_t runs = 0;         ///< run_begin events
   std::int64_t steps = 0;        ///< step events
   std::int64_t chooses = 0;      ///< choose events
   std::int64_t crashes = 0;      ///< crash events
+  std::int64_t recoveries = 0;   ///< recover events
   std::int64_t total_steps = 0;  ///< from the last run_end
   bool quiescent = false;        ///< from the last run_end
 };
@@ -347,6 +363,11 @@ inline ParsedTrace parse_trace_jsonl(const std::string& text) {
       out.crash_events.push_back(
           CrashEvent{static_cast<int>(jd::int_field_or_throw(line, "pid")),
                      jd::int_field_or_throw(line, "step")});
+    } else if (ev == "recover") {
+      ++out.recoveries;
+      out.recover_events.push_back(
+          RecoverEvent{static_cast<int>(jd::int_field_or_throw(line, "pid")),
+                       jd::int_field_or_throw(line, "step")});
     } else if (ev == "invoke") {
       HistoryEntry e;
       e.pid = static_cast<int>(jd::int_field_or_throw(line, "pid"));

@@ -45,7 +45,11 @@ void register_write(Ctx& ctx, const ObjectId& id, RegisterState<T>* st, T v) {
 template <class T = Value>
 class Register {
  public:
-  explicit Register(T initial = T{}) : state_{std::move(initial)} {}
+  explicit Register(T initial = T{},
+                    Durability durability = Durability::kDurable)
+      : state_{initial},
+        initial_(std::move(initial)),
+        durability_(durability) {}
 
   /// Atomic read.
   T read(Context& ctx) {
@@ -55,6 +59,7 @@ class Register {
 
   /// Atomic write.
   void write(Context& ctx, T v) {
+    arm_volatile(ctx);
     ctx.sched_point(id_, AccessKind::kWrite);
     step_write(ctx, std::move(v));
   }
@@ -81,20 +86,44 @@ class Register {
 
   template <class Ctx>
   void step_write(Ctx& ctx, T v) {
+    arm_volatile(ctx);
     register_write(ctx, id_, &state_, std::move(v));
   }
 
  private:
+  /// Volatile variant (crash-recovery exploration, `Durability`): register
+  /// the crash-event reset hook on the first mutation — the object meets
+  /// its runtime no earlier. The hook captures `this`, so a volatile
+  /// register must not relocate after its first write.
+  template <class Ctx>
+  void arm_volatile(Ctx& ctx) {
+    if (durability_ == Durability::kDurable || armed_) {
+      return;
+    }
+    armed_ = true;
+    ctx.runtime().add_volatile_reset([this](Runtime& rt) {
+      state_ = RegisterState<T>{initial_};
+      if constexpr (requires { detail::fp_of(state_.value); }) {
+        rt.refresh_commit_fp(id_, detail::fp_of(state_.value));
+      }
+    });
+  }
+
   ObjectId id_;
   RegisterState<T> state_;
+  T initial_{};
+  Durability durability_ = Durability::kDurable;
+  bool armed_ = false;
 };
 
 /// A fixed-size array of independent atomic registers.
 template <class T = Value>
 class RegisterArray {
  public:
-  RegisterArray(int size, T initial)
-      : regs_(static_cast<std::size_t>(size), Register<T>(initial)) {
+  RegisterArray(int size, T initial,
+                Durability durability = Durability::kDurable)
+      : regs_(static_cast<std::size_t>(size),
+              Register<T>(initial, durability)) {
     if (size <= 0) {
       throw SimError("RegisterArray size must be positive");
     }

@@ -2,6 +2,16 @@
 // writes are ignored; reads return the stuck value or ⊥. Like compare&swap
 // it has infinite consensus number (Plotkin's sticky bit generalized) —
 // another top-of-hierarchy control class for the power map.
+//
+// The sticky register is also the canonical *durable* object of the
+// crash-recovery model (docs/adversaries.md): constructed with
+// `Durability::kDurable` (the default) its stuck value survives crash
+// events, and one durable sticky register solves recoverable consensus for
+// any n — a recovered incarnation re-sticks its proposal and is handed the
+// original winner. The `Durability::kVolatile` variant loses the stuck
+// value at every crash event, which the recoverable-consensus machine-check
+// (tests/recovery_exploration_test.cpp, bench_t9) convicts with a concrete
+// disagreement trace.
 #pragma once
 
 #include "subc/runtime/runtime.hpp"
@@ -9,35 +19,105 @@
 
 namespace subc {
 
+/// Detached state of a sticky register: pure data, no world binding.
+struct StickyState {
+  Value value = kBottom;
+};
+
+/// The stick core: first-wins rmw. Observes the stuck value (the caller's
+/// return) and commits the post-state, so fiber and stepped forms fold
+/// identical fingerprint sequences.
+template <class Ctx>
+[[nodiscard]] Value sticky_stick(Ctx& ctx, const ObjectId& id, StickyState* st,
+                                 Value v) {
+  if (v == kBottom) {
+    throw SimError("stick(⊥) is illegal");
+  }
+  if (st->value == kBottom) {
+    st->value = v;
+  }
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(st->value));
+    ctx.commit_fp(id, detail::fp_of(st->value));
+  }
+  return st->value;
+}
+
+/// The read core: observe the stuck value (⊥ while nothing stuck).
+template <class Ctx>
+[[nodiscard]] Value sticky_read(Ctx& ctx, const StickyState* st) {
+  if (ctx.fingerprinting()) {
+    ctx.observe_fp(detail::fp_of(st->value));
+  }
+  return st->value;
+}
+
 /// Write-once register: `stick` returns the value that stuck.
 class StickyRegister {
  public:
-  StickyRegister() = default;
+  explicit StickyRegister(Durability durability = Durability::kDurable)
+      : durability_(durability) {}
 
   /// Atomically writes `v` if nothing stuck yet; returns the stuck value.
   Value stick(Context& ctx, Value v) {
     if (v == kBottom) {
       throw SimError("stick(⊥) is illegal");
     }
+    arm_volatile(ctx);
     ctx.sched_point(id_, AccessKind::kRmw);
-    if (value_ == kBottom) {
-      value_ = v;
-    }
-    return value_;
+    return sticky_stick(ctx, id_, &state_, v);
   }
 
   /// Atomic read (⊥ while nothing stuck).
   Value read(Context& ctx) {
     ctx.sched_point(id_, AccessKind::kRead);
-    return value_;
+    return sticky_read(ctx, &state_);
+  }
+
+  /// Non-step peek for validators/test assertions *after* a run.
+  [[nodiscard]] Value peek() const noexcept { return state_.value; }
+
+  /// Stepped-engine access (runtime/stepper.hpp): announce the footprint
+  /// with `SUBC_STEP_POINT(ctx, sticky.oid(), kRmw)`, then run the
+  /// operation body via `step_*` inside the granted step.
+  [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
+
+  template <class Ctx>
+  [[nodiscard]] Value step_stick(Ctx& ctx, Value v) {
+    arm_volatile(ctx);
+    return sticky_stick(ctx, id_, &state_, v);
+  }
+
+  template <class Ctx>
+  [[nodiscard]] Value step_read(Ctx& ctx) const {
+    return sticky_read(ctx, &state_);
   }
 
  private:
+  /// Volatile variant: register the crash-event reset hook on first
+  /// mutation (the object has no runtime before then). The hook captures
+  /// `this`, so a volatile sticky register must not relocate afterwards.
+  template <class Ctx>
+  void arm_volatile(Ctx& ctx) {
+    if (durability_ == Durability::kDurable || armed_) {
+      return;
+    }
+    armed_ = true;
+    ctx.runtime().add_volatile_reset([this](Runtime& rt) {
+      state_ = StickyState{};
+      rt.refresh_commit_fp(id_, detail::fp_of(state_.value));
+    });
+  }
+
   ObjectId id_;
-  Value value_ = kBottom;
+  StickyState state_;
+  Durability durability_ = Durability::kDurable;
+  bool armed_ = false;
 };
 
-/// n-consensus from one sticky register, for any n.
+/// n-consensus from one sticky register, for any n. With a durable sticky
+/// register this is also a recoverable-consensus protocol: a recovered
+/// incarnation re-sticks and re-decides the same stuck value.
 inline Value consensus_from_sticky(Context& ctx, StickyRegister& sticky,
                                    Value v) {
   return sticky.stick(ctx, v);

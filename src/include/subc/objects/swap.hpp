@@ -45,10 +45,13 @@ template <class Ctx>
 /// Register with an atomic swap (write-and-return-previous) operation.
 class SwapRegister {
  public:
-  explicit SwapRegister(Value initial = kBottom) : state_{initial} {}
+  explicit SwapRegister(Value initial = kBottom,
+                        Durability durability = Durability::kDurable)
+      : state_{initial}, initial_(initial), durability_(durability) {}
 
   /// Atomically writes `v` and returns the previous value.
   Value swap(Context& ctx, Value v) {
+    arm_volatile(ctx);
     ctx.sched_point(id_, AccessKind::kRmw);
     return step_swap(ctx, v);
   }
@@ -65,7 +68,8 @@ class SwapRegister {
   [[nodiscard]] const ObjectId& oid() const noexcept { return id_; }
 
   template <class Ctx>
-  Value step_swap(Ctx& ctx, Value v) noexcept {
+  Value step_swap(Ctx& ctx, Value v) {
+    arm_volatile(ctx);
     return swap_commit(ctx, id_, &state_, v);
   }
 
@@ -75,8 +79,26 @@ class SwapRegister {
   }
 
  private:
+  /// Volatile variant (crash-recovery, `Durability`): arm the crash-event
+  /// reset hook on first mutation. Captures `this` — a volatile swap
+  /// register must not relocate after its first swap.
+  template <class Ctx>
+  void arm_volatile(Ctx& ctx) {
+    if (durability_ == Durability::kDurable || armed_) {
+      return;
+    }
+    armed_ = true;
+    ctx.runtime().add_volatile_reset([this](Runtime& rt) {
+      state_ = SwapState{initial_};
+      rt.refresh_commit_fp(id_, detail::fp_of(state_.value));
+    });
+  }
+
   ObjectId id_;
   SwapState state_;
+  Value initial_ = kBottom;
+  Durability durability_ = Durability::kDurable;
+  bool armed_ = false;
 };
 
 }  // namespace subc

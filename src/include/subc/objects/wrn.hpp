@@ -70,7 +70,7 @@ Value wrn_commit(Ctx& ctx, const ObjectId& id, WrnState* st, int index,
 /// The deterministic WRN_k object (Algorithm 1), bound to one world.
 class WrnObject {
  public:
-  explicit WrnObject(int k);
+  explicit WrnObject(int k, Durability durability = Durability::kDurable);
 
   /// Atomically: slot[i] = v; return slot[(i+1) mod k].
   Value wrn(Context& ctx, int index, Value v);
@@ -88,12 +88,30 @@ class WrnObject {
 
   template <class Ctx>
   Value step_wrn(Ctx& ctx, int index, Value v) {
+    arm_volatile(ctx);
     return wrn_commit(ctx, id_, &state_, index, v);
   }
 
  private:
+  /// Volatile variant (crash-recovery, `Durability`): arm the crash-event
+  /// reset hook on first mutation; `WrnState::reset` is the natural wipe.
+  /// Captures `this` — a volatile WRN must not relocate after first use.
+  template <class Ctx>
+  void arm_volatile(Ctx& ctx) {
+    if (durability_ == Durability::kDurable || armed_) {
+      return;
+    }
+    armed_ = true;
+    ctx.runtime().add_volatile_reset([this](Runtime& rt) {
+      state_.reset(state_.k);
+      rt.refresh_commit_fp(id_, detail::fp_of(state_.slots));
+    });
+  }
+
   ObjectId id_;
   WrnState state_;
+  Durability durability_ = Durability::kDurable;
+  bool armed_ = false;
 };
 
 /// Detached state of a 1sWRN_k object.
@@ -141,7 +159,8 @@ Value one_shot_wrn_commit(Ctx& ctx, const ObjectId& id, OneShotWrnState* st,
 /// The one-shot variant 1sWRN_k: reusing an index hangs undetectably.
 class OneShotWrnObject {
  public:
-  explicit OneShotWrnObject(int k);
+  explicit OneShotWrnObject(int k,
+                            Durability durability = Durability::kDurable);
 
   /// As WrnObject::wrn, but each index is usable at most once.
   Value wrn(Context& ctx, int index, Value v);
@@ -158,12 +177,30 @@ class OneShotWrnObject {
 
   template <class Ctx>
   Value step_wrn(Ctx& ctx, int index, Value v) {
+    arm_volatile(ctx);
     return one_shot_wrn_commit(ctx, id_, &state_, index, v);
   }
 
  private:
+  /// As WrnObject::arm_volatile: crash events wipe slots *and* used bits
+  /// (`OneShotWrnState::reset`) for the volatile variant — a recovered
+  /// incarnation may legally reuse its index against a wiped object.
+  template <class Ctx>
+  void arm_volatile(Ctx& ctx) {
+    if (durability_ == Durability::kDurable || armed_) {
+      return;
+    }
+    armed_ = true;
+    ctx.runtime().add_volatile_reset([this](Runtime& rt) {
+      state_.reset(state_.k);
+      rt.refresh_commit_fp(id_, one_shot_wrn_state_hash(state_));
+    });
+  }
+
   ObjectId id_;
   OneShotWrnState state_;
+  Durability durability_ = Durability::kDurable;
+  bool armed_ = false;
 };
 
 /// Sequential specification of 1sWRN_k for the linearizability checker

@@ -140,6 +140,22 @@ class Explorer {
     /// rejected with `SimError`.
     int max_crashes = 0;
 
+    /// Exhaustive crash-*recovery* branching: at every kernel decision
+    /// point of an execution in which at least one process is crashed and
+    /// fewer than `max_recoveries` recoveries have landed, the tree
+    /// additionally forks on "restart crashed process p" for every crashed
+    /// candidate (in increasing pid order per decision point, mirroring the
+    /// crash canonicalization). A recovered process re-enters its body from
+    /// the top with fresh volatile state; durable object state persists
+    /// (see `Durability`, docs/adversaries.md). Recovery decisions are
+    /// recorded in the replay prefix (marker `r`), compose with sleep-set
+    /// reduction (a recovery behaves as a write on the reborn process
+    /// alone) and with the parallel frontier machinery. 0 (the default)
+    /// disables recovery branching; negative values are rejected with
+    /// `SimError`. Requires `max_crashes > 0` (or a body that injects
+    /// crashes itself) to ever fire.
+    int max_recoveries = 0;
+
     /// Stateful exploration: the kernel maintains an incremental world-state
     /// fingerprint (per-object post-commit state hashes plus per-process
     /// control positions; runtime/hashing.hpp) and the search skips any
@@ -217,6 +233,10 @@ class Explorer {
     /// Executions in which at least one crash landed (0 unless
     /// `Options::max_crashes` > 0 or the body injects crashes itself).
     std::int64_t crashed_executions = 0;
+    /// Executions in which at least one recovery landed (0 unless
+    /// `Options::max_recoveries` > 0 or the body injects recoveries
+    /// itself).
+    std::int64_t recovered_executions = 0;
     /// Executions cut by the step-quota watchdog (each also counted in
     /// `executions`). Like every other tally, bit-identical across thread
     /// counts.
@@ -239,9 +259,9 @@ class Explorer {
   /// Continues an interrupted campaign from a snapshot previously written
   /// under `opts.checkpoint_path` (checking/checkpoint.hpp). The snapshot's
   /// option echo must match `opts` (`max_executions`, `max_crashes`,
-  /// `step_quota`, `reduction`, `stateful` — thread count and frontier
-  /// depth may differ, results are independent of both); mismatches throw
-  /// `SimError`. The final `Result` is bit-identical to the uninterrupted
+  /// `max_recoveries`, `step_quota`, `reduction`, `stateful` — thread count
+  /// and frontier depth may differ, results are independent of both);
+  /// mismatches throw `SimError`. The final `Result` is bit-identical to the uninterrupted
   /// run's: the saved watermark tallies are merged with a fresh search over
   /// the remaining subtrees. Exception: under `Options::stateful` the
   /// visited set is not serialized, so a resumed search restarts it cold —

@@ -47,6 +47,11 @@ inline constexpr std::uint64_t kFpDecideSalt = 0x9e3779b185ebca87ULL;
 inline constexpr std::uint64_t kFpDoneSalt = 0xc2b2ae3d27d4eb4fULL;
 inline constexpr std::uint64_t kFpHungSalt = 0xd6e8feb86659fd93ULL;
 inline constexpr std::uint64_t kFpCrashSalt = 0xa0761d6478bd642fULL;
+/// Recovery fold (crash-and-restart exploration): a recovered process folds
+/// `mix64(kFpRecoverSalt ^ incarnation)` so that worlds differing only in
+/// how many times a process has restarted can never alias — each restart is
+/// a distinct term, keeping stateful cuts sound across the recovery axis.
+inline constexpr std::uint64_t kFpRecoverSalt = 0x2545f4914f6cdd1dULL;
 inline constexpr std::uint64_t kFpSleepSalt = 0xe7037ed1a0b428dbULL;
 inline constexpr std::uint64_t kFpRunSalt = 0x589965cc75374cc3ULL;
 /// Instance-domain salt (multi-instance runtime, runtime/instance.hpp):

@@ -65,6 +65,10 @@ class TraceObserver {
   /// Process `pid` crashed after `step` scheduler grants had been issued.
   virtual void on_crash(int /*pid*/, std::int64_t /*step*/) {}
 
+  /// Process `pid` restarted (crash-recovery) after `step` scheduler grants
+  /// had been issued: a fresh incarnation re-enters the body from the top.
+  virtual void on_recover(int /*pid*/, std::int64_t /*step*/) {}
+
   /// A high-level operation opened in a History wired to this observer.
   /// `handle` is the History handle; `time` its logical invocation time.
   virtual void on_invoke(int /*pid*/, std::size_t /*handle*/,
@@ -115,6 +119,7 @@ class ObserverChain final : public TraceObserver {
   void on_step(const StepEvent& event) override;
   void on_choose(int pid, std::uint32_t arity, std::uint32_t chosen) override;
   void on_crash(int pid, std::int64_t step) override;
+  void on_recover(int pid, std::int64_t step) override;
   void on_invoke(int pid, std::size_t handle, std::int64_t time,
                  std::span<const Value> op) override;
   void on_respond(int pid, std::size_t handle, std::int64_t time,
@@ -140,6 +145,7 @@ class AccessCounters final : public TraceObserver {
   void on_step(const StepEvent& event) override;
   void on_choose(int pid, std::uint32_t arity, std::uint32_t chosen) override;
   void on_crash(int pid, std::int64_t step) override;
+  void on_recover(int pid, std::int64_t step) override;
   void on_invoke(int pid, std::size_t handle, std::int64_t time,
                  std::span<const Value> op) override;
   void on_respond(int pid, std::size_t handle, std::int64_t time,
@@ -153,6 +159,7 @@ class AccessCounters final : public TraceObserver {
   [[nodiscard]] std::int64_t steps_of_kind(AccessKind kind) const;
   [[nodiscard]] std::int64_t chooses() const;
   [[nodiscard]] std::int64_t crashes() const;
+  [[nodiscard]] std::int64_t recoveries() const;
   [[nodiscard]] std::int64_t invocations() const;
   [[nodiscard]] std::int64_t responses() const;
   [[nodiscard]] std::int64_t violations() const;
@@ -170,6 +177,7 @@ class AccessCounters final : public TraceObserver {
   std::int64_t by_kind_[5] = {0, 0, 0, 0, 0};
   std::int64_t chooses_ = 0;
   std::int64_t crashes_ = 0;
+  std::int64_t recoveries_ = 0;
   std::int64_t invocations_ = 0;
   std::int64_t responses_ = 0;
   std::int64_t violations_ = 0;

@@ -115,7 +115,9 @@ class DelayBoundedPolicy final : public SchedulePolicy {
 
 /// Crash-failure adversary over an arbitrary inner policy. Scheduling and
 /// object choices are delegated; the decorator only answers
-/// `crash_requests`, injecting at most `f` crashes per run.
+/// `crash_requests` (injecting at most `f` crashes per run) and, when a
+/// restart model is attached, `recovery_requests` (restarting crashed
+/// processes at adversary-chosen later points).
 ///
 /// Two fault models:
 ///  * a targeted plan — `CrashPoint{victim, after_steps}` kills `victim`
@@ -125,11 +127,29 @@ class DelayBoundedPolicy final : public SchedulePolicy {
 ///    killed with probability `crash_prob`, until `f` crashes have landed.
 /// The two compose: plan entries fire first, random crashes use whatever
 /// budget remains.
+///
+/// The restart model mirrors the crash model:
+///  * a targeted restart plan — `RecoveryPoint{victim, after_steps}`
+///    restarts `victim` once the *global* grant count has reached
+///    `after_steps` (the victim itself takes no steps while crashed, so the
+///    trigger counts everybody's grants) and the victim is actually
+///    crashed;
+///  * seeded random — each crashed process restarts with probability
+///    `recover_prob` at each decision point, until `max_recoveries` have
+///    landed (set via `set_random_recovery`).
 class CrashAdversary final : public SchedulePolicy {
  public:
   struct CrashPoint {
     int victim = -1;
     std::int64_t after_steps = 0;  ///< crash once victim has taken this many
+  };
+
+  /// A planned restart: once the global grant count reaches `after_steps`
+  /// and `victim` is crashed, request its recovery. An entry whose victim
+  /// never crashes simply stays armed and never fires.
+  struct RecoveryPoint {
+    int victim = -1;
+    std::int64_t after_steps = 0;  ///< fire once this many total grants
   };
 
   /// Plan-only adversary: crashes exactly the planned points (bounded by f =
@@ -153,22 +173,51 @@ class CrashAdversary final : public SchedulePolicy {
                    std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
   std::uint64_t crash_requests(std::span<const int> enabled) override;
+  std::uint64_t recovery_requests(std::span<const int> crashed) override;
+  [[nodiscard]] bool wants_recovery() const override;
   void begin_run() override;
+
+  /// Attaches a targeted restart plan. Validated with the same rigor as the
+  /// crash plan: a victim outside [0, 64), a negative `after_steps`, or a
+  /// duplicate victim raises `SimError` naming the offending entry.
+  void set_recovery_plan(std::vector<RecoveryPoint> plan);
+
+  /// Attaches the seeded-random restart model: each crashed process
+  /// restarts with probability `recover_prob` at each decision point, until
+  /// `max_recoveries` restarts have landed. `max_recoveries >= 0`;
+  /// `recover_prob` in [0, 1]. Draws from the adversary's own PRNG stream
+  /// (seeded by `seed`), independent of the crash stream.
+  void set_random_recovery(std::uint64_t seed, int max_recoveries,
+                           double recover_prob);
 
   /// Crashes injected in the current (or last) run.
   [[nodiscard]] int crashes_injected() const noexcept { return injected_; }
+
+  /// Recoveries injected in the current (or last) run.
+  [[nodiscard]] int recoveries_injected() const noexcept {
+    return recoveries_injected_;
+  }
 
  private:
   SchedulePolicy* inner_;
   std::vector<CrashPoint> plan_;
   std::vector<bool> fired_;      ///< per plan entry
   std::vector<std::int64_t> grants_;  ///< pid -> steps granted so far
+  std::int64_t total_grants_ = 0;     ///< all grants (recovery plan clock)
   std::uint64_t seed_ = 0;
   std::mt19937_64 rng_;
   int budget_ = 0;  ///< f
   double crash_prob_ = 0.0;
   bool random_mode_ = false;
   int injected_ = 0;
+  std::vector<RecoveryPoint> recovery_plan_;
+  std::vector<bool> recovery_fired_;  ///< per recovery plan entry
+  std::uint64_t recovery_seed_ = 0;
+  std::mt19937_64 recovery_rng_;
+  int recovery_budget_ = 0;  ///< max restarts per run (random mode)
+  double recover_prob_ = 0.0;
+  bool random_recovery_ = false;
+  int recoveries_injected_ = 0;
 };
 
 /// Transparent decorator journaling every decision the inner policy makes.
@@ -177,12 +226,13 @@ class CrashAdversary final : public SchedulePolicy {
 class RecordingPolicy final : public SchedulePolicy {
  public:
   struct Event {
-    enum class Kind : std::uint8_t { kGrant, kChoose, kCrash };
+    enum class Kind : std::uint8_t { kGrant, kChoose, kCrash, kRecover };
     Kind kind = Kind::kGrant;
     /// kGrant: the granted pid. kChoose: the chosen option. kCrash: the
-    /// crashed pid.
+    /// crashed pid. kRecover: the recovered pid.
     std::int64_t a = 0;
-    /// kGrant: number of enabled pids. kChoose: the arity. kCrash: 0.
+    /// kGrant: number of enabled pids. kChoose: the arity. kCrash/kRecover:
+    /// 0.
     std::int64_t b = 0;
 
     friend bool operator==(const Event&, const Event&) = default;
@@ -194,6 +244,10 @@ class RecordingPolicy final : public SchedulePolicy {
                    std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
   std::uint64_t crash_requests(std::span<const int> enabled) override;
+  std::uint64_t recovery_requests(std::span<const int> crashed) override;
+  [[nodiscard]] bool wants_recovery() const override {
+    return inner_->wants_recovery();
+  }
   void begin_run() override;
 
   [[nodiscard]] const std::vector<Event>& journal() const noexcept {
@@ -203,8 +257,8 @@ class RecordingPolicy final : public SchedulePolicy {
   /// Deliberately not done by `begin_run`: one execution body may drive
   /// several consecutive runtimes, and the journal must span them all.
   void reset() { journal_.clear(); }
-  /// Renders the journal as one line ("g0/3 c1/2 x2 ...") for diagnostics
-  /// and golden comparisons.
+  /// Renders the journal as one line ("g0/3 c1/2 x2 r2 ...") for
+  /// diagnostics and golden comparisons.
   [[nodiscard]] std::string format_journal() const;
 
  private:

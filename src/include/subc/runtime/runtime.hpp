@@ -82,8 +82,20 @@ class ObjectId {
  private:
   friend class Context;
   friend class StepContext;
+  friend class Runtime;
   mutable std::uint32_t id_ = 0;  // 0 = not yet assigned
 };
+
+/// Whether a shared object's state survives a crash event (crash-recovery
+/// exploration, docs/adversaries.md). `kDurable` (the default everywhere)
+/// models persistent memory: state is untouched by crashes, which is also
+/// exactly the crash-*stop* behavior every pre-recovery world had.
+/// `kVolatile` models state lost in the crash: the object registers a reset
+/// hook with the runtime on first use, and every crash event reverts it to
+/// its initial value (re-publishing the reset state hash into the world
+/// fingerprint so stateful cuts stay sound). A volatile object must not be
+/// relocated after its first operation — the hook captures its address.
+enum class Durability : std::uint8_t { kDurable, kVolatile };
 
 /// Per-process handle passed to process functions; the only way process code
 /// interacts with the kernel.
@@ -243,9 +255,18 @@ class Runtime {
   T& add_stepped(T state) {
     T* block = static_cast<T*>(carve_stepped_block(sizeof(T), alignof(T)));
     ::new (block) T(std::move(state));
-    add_stepped_raw(&step_invoke<T>, block,
-                    std::is_trivially_destructible_v<T> ? nullptr
-                                                        : &step_destroy<T>);
+    const int pid =
+        add_stepped_raw(&step_invoke<T>, block,
+                        std::is_trivially_destructible_v<T> ? nullptr
+                                                            : &step_destroy<T>);
+    // Restartability (crash-recovery exploration): a copyable state block
+    // can be snapshotted pristine at run() start and copy-restored on
+    // recovery, so stepped bodies re-enter from the top like a fresh fiber.
+    // Non-copyable blocks simply cannot be recovered (recover() diagnoses).
+    if constexpr (std::is_copy_constructible_v<T> &&
+                  std::is_copy_assignable_v<T>) {
+      set_stepped_recovery(pid, &step_clone<T>, &step_restore<T>);
+    }
     return *block;
   }
 
@@ -278,9 +299,38 @@ class Runtime {
   /// bug (or a genuinely blocking construction).
   RunResult run(ScheduleDriver& driver, std::int64_t max_steps = 1'000'000);
 
-  /// Crashes a process: it is never scheduled again. May be called before or
-  /// during `run` (e.g. from a validator probing fault tolerance).
+  /// Crashes a process: it is never scheduled again (unless recovered). May
+  /// be called before or during `run` (e.g. from a validator probing fault
+  /// tolerance). Every crash event additionally reverts volatile objects
+  /// (`Durability::kVolatile`) to their initial state.
   void crash(int pid);
+
+  /// Restarts a crashed process: it re-enters its body from the top as a
+  /// fresh incarnation with fresh volatile process state (new fiber stack /
+  /// pristine stepped state block), while shared-object state persists per
+  /// its durability. Throws `SimError` unless `pid` is crashed, or when a
+  /// stepped process's state block is not copyable (no pristine snapshot
+  /// exists to restore). Driven by the scheduler's `recovery_requests`
+  /// branch point during `run`; callable directly outside it too.
+  void recover(int pid);
+
+  /// Crashed (and not yet recovered) processes right now.
+  [[nodiscard]] int num_crashed() const noexcept { return num_crashed_; }
+
+  /// Incarnation of `pid`: 0 until its first recovery, then the number of
+  /// restarts it has undergone.
+  [[nodiscard]] std::uint32_t incarnation_of(int pid) const;
+
+  /// Registers a crash-event hook (volatile objects, `Durability`): every
+  /// `crash()` invokes all hooks after retiring the victim, so volatile
+  /// state reverts to initial values. Objects register lazily on first use.
+  void add_volatile_reset(std::function<void(Runtime&)> hook);
+
+  /// Re-publishes `obj`'s state hash into the world fingerprint outside a
+  /// granted step (no-op unless fingerprinting, or before the object's
+  /// first footprint announcement). Volatile-reset hooks call this so the
+  /// wiped state is what stateful cuts key on.
+  void refresh_commit_fp(const ObjectId& obj, std::uint64_t state_hash);
 
   /// Steps taken so far by `pid` (scheduler grants).
   [[nodiscard]] std::int64_t steps_of(int pid) const;
@@ -318,6 +368,20 @@ class Runtime {
   static void step_destroy(void* state) {
     static_cast<T*>(state)->~T();
   }
+  template <class T>
+  static void* step_clone(const void* src, Runtime& rt) {
+    void* block = rt.carve_stepped_block(sizeof(T), alignof(T));
+    ::new (block) T(*static_cast<const T*>(src));
+    return block;
+  }
+  template <class T>
+  static void step_restore(void* dst, const void* src) {
+    *static_cast<T*>(dst) = *static_cast<const T*>(src);
+  }
+
+  /// Arms restartability for stepped pid (see add_stepped).
+  void set_stepped_recovery(int pid, void* (*clone)(const void*, Runtime&),
+                            void (*restore)(void*, const void*));
 
   /// Arena storage for a stepped state block, with the carve counted in the
   /// process-wide stepped-block telemetry (arena.hpp).
@@ -357,6 +421,10 @@ class Runtime {
   std::int64_t total_steps_ = 0;
   std::uint32_t next_object_id_ = 1;
   bool started_ = false;
+  int num_crashed_ = 0;
+  /// Crash-event hooks (volatile objects). Empty in every crash-stop world,
+  /// so pre-recovery crashes pay one empty-vector check.
+  std::vector<std::function<void(Runtime&)>> volatile_resets_;
 
   bool fp_on_ = false;          ///< driver wants fingerprints (set in run())
   bool fp_valid_ = true;        ///< poisoned by a silent granted step

@@ -93,6 +93,24 @@ class SchedulePolicy {
     return 0;
   }
 
+  /// Crash-recovery: consulted by the kernel once per decision point,
+  /// before `crash_requests`, with the currently *crashed* pids (increasing
+  /// pid order) — but only when the policy declared the capability via
+  /// `wants_recovery()` and at least one process is crashed. Returns a
+  /// bitmask of pids to restart at this point (bit p = pid p; pids >= 64
+  /// cannot be targeted). A restarted process re-enters its body from the
+  /// top with fresh volatile state; durable object state persists
+  /// (runtime.hpp `Durability`). The default injects nothing.
+  [[nodiscard]] virtual std::uint64_t recovery_requests(
+      std::span<const int> /*crashed*/) {
+    return 0;
+  }
+
+  /// Recovery capability: when false (the default) the kernel never tracks
+  /// crashed-pid sets or consults `recovery_requests`, so crash-stop worlds
+  /// pay nothing and explore bit-identically to the pre-recovery kernel.
+  [[nodiscard]] virtual bool wants_recovery() const { return false; }
+
   /// Called by `Runtime::run` before the first step of a world. Policies
   /// that keep per-world state (e.g. the replay policy's sleep sets) reset
   /// it here so one policy can soundly span several runtimes in one
@@ -235,6 +253,12 @@ class ReplayDriver final : public SchedulePolicy {
     /// flag travels with the trace so replay re-derives the fault without
     /// knowing the recording run's crash budget.
     bool crash = false;
+    /// True for recovery decisions (`recovery_requests` branch points):
+    /// option 0 is "no restart", option i >= 1 restarts the i-th candidate
+    /// (crashed pids in increasing order). Travels with the trace exactly
+    /// like `crash`, so replay re-derives the restart without knowing the
+    /// recording run's recovery budget.
+    bool recover = false;
   };
 
   /// Prune hook: given the partial decision string ending at a candidate
@@ -251,13 +275,31 @@ class ReplayDriver final : public SchedulePolicy {
                    std::span<const Access> footprints = {}) override;
   std::uint32_t choose(std::uint32_t arity) override;
   std::uint64_t crash_requests(std::span<const int> enabled) override;
+  std::uint64_t recovery_requests(std::span<const int> crashed) override;
   void begin_run() override {
     sleep_ = 0;
     crashes_run_ = 0;
     crash_floor_ = 0;
+    recoveries_run_ = 0;
+    recovery_floor_ = 0;
   }
   [[nodiscard]] bool wants_state_fp() const override {
     return visited_ != nullptr;
+  }
+  /// Recovery is live when fresh restarts may be injected (budget set) *or*
+  /// the replayed prefix contains a recorded restart — a trace with
+  /// recoveries must replay bit-identically even under a zero budget (the
+  /// shrinker's probes rely on this).
+  [[nodiscard]] bool wants_recovery() const override {
+    if (max_recoveries_ > 0) {
+      return true;
+    }
+    for (const Decision& d : trace_) {
+      if (d.recover) {
+        return true;
+      }
+    }
+    return false;
   }
   void on_state_fp(std::uint64_t fp, bool valid) override;
   void on_run_fp(std::uint64_t fp, bool valid) override;
@@ -295,6 +337,14 @@ class ReplayDriver final : public SchedulePolicy {
   /// crash decisions in a replayed prefix are honored either way.
   void set_max_crashes(int f) noexcept { max_crashes_ = f; }
 
+  /// Makes crash-recovery a branch point: at every kernel decision point
+  /// where at least one process is crashed and fewer than `r` restarts have
+  /// landed in the current run, the tree forks on "no restart" versus
+  /// "restart crashed pid p" for every crashed pid < 64. 0 (the default)
+  /// disables fresh recovery decisions; recorded recovery decisions in a
+  /// replayed prefix are honored either way.
+  void set_max_recoveries(int r) noexcept { max_recoveries_ = r; }
+
   /// Per-execution watchdog: after `quota` scheduling decisions (`pick`
   /// calls, replayed prefix included) the driver throws `StuckCut` — a
   /// livelocked or runaway schedule becomes a bounded, diagnosable event
@@ -317,6 +367,11 @@ class ReplayDriver final : public SchedulePolicy {
   /// Crashes landed over the driver's lifetime (all runs of the execution).
   [[nodiscard]] std::int64_t crashes() const noexcept { return crashes_total_; }
 
+  /// Restarts landed over the driver's lifetime (all runs of the execution).
+  [[nodiscard]] std::int64_t recoveries() const noexcept {
+    return recoveries_total_;
+  }
+
  private:
   std::uint32_t next_choice(std::uint32_t arity);
 
@@ -335,6 +390,12 @@ class ReplayDriver final : public SchedulePolicy {
   /// unordered subsets would be explored twice). The floor is the pid after
   /// the last victim; any granted step resets it.
   int crash_floor_ = 0;
+  int max_recoveries_ = 0;
+  int recoveries_run_ = 0;  ///< restarts landed in the current run
+  std::int64_t recoveries_total_ = 0;
+  /// As crash_floor_, for recovery decisions: restarts at one decision
+  /// point enumerate candidates in increasing pid order.
+  int recovery_floor_ = 0;
   std::int64_t step_quota_ = 0;
   std::int64_t steps_ = 0;
   detail::VisitedSet* visited_ = nullptr;

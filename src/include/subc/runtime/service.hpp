@@ -54,9 +54,13 @@ namespace subc {
 using ServiceId = InstanceId;
 
 /// CPUs this process may run on (the sched_getaffinity mask, in index
-/// order). Empty when the probe is unavailable (non-Linux). Shard worker i
-/// pins to `usable_cpus()[i % size]`.
-[[nodiscard]] std::vector<int> usable_cpus();
+/// order). Shard worker i pins to `usable_cpus()[i % size]`. Degrades
+/// gracefully: when `sched_getaffinity` itself fails (or yields an empty
+/// mask), falls back to all hardware threads `0..N-1` instead of disabling
+/// pinning outright, and reports the degradation through `probe_ok` (set
+/// false; true on a clean probe). Empty result only on non-Linux builds
+/// (where `probe_ok` is also false — there is no probe).
+[[nodiscard]] std::vector<int> usable_cpus(bool* probe_ok = nullptr);
 
 /// Fixed-capacity lock-free memo of decided requests: 64-bit request-domain
 /// key → recorded decision. Modeled on the explorer's `VisitedSet` (CAS-
@@ -157,6 +161,10 @@ struct ShardStats {
   int shard = 0;
   bool pinned = false;
   int cpu = -1;  ///< core the worker pinned to (-1 when unpinned)
+  /// False when the startup topology probe (`usable_cpus`) degraded to the
+  /// all-cpus fallback — pinning then targets cores the process may not be
+  /// allowed on (failures still degrade per shard via `pinned`).
+  bool affinity_probe_ok = false;
   std::int64_t ticks = 0;
   std::int64_t msgs_open = 0;  ///< open messages drained
   std::int64_t msgs_op = 0;    ///< op messages drained
@@ -265,7 +273,8 @@ class ShardedService {
   DecidedCallback on_decided_;
   DecisionMemo memo_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<int> cpus_;  ///< topology probe result at startup
+  std::vector<int> cpus_;     ///< topology probe result at startup
+  bool cpu_probe_ok_ = false;  ///< sched_getaffinity probe outcome
   std::atomic<ServiceId> next_id_{1};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};

@@ -27,7 +27,7 @@ std::uint64_t one_shot_wrn_state_hash(const OneShotWrnState& st) {
   return h;
 }
 
-WrnObject::WrnObject(int k) {
+WrnObject::WrnObject(int k, Durability durability) : durability_(durability) {
   if (k < 2) {
     throw SimError("WRN_k requires k >= 2");
   }
@@ -47,7 +47,8 @@ Value WrnObject::peek(int index) const {
   return state_.slots[static_cast<std::size_t>(index)];
 }
 
-OneShotWrnObject::OneShotWrnObject(int k) {
+OneShotWrnObject::OneShotWrnObject(int k, Durability durability)
+    : durability_(durability) {
   if (k < 2) {
     throw SimError("1sWRN_k requires k >= 2");
   }

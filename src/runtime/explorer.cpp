@@ -151,9 +151,10 @@ struct SubtreeStats {
   std::int64_t executions = 0;
   std::int64_t pruned = 0;
   std::int64_t reduced = 0;
-  std::int64_t crashed = 0;   ///< executions in which >= 1 crash landed
-  std::int64_t stuck = 0;     ///< executions cut by the step-quota watchdog
-  std::int64_t stateful = 0;  ///< subtrees cut by stateful exploration
+  std::int64_t crashed = 0;    ///< executions in which >= 1 crash landed
+  std::int64_t recovered = 0;  ///< executions in which >= 1 recovery landed
+  std::int64_t stuck = 0;      ///< executions cut by the step-quota watchdog
+  std::int64_t stateful = 0;   ///< subtrees cut by stateful exploration
   std::optional<std::string> violation;
   std::vector<Decision> trace;
   /// First (in DFS order, i.e. canonically least within the unit) stuck
@@ -179,6 +180,7 @@ ExplorerSnapshot snapshot_proto(const Explorer::Options& opts,
   ExplorerSnapshot s;
   s.max_executions = opts.max_executions;
   s.max_crashes = opts.max_crashes;
+  s.max_recoveries = opts.max_recoveries;
   s.step_quota = opts.step_quota;
   s.reduction = opts.reduction == Reduction::kSleepSets;
   s.stateful = opts.stateful;
@@ -187,6 +189,7 @@ ExplorerSnapshot snapshot_proto(const Explorer::Options& opts,
     s.pruned = base->pruned;
     s.reduced = base->reduced;
     s.crashed = base->crashed;
+    s.recovered = base->recovered;
     s.stuck = base->stuck;
     s.stateful_cuts = base->stateful_cuts;
     s.stuck_message = base->stuck_message;
@@ -284,6 +287,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
     driver.set_prune(prune ? &prune : nullptr);
     driver.set_reduction(opts.reduction == Reduction::kSleepSets);
     driver.set_max_crashes(opts.max_crashes);
+    driver.set_max_recoveries(opts.max_recoveries);
     driver.set_step_quota(opts.step_quota);
     driver.set_stateful(state.visited.get());
     bool stuck_now = false;
@@ -295,6 +299,9 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
         if (driver.crashes() > 0) {
           ++stats.crashed;
         }
+        if (driver.recoveries() > 0) {
+          ++stats.recovered;
+        }
         stats.violation = std::move(violation);
         stats.reduced += driver.reduced();
         stats.trace = driver.take_trace();
@@ -305,6 +312,9 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       budget.consume();
       if (driver.crashes() > 0) {
         ++stats.crashed;
+      }
+      if (driver.recoveries() > 0) {
+        ++stats.recovered;
       }
     } catch (const PruneCut&) {
       ++stats.pruned;  // cut probes consume no budget
@@ -327,6 +337,9 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       ++stats.stuck;
       if (driver.crashes() > 0) {
         ++stats.crashed;
+      }
+      if (driver.recoveries() > 0) {
+        ++stats.recovered;
       }
       stuck_now = true;
     }
@@ -358,6 +371,7 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
       s.pruned += stats.pruned;
       s.reduced += stats.reduced;
       s.crashed += stats.crashed;
+      s.recovered += stats.recovered;
       s.stuck += stats.stuck;
       s.stateful_cuts += stats.stateful;
       if (!s.stuck_message && stats.stuck_message) {
@@ -365,7 +379,15 @@ SubtreeStats explore_subtree(const ExecutionBody& body,
         s.stuck_trace = stats.stuck_trace;
       }
       s.prefix = prefix;
-      save_snapshot(*cp->path, s);
+      try {
+        save_snapshot(*cp->path, s);
+      } catch (const SimError&) {
+        // A periodic snapshot that still fails after save_snapshot's own
+        // retries must not kill the campaign: the search continues and the
+        // next period (or the final snapshot) tries again. The previous
+        // snapshot stays intact (atomic rename), so resume keeps working —
+        // it just redoes more of the tree.
+      }
     }
   }
 }
@@ -380,8 +402,9 @@ struct EventMeta {
   enum class Kind { kExecution, kPruned, kSkip, kStateful, kUnit };
   Kind kind = Kind::kExecution;
   std::int64_t reduced = 0;
-  bool crashed = false;  ///< kExecution: >= 1 crash landed in the execution
-  bool stuck = false;    ///< kExecution: cut by the step-quota watchdog
+  bool crashed = false;    ///< kExecution: >= 1 crash landed in the execution
+  bool recovered = false;  ///< kExecution: >= 1 recovery landed
+  bool stuck = false;      ///< kExecution: cut by the step-quota watchdog
 };
 
 // One frontier work unit: stats filled by whichever thread explores it, the
@@ -421,6 +444,7 @@ Explorer::Result finish_serial(SubtreeStats stats) {
   result.pruned_subtrees = stats.pruned;
   result.reduced_subtrees = stats.reduced;
   result.crashed_executions = stats.crashed;
+  result.recovered_executions = stats.recovered;
   result.stuck_executions = stats.stuck;
   result.stateful_cuts = stats.stateful;
   if (stats.stuck_message) {
@@ -545,6 +569,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
             s.pruned += rec.stats.pruned;
             s.reduced += rec.stats.reduced;
             s.crashed += rec.stats.crashed;
+            s.recovered += rec.stats.recovered;
             s.stuck += rec.stats.stuck;
             s.stateful_cuts += rec.stats.stateful;
             ++u;
@@ -556,6 +581,9 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
               ++s.executions;
               if (ev.crashed) {
                 ++s.crashed;
+              }
+              if (ev.recovered) {
+                ++s.recovered;
               }
               if (ev.stuck) {
                 ++s.stuck;
@@ -580,7 +608,13 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
           }
         }
         s.prefix = next != nullptr ? *next : producer_next;
-        save_snapshot(opts.checkpoint_path, s);
+        try {
+          save_snapshot(opts.checkpoint_path, s);
+        } catch (const SimError&) {
+          // Periodic snapshot still failing after save_snapshot's retries:
+          // keep exploring (the previous snapshot is intact; the next
+          // period or the final snapshot tries again).
+        }
       };
 
   // Producer: serial-DFS frontier enumeration, streaming units out.
@@ -603,6 +637,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
       driver.set_prune(prune ? &prune : nullptr);
       driver.set_reduction(opts.reduction == Reduction::kSleepSets);
       driver.set_max_crashes(opts.max_crashes);
+      driver.set_max_recoveries(opts.max_recoveries);
       driver.set_step_quota(opts.step_quota);
       driver.set_stateful(state.visited.get());
       EventMeta ev;
@@ -616,6 +651,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
           budget.consume();
           ev.reduced = driver.reduced();
           ev.crashed = driver.crashes() > 0;
+          ev.recovered = driver.recoveries() > 0;
           events.push_back(ev);
           state.log.report(events.size() - 1, *violation,
                            driver.take_trace());
@@ -623,6 +659,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         }
         budget.consume();
         ev.crashed = driver.crashes() > 0;
+        ev.recovered = driver.recoveries() > 0;
       } catch (const FrontierCut&) {
         is_unit = true;  // the unit's worker re-runs this subtree and pays
         ev.kind = EventMeta::Kind::kUnit;
@@ -642,6 +679,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         // depth's worth of picks); same accounting as in explore_subtree.
         budget.consume();
         ev.crashed = driver.crashes() > 0;
+        ev.recovered = driver.recoveries() > 0;
         ev.stuck = true;
         stuck_now = true;
       }
@@ -777,6 +815,9 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         if (events[i].crashed) {
           ++result.crashed_executions;
         }
+        if (events[i].recovered) {
+          ++result.recovered_executions;
+        }
         if (events[i].stuck) {
           ++result.stuck_executions;
         }
@@ -794,6 +835,7 @@ Explorer::Result explore_parallel(const ExecutionBody& body,
         result.pruned_subtrees += unit_records[u].stats.pruned;
         result.reduced_subtrees += unit_records[u].stats.reduced;
         result.crashed_executions += unit_records[u].stats.crashed;
+        result.recovered_executions += unit_records[u].stats.recovered;
         result.stuck_executions += unit_records[u].stats.stuck;
         result.stateful_cuts += unit_records[u].stats.stateful;
         all_finished = all_finished && unit_records[u].stats.finished;
@@ -831,6 +873,7 @@ Explorer::Result result_from_snapshot(const ExplorerSnapshot& s) {
   r.pruned_subtrees = s.pruned;
   r.reduced_subtrees = s.reduced;
   r.crashed_executions = s.crashed;
+  r.recovered_executions = s.recovered;
   r.stuck_executions = s.stuck;
   r.stateful_cuts = s.stateful_cuts;
   r.complete = s.complete;
@@ -851,6 +894,7 @@ ExplorerSnapshot snapshot_of_result(const Explorer::Options& opts,
   s.pruned = r.pruned_subtrees;
   s.reduced = r.reduced_subtrees;
   s.crashed = r.crashed_executions;
+  s.recovered = r.recovered_executions;
   s.stuck = r.stuck_executions;
   s.stateful_cuts = r.stateful_cuts;
   s.done = true;
@@ -880,6 +924,11 @@ void validate_options(const Explorer::Options& opts) {
     throw SimError(
         "Explorer::Options::max_crashes must be non-negative, got " +
         std::to_string(opts.max_crashes));
+  }
+  if (opts.max_recoveries < 0) {
+    throw SimError(
+        "Explorer::Options::max_recoveries must be non-negative, got " +
+        std::to_string(opts.max_recoveries));
   }
   if (opts.step_quota < 0) {
     throw SimError("Explorer::Options::step_quota must be non-negative, got " +
@@ -948,6 +997,7 @@ Explorer::Result explore_impl(const ExecutionBody& body,
   result.pruned_subtrees += proto.pruned;
   result.reduced_subtrees += proto.reduced;
   result.crashed_executions += proto.crashed;
+  result.recovered_executions += proto.recovered;
   result.stuck_executions += proto.stuck;
   result.stateful_cuts += proto.stateful_cuts;
   if (proto.stuck_message) {
@@ -979,10 +1029,10 @@ bool lex_less(const std::vector<Decision>& a, const std::vector<Decision>& b) {
 // One shrink probe: replays `prefix` (reduction off, so recorded sleep-set
 // metadata is ignored and every skip the original search made is re-opened)
 // and lets the ReplayDriver zero-extend it to a complete execution. Returns
-// the violation, if any, plus the canonical full decision string. Crash
-// flags are preserved: recorded crash decisions replay their faults, and
-// the zero-extension injects no fresh crashes (a shrunk reproducer's fault
-// pattern is exactly the prefix's).
+// the violation, if any, plus the canonical full decision string. Crash and
+// recovery flags are preserved: recorded crash/recovery decisions replay
+// their faults and restarts, and the zero-extension injects no fresh ones
+// (a shrunk reproducer's fault pattern is exactly the prefix's).
 struct ShrinkProbe {
   std::optional<std::string> violation;
   std::vector<Decision> trace;
@@ -1097,13 +1147,14 @@ Explorer::Result Explorer::resume(const ExecutionBody& body,
   ExplorerSnapshot snap = load_snapshot(snapshot_path);
   if (snap.max_executions != opts.max_executions ||
       snap.max_crashes != opts.max_crashes ||
+      snap.max_recoveries != opts.max_recoveries ||
       snap.step_quota != opts.step_quota ||
       snap.reduction != (opts.reduction == Reduction::kSleepSets) ||
       snap.stateful != opts.stateful) {
     throw SimError("Explorer::resume: snapshot " + snapshot_path +
                    " was taken under different options (max_executions, "
-                   "max_crashes, step_quota, reduction and stateful must "
-                   "match)");
+                   "max_crashes, max_recoveries, step_quota, reduction and "
+                   "stateful must match)");
   }
   if (snap.done || opts.max_executions - snap.executions <= 0) {
     // Finished searches (and watermarks that already spent the whole

@@ -32,6 +32,12 @@ void ObserverChain::on_crash(int pid, std::int64_t step) {
   }
 }
 
+void ObserverChain::on_recover(int pid, std::int64_t step) {
+  for (TraceObserver* s : sinks_) {
+    s->on_recover(pid, step);
+  }
+}
+
 void ObserverChain::on_invoke(int pid, std::size_t handle, std::int64_t time,
                               std::span<const Value> op) {
   for (TraceObserver* s : sinks_) {
@@ -105,6 +111,11 @@ void AccessCounters::on_crash(int /*pid*/, std::int64_t /*step*/) {
   ++crashes_;
 }
 
+void AccessCounters::on_recover(int /*pid*/, std::int64_t /*step*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++recoveries_;
+}
+
 void AccessCounters::on_invoke(int /*pid*/, std::size_t /*handle*/,
                                std::int64_t /*time*/,
                                std::span<const Value> /*op*/) {
@@ -152,6 +163,11 @@ std::int64_t AccessCounters::chooses() const {
 std::int64_t AccessCounters::crashes() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return crashes_;
+}
+
+std::int64_t AccessCounters::recoveries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recoveries_;
 }
 
 std::int64_t AccessCounters::invocations() const {

@@ -186,13 +186,64 @@ CrashAdversary::CrashAdversary(SchedulePolicy& inner, std::uint64_t seed,
   }
 }
 
+void CrashAdversary::set_recovery_plan(std::vector<RecoveryPoint> plan) {
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const RecoveryPoint& rp = plan[i];
+    if (rp.victim < 0 || rp.victim >= 64) {
+      throw SimError("CrashAdversary: recovery plan entry " +
+                     std::to_string(i) + " victim " +
+                     std::to_string(rp.victim) + " out of [0, 64)");
+    }
+    if (rp.after_steps < 0) {
+      throw SimError("CrashAdversary: recovery plan entry " +
+                     std::to_string(i) + " has negative after_steps " +
+                     std::to_string(rp.after_steps));
+    }
+    const std::uint64_t bit = std::uint64_t{1} << rp.victim;
+    if ((seen & bit) != 0) {
+      // A process crashes at most once, so it restarts at most once; a
+      // second entry for the same victim could never fire and would
+      // silently misrepresent the restart model.
+      throw SimError("CrashAdversary: duplicate victim " +
+                     std::to_string(rp.victim) + " in recovery plan entry " +
+                     std::to_string(i));
+    }
+    seen |= bit;
+  }
+  recovery_plan_ = std::move(plan);
+  recovery_fired_.assign(recovery_plan_.size(), false);
+}
+
+void CrashAdversary::set_random_recovery(std::uint64_t seed,
+                                         int max_recoveries,
+                                         double recover_prob) {
+  if (max_recoveries < 0) {
+    throw SimError("CrashAdversary: max_recoveries must be >= 0");
+  }
+  if (recover_prob < 0.0 || recover_prob > 1.0) {
+    throw SimError("CrashAdversary: recover_prob must be in [0, 1]");
+  }
+  recovery_seed_ = seed;
+  recovery_budget_ = max_recoveries;
+  recover_prob_ = recover_prob;
+  random_recovery_ = true;
+  recovery_rng_.seed(seed);
+}
+
 void CrashAdversary::begin_run() {
   inner_->begin_run();
   fired_.assign(plan_.size(), false);
   grants_.clear();
+  total_grants_ = 0;
   injected_ = 0;
   if (random_mode_) {
     rng_.seed(seed_);
+  }
+  recovery_fired_.assign(recovery_plan_.size(), false);
+  recoveries_injected_ = 0;
+  if (random_recovery_) {
+    recovery_rng_.seed(recovery_seed_);
   }
 }
 
@@ -204,6 +255,7 @@ std::size_t CrashAdversary::pick(std::span<const int> enabled,
     grants_.resize(pid + 1, 0);
   }
   ++grants_[pid];
+  ++total_grants_;
   return idx;
 }
 
@@ -250,6 +302,48 @@ std::uint64_t CrashAdversary::crash_requests(std::span<const int> enabled) {
   return mask;
 }
 
+bool CrashAdversary::wants_recovery() const {
+  return !recovery_plan_.empty() || random_recovery_ ||
+         inner_->wants_recovery();
+}
+
+std::uint64_t CrashAdversary::recovery_requests(std::span<const int> crashed) {
+  // Compose with any restart model the inner policy carries.
+  std::uint64_t mask = inner_->recovery_requests(crashed);
+  for (std::size_t i = 0; i < recovery_plan_.size(); ++i) {
+    if (recovery_fired_[i]) {
+      continue;
+    }
+    const RecoveryPoint& rp = recovery_plan_[i];
+    if (total_grants_ < rp.after_steps) {
+      continue;
+    }
+    if (std::find(crashed.begin(), crashed.end(), rp.victim) ==
+        crashed.end()) {
+      continue;  // not crashed (yet); the plan entry stays armed
+    }
+    mask |= std::uint64_t{1} << static_cast<std::size_t>(rp.victim);
+    recovery_fired_[i] = true;
+    ++recoveries_injected_;
+  }
+  if (random_recovery_) {
+    for (const int pid : crashed) {
+      if (pid >= 64 || recoveries_injected_ >= recovery_budget_) {
+        break;
+      }
+      const std::uint64_t bit = std::uint64_t{1} << pid;
+      if ((mask & bit) != 0) {
+        continue;
+      }
+      if (std::bernoulli_distribution(recover_prob_)(recovery_rng_)) {
+        mask |= bit;
+        ++recoveries_injected_;
+      }
+    }
+  }
+  return mask;
+}
+
 std::size_t RecordingPolicy::pick(std::span<const int> enabled,
                                   std::span<const Access> footprints) {
   const std::size_t idx = inner_->pick(enabled, footprints);
@@ -274,6 +368,16 @@ std::uint64_t RecordingPolicy::crash_requests(std::span<const int> enabled) {
   return mask;
 }
 
+std::uint64_t RecordingPolicy::recovery_requests(std::span<const int> crashed) {
+  const std::uint64_t mask = inner_->recovery_requests(crashed);
+  for (int pid = 0; pid < 64; ++pid) {
+    if ((mask >> pid) & 1) {
+      journal_.push_back({Event::Kind::kRecover, pid, 0});
+    }
+  }
+  return mask;
+}
+
 void RecordingPolicy::begin_run() { inner_->begin_run(); }
 
 std::string RecordingPolicy::format_journal() const {
@@ -292,6 +396,9 @@ std::string RecordingPolicy::format_journal() const {
         break;
       case Event::Kind::kCrash:
         os << 'x' << e.a;
+        break;
+      case Event::Kind::kRecover:
+        os << 'r' << e.a;
         break;
     }
   }

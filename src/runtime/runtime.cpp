@@ -34,6 +34,9 @@ struct Runtime::Proc {
   ProcState state = ProcState::kRunning;
   Engine engine;
   std::int64_t steps = 0;
+  /// Crash-recovery: how many times this process has restarted. 0 for the
+  /// original incarnation; bumped by Runtime::recover.
+  std::uint32_t incarnation = 0;
   /// Stateful exploration: this process's running observation-chain hash
   /// (one term of the world fingerprint). 0 until run() seeds it.
   std::uint64_t fp_chain = 0;
@@ -51,6 +54,14 @@ struct Runtime::Proc {
   /// body returning with this false (and the process still running) forgot
   /// its SUBC_STEP_POINT/END and is diagnosed instead of spinning.
   bool step_advanced = false;
+  /// Restartability (crash-recovery): clone snapshots the pristine state
+  /// block, restore copy-assigns it back on recovery. Null for state blocks
+  /// registered without copy support (recover() then diagnoses). The
+  /// pristine snapshot is carved lazily at run() start, and only when the
+  /// driver wants recovery — crash-stop runs never pay for it.
+  void* (*step_clone)(const void*, Runtime&) = nullptr;
+  void (*step_restore)(void*, const void*) = nullptr;
+  void* step_pristine = nullptr;
 
   // Fiber engine (Engine::kFiber): body function + arena-carved fiber.
   ProcessFn fn;
@@ -82,8 +93,12 @@ struct Runtime::Proc {
     }
     if (step_dtor != nullptr) {
       step_dtor(step_state);
+      if (step_pristine != nullptr) {
+        step_dtor(step_pristine);
+      }
       step_dtor = nullptr;
     }
+    step_pristine = nullptr;
   }
 };
 
@@ -135,6 +150,16 @@ int Runtime::add_stepped_raw(SteppedFn fn, void* state,
   }
   const int pid = num_processes();
   return attach_proc(arena_->create<Proc>(this, pid, fn, state, destroy));
+}
+
+void Runtime::set_stepped_recovery(int pid,
+                                   void* (*clone)(const void*, Runtime&),
+                                   void (*restore)(void*, const void*)) {
+  check_pid(pid);
+  Proc& proc = *procs_[static_cast<std::size_t>(pid)];
+  SUBC_ASSERT(proc.engine == Engine::kStepped);
+  proc.step_clone = clone;
+  proc.step_restore = restore;
 }
 
 void* Runtime::carve_stepped_block(std::size_t bytes, std::size_t align) {
@@ -243,6 +268,20 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
       fp_world_ ^= proc->fp_chain;
     }
   }
+  // Crash-recovery: cache the capability once per run (crash-stop drivers
+  // pay one virtual call), and snapshot pristine copies of the copyable
+  // stepped state blocks *before* priming mutates them — recover() restores
+  // from these so a restarted stepped body re-enters from the top.
+  const bool recovery_on = driver.wants_recovery();
+  if (recovery_on) {
+    for (std::size_t i = 0; i < num_procs_; ++i) {
+      Proc* proc = procs_[i];
+      if (proc->engine == Engine::kStepped && proc->step_clone != nullptr &&
+          proc->step_pristine == nullptr) {
+        proc->step_pristine = proc->step_clone(proc->step_state, *this);
+      }
+    }
+  }
   if (observer_ != nullptr) {
     observer_->on_run_begin(num_processes());
   }
@@ -262,12 +301,18 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
   RunResult result;
   int* enabled_buf = arena_->allocate_array<int>(num_procs_);
   Access* footprints_buf = arena_->allocate_array<Access>(num_procs_);
+  int* crashed_buf =
+      recovery_on ? arena_->allocate_array<int>(num_procs_) : nullptr;
   while (true) {
     const std::size_t num_enabled =
         collect_enabled(enabled_buf, footprints_buf);
     const std::span<const int> enabled(enabled_buf, num_enabled);
     const std::span<const Access> footprints(footprints_buf, num_enabled);
-    if (enabled.empty()) {
+    // Under recovery an empty enabled set is not yet the end of the run:
+    // a crashed process may still restart below. Only the combination
+    // "nobody runnable and nobody recoverable" terminates.
+    const bool recovery_live = recovery_on && num_crashed_ > 0;
+    if (enabled.empty() && !recovery_live) {
       break;
     }
     if (total_steps_ >= max_steps) {
@@ -282,6 +327,36 @@ Runtime::RunResult Runtime::run(ScheduleDriver& driver,
     // remaining crash budget. A StatefulCut thrown here unwinds the run.
     if (fp_on_) {
       driver.on_state_fp(fp_world_, fp_valid_);
+    }
+    // Crash-recovery: consult the policy with the crashed pids before fault
+    // injection and the pick. Recovered pids rejoin the enabled set, so
+    // restart the decision point (the policy is re-consulted — multi-restart
+    // sets build up one decision at a time, like multi-crash sets).
+    if (recovery_live) {
+      std::size_t num_crashed = 0;
+      for (int pid = 0; pid < num_processes(); ++pid) {
+        if (procs_[pid]->state == ProcState::kCrashed) {
+          crashed_buf[num_crashed++] = pid;
+        }
+      }
+      if (const std::uint64_t revived = driver.recovery_requests(
+              std::span<const int>(crashed_buf, num_crashed));
+          revived != 0) {
+        bool any = false;
+        for (std::size_t i = 0; i < num_crashed; ++i) {
+          const int pid = crashed_buf[i];
+          if (pid < 64 && ((revived >> pid) & 1) != 0) {
+            recover(pid);
+            any = true;
+          }
+        }
+        if (any) {
+          continue;  // recompute the enabled set with the fresh incarnations
+        }
+      }
+    }
+    if (enabled.empty()) {
+      break;  // recovery declined with nobody runnable: the run ends
     }
     // Fault injection: consult the policy before the pick. Crashed pids are
     // retired here, so the pick below only ever sees survivors. Bits for
@@ -356,16 +431,104 @@ void Runtime::crash(int pid) {
   Proc& proc = *procs_[pid];
   if (proc.state == ProcState::kRunning) {
     proc.state = ProcState::kCrashed;
+    ++num_crashed_;
     // The crash write-footprints the victim in the fingerprint: worlds that
     // differ only in who has crashed must not alias (the crashed set also
     // determines how much of the crash budget remains).
     if (fp_on_ && started_) {
       fp_fold(pid, detail::kFpCrashSalt);
     }
+    // The crash event wipes volatile object state (Durability::kVolatile):
+    // each hook reverts one object to its initial value and re-publishes
+    // its state hash. Idempotent, so multi-crash chains at one decision
+    // point are safe. Empty in every crash-stop world.
+    for (const auto& reset : volatile_resets_) {
+      reset(*this);
+    }
     if (observer_ != nullptr) {
       observer_->on_crash(pid, total_steps_);
     }
   }
+}
+
+void Runtime::recover(int pid) {
+  check_pid(pid);
+  Proc& proc = *procs_[pid];
+  if (proc.state != ProcState::kCrashed) {
+    throw SimError("recover(" + std::to_string(pid) + "): process is " +
+                   to_string(proc.state) + ", not crashed");
+  }
+  if (started_) {
+    // Rebirth of the volatile process state: a fresh fiber stack, or the
+    // pristine pre-run copy of the stepped state block. Shared objects are
+    // untouched here — durable state persists by doing nothing, volatile
+    // state was already wiped by the crash event itself.
+    if (proc.engine == Engine::kFiber) {
+      Fiber* old = proc.fiber;
+      proc.fiber = nullptr;
+      if (old != nullptr) {
+        old->~Fiber();  // kill-unwinds the crashed incarnation's stack
+      }
+      proc.fiber = arena_->create<Fiber>(&Proc::entry, &proc);
+    } else {
+      if (proc.step_restore == nullptr || proc.step_pristine == nullptr) {
+        throw SimError("recover(" + std::to_string(pid) +
+                       "): stepped state block is not copyable, no pristine "
+                       "snapshot to restart from");
+      }
+      proc.step_restore(proc.step_state, proc.step_pristine);
+      proc.step_resume = 0;
+    }
+    proc.next_access = Access{};
+  }
+  proc.state = ProcState::kRunning;
+  ++proc.incarnation;
+  --num_crashed_;
+  // Salt the fingerprint per incarnation: "p restarted once" and "p
+  // restarted twice" are different worlds (different remaining recovery
+  // budget, different re-execution prefixes) and must never alias.
+  if (fp_on_ && started_) {
+    fp_fold(pid, detail::mix64(detail::kFpRecoverSalt ^ proc.incarnation));
+  }
+  if (observer_ != nullptr) {
+    observer_->on_recover(pid, total_steps_);
+  }
+  if (started_) {
+    // Re-prime the fresh incarnation: run its prologue up to its first
+    // sched_point so the next pick sees its footprint, exactly like the
+    // initial priming pass.
+    advance(proc);
+  }
+}
+
+std::uint32_t Runtime::incarnation_of(int pid) const {
+  check_pid(pid);
+  return procs_[pid]->incarnation;
+}
+
+void Runtime::add_volatile_reset(std::function<void(Runtime&)> hook) {
+  if (!hook) {
+    throw SimError("add_volatile_reset requires a non-empty hook");
+  }
+  volatile_resets_.push_back(std::move(hook));
+}
+
+void Runtime::refresh_commit_fp(const ObjectId& obj,
+                                std::uint64_t state_hash) {
+  // Outside-step republish (volatile resets): unlike fp_commit this never
+  // counts as a step report, and an object that has not announced yet
+  // (id 0) has no term to refresh.
+  if (!fp_on_ || obj.id_ == 0) {
+    return;
+  }
+  const std::size_t id = obj.id_;
+  if (fp_objects_.size() <= id) {
+    fp_objects_.resize(id + 1, 0);
+  }
+  fp_world_ ^= fp_objects_[id];
+  fp_objects_[id] =
+      detail::mix64(state_hash ^ detail::mix64(detail::kFpObjectSalt ^ id));
+  fp_world_ ^= fp_objects_[id];
 }
 
 std::int64_t Runtime::steps_of(int pid) const {
@@ -417,6 +580,17 @@ void Context::decide(Value v) {
   }
   Value& slot = runtime_->decisions_[static_cast<std::size_t>(pid_)];
   if (slot != kBottom) {
+    // A recovered incarnation legitimately re-runs its body and re-decides;
+    // recoverable-task correctness demands it re-decide the *same* value
+    // (idempotent, dropped) — a different one is a real disagreement bug.
+    if (runtime_->procs_[static_cast<std::size_t>(pid_)]->incarnation > 0) {
+      if (slot == v) {
+        return;
+      }
+      throw SimError("process " + std::to_string(pid_) +
+                     " re-decided differently after recovery: " +
+                     std::to_string(slot) + " then " + std::to_string(v));
+    }
     throw SimError("process " + std::to_string(pid_) + " decided twice");
   }
   slot = v;
@@ -522,6 +696,16 @@ void StepContext::decide(Value v) {
   }
   Value& slot = runtime_->decisions_[static_cast<std::size_t>(pid_)];
   if (slot != kBottom) {
+    // Mirrors Context::decide: recovered incarnations re-decide
+    // idempotently; disagreement with the pre-crash decision is a bug.
+    if (runtime_->procs_[static_cast<std::size_t>(pid_)]->incarnation > 0) {
+      if (slot == v) {
+        return;
+      }
+      throw SimError("process " + std::to_string(pid_) +
+                     " re-decided differently after recovery: " +
+                     std::to_string(slot) + " then " + std::to_string(v));
+    }
     throw SimError("process " + std::to_string(pid_) + " decided twice");
   }
   slot = v;

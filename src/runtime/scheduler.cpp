@@ -83,9 +83,10 @@ std::size_t ReplayDriver::pick(std::span<const int> enabled,
   if (step_quota_ > 0 && ++steps_ > step_quota_) {
     throw StuckCut{};
   }
-  // A granted step ends the current crash decision point: the next
-  // crash_requests may target any pid again.
+  // A granted step ends the current crash/recovery decision point: the next
+  // crash_requests / recovery_requests may target any pid again.
   crash_floor_ = 0;
+  recovery_floor_ = 0;
   const auto arity = static_cast<std::uint32_t>(enabled.size());
 
   // Reduction is active at this decision point only when footprints are
@@ -110,7 +111,7 @@ std::size_t ReplayDriver::pick(std::span<const int> enabled,
     const Decision& d = trace_[pos_++];
     // The world must be deterministic given the decision string: arity,
     // enabled set and inherited sleep set must match the recording.
-    SUBC_ASSERT(!d.crash);
+    SUBC_ASSERT(!d.crash && !d.recover);
     SUBC_ASSERT(d.arity == arity);
     SUBC_ASSERT(d.chosen < arity);
     SUBC_ASSERT(mask == 0 || d.enabled == 0 || d.enabled == mask);
@@ -231,6 +232,72 @@ std::uint64_t ReplayDriver::crash_requests(std::span<const int> enabled) {
   return std::uint64_t{1} << victim;
 }
 
+std::uint64_t ReplayDriver::recovery_requests(std::span<const int> crashed) {
+  // Recovery branching mirrors crash branching: when the per-run recovery
+  // budget is not exhausted and at least one process is crashed, the kernel
+  // decision point forks on "no restart" (option 0) vs "restart the i-th
+  // candidate" (option i >= 1). The kernel re-consults this hook after each
+  // granted restart, so multi-restart sets build up one decision at a time;
+  // `recovery_floor_` canonicalizes the chain to increasing pid order
+  // (restarts at the same point commute).
+  const bool replaying = pos_ < trace_.size();
+  if (replaying && !trace_[pos_].recover) {
+    return 0;
+  }
+  if (!replaying &&
+      (max_recoveries_ <= 0 || recoveries_run_ >= max_recoveries_)) {
+    return 0;
+  }
+
+  int victims[64];
+  std::uint32_t candidates = 0;
+  for (const int pid : crashed) {
+    if (pid >= recovery_floor_ && pid < 64) {
+      victims[candidates++] = pid;
+    }
+  }
+  if (candidates == 0) {
+    // Forced "no restart": arity-1 decisions are elided, as in pick().
+    return 0;
+  }
+  const auto arity = candidates + 1;
+
+  std::uint32_t chosen = 0;
+  if (replaying) {
+    const Decision& d = trace_[pos_++];
+    SUBC_ASSERT(d.recover);
+    SUBC_ASSERT(d.arity == arity);
+    SUBC_ASSERT(d.chosen < arity);
+    chosen = d.chosen;
+  } else {
+    if (trace_.size() >= limit_) {
+      throw FrontierCut{};
+    }
+    // Fresh branch starts at "no restart"; advance() later bumps through
+    // the candidates. Enabled/sleep masks stay 0: a recovery is a write on
+    // the restarted process (its whole volatile state is reborn), dependent
+    // with everything it will do — sleep-set reduction never skips one.
+    trace_.push_back(
+        Decision{chosen, arity, 0, 0, /*crash=*/false, /*recover=*/true});
+    ++pos_;
+    if (prune_ != nullptr && *prune_ && (*prune_)(trace_)) {
+      throw PruneCut{};
+    }
+  }
+  if (chosen == 0) {
+    return 0;
+  }
+  const int victim = victims[chosen - 1];
+  ++recoveries_run_;
+  ++recoveries_total_;
+  recovery_floor_ = victim + 1;
+  // Wake the restarted pid: its rebirth is a write footprint on itself, so
+  // any sleep bit it held (from its *previous* incarnation's pending step)
+  // no longer proves its new steps redundant.
+  sleep_ &= ~(std::uint64_t{1} << victim);
+  return std::uint64_t{1} << victim;
+}
+
 void ReplayDriver::on_state_fp(std::uint64_t fp, bool valid) {
   // Probe only in fresh territory: while the replayed prefix is being
   // consumed the execution walks states an earlier sibling already inserted
@@ -275,7 +342,7 @@ std::uint32_t ReplayDriver::next_choice(std::uint32_t arity) {
   }
   if (pos_ < trace_.size()) {
     const Decision& d = trace_[pos_++];
-    SUBC_ASSERT(!d.crash);
+    SUBC_ASSERT(!d.crash && !d.recover);
     SUBC_ASSERT(d.arity == arity);
     SUBC_ASSERT(d.chosen < arity);
     return d.chosen;
@@ -299,6 +366,9 @@ std::string format_trace(std::span<const ReplayDriver::Decision> trace) {
     }
     if (trace[i].crash) {
       os << 'x';
+    }
+    if (trace[i].recover) {
+      os << 'r';
     }
     os << trace[i].chosen << '/' << trace[i].arity;
   }

@@ -15,18 +15,35 @@
 
 namespace subc {
 
-std::vector<int> usable_cpus() {
+std::vector<int> usable_cpus(bool* probe_ok) {
+  if (probe_ok != nullptr) {
+    *probe_ok = false;
+  }
 #ifdef __linux__
   cpu_set_t set;
   CPU_ZERO(&set);
-  if (sched_getaffinity(0, sizeof(set), &set) != 0) {
-    return {};
-  }
   std::vector<int> out;
-  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
-    if (CPU_ISSET(cpu, &set)) {
-      out.push_back(cpu);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) {
+        out.push_back(cpu);
+      }
     }
+  }
+  if (!out.empty()) {
+    if (probe_ok != nullptr) {
+      *probe_ok = true;
+    }
+    return out;
+  }
+  // The probe itself failed (or yielded an empty mask — equally unusable):
+  // fall back to every hardware thread rather than disabling pinning. A
+  // fallback core the process may not run on just makes that shard's
+  // pthread_setaffinity_np fail, which already degrades to unpinned per
+  // shard.
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (unsigned cpu = 0; cpu < hw; ++cpu) {
+    out.push_back(static_cast<int>(cpu));
   }
   return out;
 #else
@@ -138,7 +155,7 @@ ShardedService::ShardedService(const ServiceOptions& opts,
     : opts_(opts),
       on_decided_(std::move(on_decided)),
       memo_(opts.dedup_capacity == 0 ? 1 : opts.dedup_capacity),
-      cpus_(usable_cpus()) {
+      cpus_(usable_cpus(&cpu_probe_ok_)) {
   if (opts_.shards < 1) {
     throw SimError("ServiceOptions::shards must be >= 1");
   }
@@ -279,6 +296,7 @@ struct PendingOp {
 void ShardedService::worker_main(int shard) {
   ShardStats st;
   st.shard = shard;
+  st.affinity_probe_ok = cpu_probe_ok_;
 #ifdef __linux__
   if (opts_.pin_workers && !cpus_.empty()) {
     const int cpu =

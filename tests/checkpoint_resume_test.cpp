@@ -81,6 +81,7 @@ void expect_same_result(const Explorer::Result& a, const Explorer::Result& b,
   EXPECT_EQ(a.pruned_subtrees, b.pruned_subtrees) << what;
   EXPECT_EQ(a.reduced_subtrees, b.reduced_subtrees) << what;
   EXPECT_EQ(a.crashed_executions, b.crashed_executions) << what;
+  EXPECT_EQ(a.recovered_executions, b.recovered_executions) << what;
   EXPECT_EQ(a.stuck_executions, b.stuck_executions) << what;
   EXPECT_EQ(a.complete, b.complete) << what;
   EXPECT_EQ(a.violation, b.violation) << what;
@@ -206,6 +207,18 @@ TEST(CheckpointResume, CrashExplorationCampaignResumes) {
   run_kill_and_resume(clean_body(), opts, "crash_par");
 }
 
+TEST(CheckpointResume, RecoveryExplorationCampaignResumes) {
+  // ...and with crash-and-restart branching: the snapshot prefix
+  // round-trips recovery decisions, and the resumed campaign reports the
+  // uninterrupted recovered-executions tally.
+  Explorer::Options opts;
+  opts.max_crashes = 1;
+  opts.max_recoveries = 1;
+  run_kill_and_resume(clean_body(), opts, "recovery_serial");
+  opts.threads = 4;
+  run_kill_and_resume(clean_body(), opts, "recovery_par");
+}
+
 TEST(CheckpointResume, FinishedSnapshotResumesWithoutRerunning) {
   const std::string cp = temp_path("subc_ckpt_done.jsonl");
   remove_file(cp);
@@ -238,6 +251,9 @@ TEST(CheckpointResume, ResumeRejectsOptionMismatch) {
   other.max_crashes = 1;
   EXPECT_THROW(Explorer::resume(clean_body(), cp, other), SimError);
   other = opts;
+  other.max_recoveries = 1;
+  EXPECT_THROW(Explorer::resume(clean_body(), cp, other), SimError);
+  other = opts;
   other.max_executions += 1;
   EXPECT_THROW(Explorer::resume(clean_body(), cp, other), SimError);
   other = opts;
@@ -253,9 +269,10 @@ TEST(CheckpointResume, ResumeRejectsOptionMismatch) {
 
 TEST(CheckpointResume, DecisionStringsRoundTripIncludingCrashFlags) {
   std::vector<ReplayDriver::Decision> trace;
-  trace.push_back(ReplayDriver::Decision{1, 3, 0b111, 0b010, false});
-  trace.push_back(ReplayDriver::Decision{2, 4, 0, 0, true});
-  trace.push_back(ReplayDriver::Decision{0, 2, 0b11, 0, false});
+  trace.push_back(ReplayDriver::Decision{1, 3, 0b111, 0b010, false, false});
+  trace.push_back(ReplayDriver::Decision{2, 4, 0, 0, true, false});
+  trace.push_back(ReplayDriver::Decision{1, 3, 0b1, 0, false, true});
+  trace.push_back(ReplayDriver::Decision{0, 2, 0b11, 0, false, false});
   const std::string encoded = encode_decisions(trace);
   const auto decoded = decode_decisions(encoded);
   ASSERT_EQ(decoded.size(), trace.size());
@@ -265,10 +282,21 @@ TEST(CheckpointResume, DecisionStringsRoundTripIncludingCrashFlags) {
     EXPECT_EQ(decoded[i].enabled, trace[i].enabled) << i;
     EXPECT_EQ(decoded[i].sleep, trace[i].sleep) << i;
     EXPECT_EQ(decoded[i].crash, trace[i].crash) << i;
+    EXPECT_EQ(decoded[i].recover, trace[i].recover) << i;
   }
   EXPECT_THROW(decode_decisions("1/2/3"), SimError);
-  EXPECT_THROW(decode_decisions("5/2/0/0/0"), SimError);  // chosen >= arity
-  EXPECT_THROW(decode_decisions("0/2/0/0/7"), SimError);  // bad crash flag
+  EXPECT_THROW(decode_decisions("5/2/0/0/0"), SimError);    // chosen >= arity
+  EXPECT_THROW(decode_decisions("0/2/0/0/7"), SimError);    // bad crash flag
+  EXPECT_THROW(decode_decisions("0/2/0/0/0/7"), SimError);  // bad recover flag
+
+  // Five-field tokens from pre-recovery snapshots read back with
+  // recover = false, bit-exactly otherwise.
+  const auto legacy = decode_decisions("1/3/7/2/1");
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].chosen, 1);
+  EXPECT_EQ(legacy[0].arity, 3);
+  EXPECT_TRUE(legacy[0].crash);
+  EXPECT_FALSE(legacy[0].recover);
 }
 
 TEST(CheckpointResume, SnapshotFilesSurviveLoadSaveRoundTrip) {
@@ -276,27 +304,32 @@ TEST(CheckpointResume, SnapshotFilesSurviveLoadSaveRoundTrip) {
   ExplorerSnapshot snap;
   snap.max_executions = 1000;
   snap.max_crashes = 1;
+  snap.max_recoveries = 1;
   snap.step_quota = 64;
   snap.reduction = true;
   snap.executions = 123;
   snap.pruned = 4;
   snap.reduced = 56;
   snap.crashed = 7;
+  snap.recovered = 3;
   snap.stuck = 2;
   snap.stuck_message = "stuck execution: step quota (64) exceeded";
   snap.stuck_trace.push_back(ReplayDriver::Decision{1, 2, 0b11, 0, false});
   snap.prefix.push_back(ReplayDriver::Decision{0, 3, 0b111, 0b100, false});
   snap.prefix.push_back(ReplayDriver::Decision{1, 2, 0, 0, true});
+  snap.prefix.push_back(ReplayDriver::Decision{1, 2, 0b1, 0, false, true});
   save_snapshot(cp, snap);
   const ExplorerSnapshot loaded = load_snapshot(cp);
   EXPECT_EQ(loaded.max_executions, snap.max_executions);
   EXPECT_EQ(loaded.max_crashes, snap.max_crashes);
+  EXPECT_EQ(loaded.max_recoveries, snap.max_recoveries);
   EXPECT_EQ(loaded.step_quota, snap.step_quota);
   EXPECT_EQ(loaded.reduction, snap.reduction);
   EXPECT_EQ(loaded.executions, snap.executions);
   EXPECT_EQ(loaded.pruned, snap.pruned);
   EXPECT_EQ(loaded.reduced, snap.reduced);
   EXPECT_EQ(loaded.crashed, snap.crashed);
+  EXPECT_EQ(loaded.recovered, snap.recovered);
   EXPECT_EQ(loaded.stuck, snap.stuck);
   EXPECT_FALSE(loaded.done);
   EXPECT_EQ(loaded.stuck_message, snap.stuck_message);

@@ -137,12 +137,13 @@ const char* engine_name(Eng e) {
 }
 
 Explorer::Result explore(const ExecutionBody& body, Reduction reduction,
-                         int threads, int max_crashes,
-                         bool stateful = false) {
+                         int threads, int max_crashes, bool stateful = false,
+                         int max_recoveries = 0) {
   Explorer::Options opts;
   opts.reduction = reduction;
   opts.threads = threads;
   opts.max_crashes = max_crashes;
+  opts.max_recoveries = max_recoveries;
   opts.stateful = stateful;
   if (max_crashes > 0) {
     opts.step_quota = 100'000;
@@ -157,6 +158,7 @@ void expect_identical(const Explorer::Result& got,
   EXPECT_EQ(got.executions, want.executions);
   EXPECT_EQ(got.reduced_subtrees, want.reduced_subtrees);
   EXPECT_EQ(got.crashed_executions, want.crashed_executions);
+  EXPECT_EQ(got.recovered_executions, want.recovered_executions);
   EXPECT_EQ(got.stuck_executions, want.stuck_executions);
   EXPECT_EQ(got.complete, want.complete);
   EXPECT_EQ(got.violation.has_value(), want.violation.has_value());
@@ -170,6 +172,7 @@ void expect_identical(const Explorer::Result& got,
     EXPECT_EQ(g.chosen, w.chosen) << "decision " << i;
     EXPECT_EQ(g.arity, w.arity) << "decision " << i;
     EXPECT_EQ(g.crash, w.crash) << "decision " << i;
+    EXPECT_EQ(g.recover, w.recover) << "decision " << i;
   }
 }
 
@@ -211,6 +214,32 @@ void expect_pinned(const ExecutionBody& fiber_body,
                      " threads=" + std::to_string(threads) + " reduction=" +
                      (reduction == Reduction::kNone ? "none" : "sleep"));
         expect_identical(explore(body, reduction, threads, 1), reference);
+      }
+    }
+  }
+
+  // Recovery axis (f = 1, r = 1): crashed processes may additionally
+  // restart. Same discipline — serial fiber is the reference, every cell
+  // matches bit-for-bit, and the restart branch must actually fire.
+  for (const Reduction reduction : {Reduction::kNone, Reduction::kSleepSets}) {
+    const auto reference = explore(fiber_body, reduction, 1, 1,
+                                   /*stateful=*/false, /*max_recoveries=*/1);
+    if (reference.ok()) {
+      // Violating worlds may stop before any restart branch; clean worlds
+      // must actually exercise one.
+      EXPECT_GT(reference.recovered_executions, 0) << pin.world;
+    }
+    for (const Eng engine : {Eng::kFiber, Eng::kStepped}) {
+      const ExecutionBody& body =
+          engine == Eng::kFiber ? fiber_body : stepped_body;
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(std::string(pin.world) + " f=1 r=1 engine=" +
+                     engine_name(engine) +
+                     " threads=" + std::to_string(threads) + " reduction=" +
+                     (reduction == Reduction::kNone ? "none" : "sleep"));
+        expect_identical(explore(body, reduction, threads, 1,
+                                 /*stateful=*/false, /*max_recoveries=*/1),
+                         reference);
       }
     }
   }

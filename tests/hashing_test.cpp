@@ -72,7 +72,7 @@ TEST(Hashing, SaltsAreDistinct) {
       detail::kFpObjectSalt, detail::kFpChooseSalt, detail::kFpDecideSalt,
       detail::kFpDoneSalt,   detail::kFpHungSalt,  detail::kFpCrashSalt,
       detail::kFpSleepSalt,  detail::kFpRunSalt,   detail::kFpInstanceSalt,
-      detail::kFpRequestSalt};
+      detail::kFpRequestSalt, detail::kFpRecoverSalt};
   for (std::size_t i = 0; i < std::size(salts); ++i) {
     for (std::size_t j = i + 1; j < std::size(salts); ++j) {
       EXPECT_NE(salts[i], salts[j]) << i << " vs " << j;
